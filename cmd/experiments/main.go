@@ -1,0 +1,126 @@
+// Command experiments regenerates the paper's evaluation artifacts:
+// Figures 6 and 7 (heuristics vs LP lower bounds over the Poisson load
+// grid), the Theorem 1 and Theorem 3 validation tables, the online AMRT
+// comparison (Lemma 5.3), the Figure 4(a) gadget divergence (Lemma 5.1),
+// and the matching/bound ablations. Outputs go to stdout and, with -out,
+// to CSV and ASCII files.
+//
+// Examples:
+//
+//	experiments -fig all -out results
+//	experiments -fig 6 -ports 8 -trials 10 -lp=false
+//	experiments -fig 7 -ports 150 -lp=false -trials 3   # paper scale, heuristics only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flowsched/internal/experiments"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "which artifact: 6, 7, t1, t3, amrt, 4a, ablation, bounds, all")
+		ports    = flag.Int("ports", 6, "switch size m (paper: 150)")
+		trials   = flag.Int("trials", 5, "simulation trials per grid point (paper: 10)")
+		lpTrials = flag.Int("lptrials", 2, "LP trials per grid point")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+		out      = flag.String("out", "", "directory for CSV/ASCII outputs")
+		lp       = flag.Bool("lp", true, "compute LP lower-bound baselines (dominates runtime)")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		heurT    = flag.String("T", "6,8,10,12,16,20", "comma-separated T sweep for heuristics")
+		lpT      = flag.String("lpT", "6,8,10", "comma-separated T sweep for LP baselines")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Ports = *ports
+	cfg.Trials = *trials
+	cfg.LPTrials = *lpTrials
+	cfg.Seed = *seed
+	cfg.OutDir = *out
+	cfg.EnableLP = *lp
+	cfg.Workers = *workers
+	cfg.HeurT = parseInts(*heurT)
+	cfg.LPT = parseInts(*lpT)
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("== %s ==\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	want := func(key string) bool { return *fig == "all" || *fig == key }
+
+	if want("6") {
+		run("Figure 6: average response time", func() error {
+			_, err := experiments.Fig6(cfg, os.Stdout)
+			return err
+		})
+	}
+	if want("7") {
+		run("Figure 7: maximum response time", func() error {
+			_, err := experiments.Fig7(cfg, os.Stdout)
+			return err
+		})
+	}
+	if want("t1") {
+		run("Theorem 1 validation", func() error {
+			_, err := experiments.Theorem1Table(cfg, os.Stdout)
+			return err
+		})
+	}
+	if want("t3") {
+		run("Theorem 3 validation", func() error {
+			_, err := experiments.Theorem3Table(cfg, os.Stdout)
+			return err
+		})
+	}
+	if want("amrt") {
+		run("Lemma 5.3 online AMRT", func() error {
+			_, err := experiments.AMRTTable(cfg, os.Stdout)
+			return err
+		})
+	}
+	if want("4a") {
+		run("Lemma 5.1 gadget divergence", func() error {
+			_, err := experiments.Fig4aTable(cfg, os.Stdout)
+			return err
+		})
+	}
+	if want("ablation") {
+		run("Matching-engine ablation", func() error {
+			_, err := experiments.AblationTable(cfg, os.Stdout)
+			return err
+		})
+	}
+	if want("bounds") {
+		run("LP vs SRPT bound comparison", func() error {
+			_, err := experiments.SRPTComparisonTable(cfg, os.Stdout)
+			return err
+		})
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var v int
+		if _, err := fmt.Sscanf(part, "%d", &v); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bad integer %q\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+// Command flowsim is the online flow-scheduling simulator of Section 5.2:
+// it generates (or loads) an instance and runs one of the scheduling
+// heuristics, printing response-time metrics.
+//
+// Examples:
+//
+//	flowsim -ports 150 -M 300 -T 20 -policy MaxWeight -trials 10
+//	flowsim -in instance.json -policy MinRTime
+//	flowsim -ports 32 -M 64 -T 50 -policy all -srpt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"flowsched/internal/core"
+	"flowsched/internal/heuristics"
+	"flowsched/internal/sim"
+	"flowsched/internal/stats"
+	"flowsched/internal/switchnet"
+	"flowsched/internal/workload"
+)
+
+func main() {
+	var (
+		ports   = flag.Int("ports", 150, "switch size m")
+		mFlag   = flag.Float64("M", 150, "mean flow arrivals per round")
+		tFlag   = flag.Int("T", 20, "arrival rounds")
+		policy  = flag.String("policy", "all", "MaxCard, MinRTime, MaxWeight, FIFO, GreedyAge, or all")
+		trials  = flag.Int("trials", 10, "number of random trials")
+		seed    = flag.Int64("seed", 1, "base RNG seed")
+		inFile  = flag.String("in", "", "load instance JSON instead of generating")
+		trace   = flag.String("trace", "", "load a CSV flow trace (release,in,out,demand) onto a -ports switch")
+		srpt    = flag.Bool("srpt", false, "also print the per-port SRPT lower bound")
+		demands = flag.Int("dmax", 1, "max flow demand (capacity scales to match)")
+	)
+	flag.Parse()
+
+	var pols []sim.Policy
+	if *policy == "all" {
+		pols = heuristics.All()
+	} else {
+		p := heuristics.ByName(*policy)
+		if p == nil {
+			fmt.Fprintf(os.Stderr, "flowsim: unknown policy %q\n", *policy)
+			os.Exit(2)
+		}
+		pols = []sim.Policy{p}
+	}
+
+	instances := make([]*switchnet.Instance, 0, *trials)
+	switch {
+	case *inFile != "":
+		f, err := os.Open(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+		inst, err := switchnet.ReadInstance(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		instances = append(instances, inst)
+	case *trace != "":
+		f, err := os.Open(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		inst, err := workload.ReadTrace(f, switchnet.NewSwitch(*ports, *ports, *demands))
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		instances = append(instances, inst)
+	default:
+		cfg := workload.PoissonConfig{M: *mFlag, T: *tFlag, Ports: *ports, Cap: *demands, MaxDemand: *demands}
+		for tr := 0; tr < *trials; tr++ {
+			rng := rand.New(rand.NewSource(*seed + int64(tr)))
+			instances = append(instances, cfg.Generate(rng))
+		}
+	}
+
+	fmt.Printf("%-10s %10s %10s %10s %8s\n", "policy", "avgRT", "maxRT", "rounds", "n")
+	for _, pol := range pols {
+		var avgs, maxs, rounds, ns []float64
+		for _, inst := range instances {
+			if inst.N() == 0 {
+				continue
+			}
+			res, err := sim.Run(inst, pol)
+			if err != nil {
+				fatal(err)
+			}
+			avgs = append(avgs, res.AvgResponse)
+			maxs = append(maxs, float64(res.MaxResponse))
+			rounds = append(rounds, float64(res.Rounds))
+			ns = append(ns, float64(inst.N()))
+		}
+		fmt.Printf("%-10s %10.3f %10.2f %10.1f %8.0f\n",
+			pol.Name(), stats.Mean(avgs), stats.Mean(maxs), stats.Mean(rounds), stats.Mean(ns))
+	}
+	if *srpt {
+		var bounds []float64
+		for _, inst := range instances {
+			if inst.N() > 0 {
+				bounds = append(bounds, float64(core.SRPTLowerBound(inst))/float64(inst.N()))
+			}
+		}
+		fmt.Printf("%-10s %10.3f %10s (per-port SRPT relaxation, avg per flow)\n", "LB:SRPT", stats.Mean(bounds), "-")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "flowsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command fsmrt runs the offline FS-MRT algorithm of Theorem 3 on an
+// instance: binary search for the optimal maximum response time, then
+// KLRT rounding into a schedule that exceeds each port capacity by at most
+// 2*d_max-1. It can also solve the deadline model of Remark 4.2.
+//
+// Examples:
+//
+//	fsmrt -ports 6 -M 8 -T 6
+//	fsmrt -in instance.json -schedule
+//	fsmrt -in instance.json -deadlines 4,4,7,9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"flowsched/internal/core"
+	"flowsched/internal/plot"
+	"flowsched/internal/switchnet"
+	"flowsched/internal/workload"
+)
+
+func main() {
+	var (
+		ports     = flag.Int("ports", 6, "switch size m (generated instances)")
+		mFlag     = flag.Float64("M", 6, "mean arrivals per round")
+		tFlag     = flag.Int("T", 6, "arrival rounds")
+		dmax      = flag.Int("dmax", 1, "max demand (capacity scales to match)")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		inFile    = flag.String("in", "", "load instance JSON instead of generating")
+		deadlines = flag.String("deadlines", "", "comma-separated per-flow deadlines (Remark 4.2 mode)")
+		schedule  = flag.Bool("schedule", false, "print the per-flow schedule")
+		gantt     = flag.Bool("gantt", false, "print a per-port load timeline")
+	)
+	flag.Parse()
+
+	inst, err := loadOrGenerate(*inFile, *ports, *mFlag, *tFlag, *dmax, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if inst.N() == 0 {
+		fmt.Println("empty instance")
+		return
+	}
+
+	var sched *switchnet.Schedule
+	if *deadlines != "" {
+		dl, err := parseDeadlines(*deadlines, inst.N())
+		if err != nil {
+			fatal(err)
+		}
+		win, err := core.DeadlineWindows(inst, dl)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := core.SolveTimeConstrained(inst, win)
+		if err != nil {
+			fatal(err)
+		}
+		sched = res.Schedule
+		fmt.Printf("deadline mode:    all %d flows scheduled within deadlines\n", inst.N())
+		fmt.Printf("capacity:         c_p + %d\n", res.CapIncrease)
+	} else {
+		res, err := core.SolveMRT(inst)
+		if err != nil {
+			fatal(err)
+		}
+		sched = res.Schedule
+		fmt.Printf("flows:            %d\n", inst.N())
+		fmt.Printf("optimal rho (LP): %d\n", res.Rho)
+		fmt.Printf("achieved maxRT:   %d\n", sched.MaxResponse(inst))
+		fmt.Printf("capacity:         c_p + %d (2*dmax-1, dmax=%d)\n", res.CapIncrease, inst.MaxDemand())
+		fmt.Printf("measured overload:%d\n", sched.MaxOverload(inst, inst.Switch.Caps()))
+		fmt.Printf("trivial LB:       %d\n", core.TrivialMRTLowerBound(inst))
+	}
+	if *schedule {
+		for f, t := range sched.Round {
+			e := inst.Flows[f]
+			fmt.Printf("flow %4d  %3d->%-3d  d=%-3d r=%-4d t=%-4d rho=%d\n",
+				f, e.In, e.Out, e.Demand, e.Release, t, t+1-e.Release)
+		}
+	}
+	if *gantt {
+		fmt.Print(plot.Gantt(inst, sched, inst.Switch.Caps()))
+	}
+}
+
+func loadOrGenerate(inFile string, ports int, m float64, t, dmax int, seed int64) (*switchnet.Instance, error) {
+	if inFile != "" {
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return switchnet.ReadInstance(f)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return workload.PoissonConfig{M: m, T: t, Ports: ports, Cap: dmax, MaxDemand: dmax}.Generate(rng), nil
+}
+
+func parseDeadlines(s string, n int) ([]int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("got %d deadlines for %d flows", len(parts), n)
+	}
+	out := make([]int, n)
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &out[i]); err != nil {
+			return nil, fmt.Errorf("bad deadline %q", p)
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fsmrt: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+// Command genflows generates flow-scheduling instances in JSON or CSV
+// trace form from the repository's workload models: the paper's Poisson
+// grid (Section 5.2.1), the online lower-bound gadgets of Figure 4, the
+// RTT hardness reduction of Theorem 2, and the extended traffic patterns.
+//
+// Examples:
+//
+//	genflows -kind poisson -ports 150 -M 300 -T 20 -o inst.json
+//	genflows -kind poisson -format trace -ports 8 -M 16 -T 10
+//	genflows -kind fig4a -T 10 -M 40 -o gadget.json
+//	genflows -kind rtt -teachers 3 -classes 4 -o hard.json
+//	genflows -kind hotspot -ports 32 -M 64 -T 20 -hot 0.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"flowsched/internal/switchnet"
+	"flowsched/internal/workload"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "poisson", "poisson, permutation, hotspot, smooth, fig4a, fig4b, rtt")
+		ports    = flag.Int("ports", 8, "switch size m")
+		mFlag    = flag.Float64("M", 8, "mean arrivals per round (poisson/hotspot)")
+		tFlag    = flag.Int("T", 10, "arrival rounds")
+		dmax     = flag.Int("dmax", 1, "max demand (capacity scales to match)")
+		hot      = flag.Float64("hot", 0.5, "hotspot fraction (hotspot)")
+		teachers = flag.Int("teachers", 3, "RTT teachers (rtt)")
+		classes  = flag.Int("classes", 4, "RTT classes (rtt)")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		format   = flag.String("format", "json", "json or trace (CSV)")
+		outFile  = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var inst *switchnet.Instance
+	switch *kind {
+	case "poisson":
+		inst = workload.PoissonConfig{M: *mFlag, T: *tFlag, Ports: *ports, Cap: *dmax, MaxDemand: *dmax}.Generate(rng)
+	case "permutation":
+		inst = workload.Permutation(rng, *ports, *tFlag)
+	case "hotspot":
+		inst = workload.Hotspot(rng, *ports, *mFlag, *tFlag, *hot)
+	case "smooth":
+		inst = workload.SmoothSequence(rng, *ports, *tFlag)
+	case "fig4a":
+		inst = workload.Fig4a(*tFlag, int(*mFlag))
+	case "fig4b":
+		inst = workload.Fig4b()
+	case "rtt":
+		r := workload.RandomRTT(rng, *teachers, *classes)
+		inst, _ = workload.ReduceRTT(r)
+		fmt.Fprintf(os.Stderr, "genflows: RTT instance satisfiable=%v (schedulable with rho=3 iff true)\n",
+			r.Satisfiable())
+	default:
+		fmt.Fprintf(os.Stderr, "genflows: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := inst.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "genflows: generated invalid instance: %v\n", err)
+		os.Exit(1)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genflows: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+	var err error
+	switch *format {
+	case "json":
+		err = switchnet.WriteInstance(out, inst)
+	case "trace":
+		err = workload.WriteTrace(out, inst)
+	default:
+		fmt.Fprintf(os.Stderr, "genflows: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genflows: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "genflows: %d flows on a %dx%d switch\n",
+		inst.N(), inst.Switch.NumIn(), inst.Switch.NumOut())
+}

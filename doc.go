@@ -1,0 +1,32 @@
+// Package flowsched is a Go implementation of the algorithms from
+// "Scheduling Flows on a Switch to Optimize Response Times" (Jahanjou,
+// Rajaraman, Stalfa; SPAA 2020, arXiv:2005.09724).
+//
+// A datacenter network is modelled as a single non-blocking switch: a
+// bipartite graph with a capacity at every input and output port. Flow
+// requests are edges with a demand and a release round; in each round the
+// scheduled flows must respect every port's capacity. The package provides:
+//
+//   - FS-ART (average response time): SolveART, the (1+c, O(log n)/c)
+//     resource-augmented approximation of Theorem 1, built on iterative LP
+//     rounding and Birkhoff-von Neumann decomposition, plus the LP lower
+//     bound ARTLowerBound (Lemma 3.1) and the combinatorial SRPTLowerBound.
+//
+//   - FS-MRT (maximum response time): SolveMRT, the optimal schedule with
+//     per-port capacity increase at most 2*d_max-1 of Theorem 3, built on
+//     the time-constrained LP and the Karp et al. rounding theorem;
+//     SolveTimeConstrained generalizes to per-flow deadlines (Remark 4.2).
+//
+//   - Online scheduling (Section 5): the batched AMRT algorithm of
+//     Lemma 5.3 (OnlineAMRT) and the simulation heuristics MaxCard,
+//     MinRTime and MaxWeight evaluated in Figures 6 and 7 (Simulate,
+//     Policies).
+//
+//   - Workload generators matching the paper's methodology (Poisson
+//     arrivals on an m x m switch) and its lower-bound gadgets.
+//
+// The LP solver, matching algorithms, edge coloring, rounding theorem, and
+// simulator are all implemented in this repository with no external
+// dependencies; see DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the reproduction of the paper's figures.
+package flowsched

@@ -1,0 +1,74 @@
+package flowsched_test
+
+import (
+	"fmt"
+
+	flowsched "flowsched"
+)
+
+// ExampleSolveMRT schedules two conflicting flows for optimal maximum
+// response time (Theorem 3).
+func ExampleSolveMRT() {
+	inst := &flowsched.Instance{
+		Switch: flowsched.UnitSwitch(2),
+		Flows: []flowsched.Flow{
+			{In: 0, Out: 0, Demand: 1, Release: 0},
+			{In: 1, Out: 0, Demand: 1, Release: 0}, // same output port
+		},
+	}
+	res, _ := flowsched.SolveMRT(inst)
+	fmt.Println("optimal rho:", res.Rho)
+	fmt.Println("capacity increase:", res.CapIncrease)
+	// Output:
+	// optimal rho: 2
+	// capacity increase: 1
+}
+
+// ExampleSimulate runs the paper's MaxWeight heuristic online.
+func ExampleSimulate() {
+	inst := &flowsched.Instance{
+		Switch: flowsched.UnitSwitch(2),
+		Flows: []flowsched.Flow{
+			{In: 0, Out: 1, Demand: 1, Release: 0},
+			{In: 1, Out: 0, Demand: 1, Release: 0},
+		},
+	}
+	res, _ := flowsched.Simulate(inst, flowsched.MaxWeight)
+	fmt.Println("max response:", res.MaxResponse)
+	// Output:
+	// max response: 1
+}
+
+// ExampleDeadlineWindows solves the deadline model of Remark 4.2.
+func ExampleDeadlineWindows() {
+	inst := &flowsched.Instance{
+		Switch: flowsched.UnitSwitch(2),
+		Flows: []flowsched.Flow{
+			{In: 0, Out: 0, Demand: 1, Release: 0},
+			{In: 1, Out: 0, Demand: 1, Release: 0},
+		},
+	}
+	win, _ := flowsched.DeadlineWindows(inst, []int{1, 1})
+	res, err := flowsched.SolveTimeConstrained(inst, win)
+	fmt.Println("feasible:", err == nil)
+	fmt.Println("complete:", res.Schedule.Complete())
+	// Output:
+	// feasible: true
+	// complete: true
+}
+
+// ExampleSRPTLowerBound certifies a schedule against the combinatorial
+// lower bound.
+func ExampleSRPTLowerBound() {
+	inst := &flowsched.Instance{
+		Switch: flowsched.UnitSwitch(3),
+		Flows: []flowsched.Flow{
+			{In: 0, Out: 0, Demand: 1, Release: 0},
+			{In: 1, Out: 0, Demand: 1, Release: 0},
+			{In: 2, Out: 0, Demand: 1, Release: 0},
+		},
+	}
+	fmt.Println("total response is at least", flowsched.SRPTLowerBound(inst))
+	// Output:
+	// total response is at least 6
+}

@@ -1,0 +1,205 @@
+package flowsched
+
+import (
+	"io"
+	"math/rand"
+
+	"flowsched/internal/coflow"
+	"flowsched/internal/core"
+	"flowsched/internal/heuristics"
+	"flowsched/internal/sim"
+	"flowsched/internal/switchnet"
+	"flowsched/internal/workload"
+)
+
+// Core model types (see internal/switchnet for full documentation).
+type (
+	// Switch is a non-blocking switch: capacitated input and output ports.
+	Switch = switchnet.Switch
+	// Flow is a flow request: input port, output port, demand, release.
+	Flow = switchnet.Flow
+	// Instance couples a switch with flow requests.
+	Instance = switchnet.Instance
+	// Schedule assigns each flow to a single round.
+	Schedule = switchnet.Schedule
+	// Side selects the input or output side of the switch.
+	Side = switchnet.Side
+)
+
+// Re-exported switch constructors and constants.
+const (
+	// In is the ingress side.
+	In = switchnet.In
+	// Out is the egress side.
+	Out = switchnet.Out
+	// Unscheduled marks a flow without an assigned round.
+	Unscheduled = switchnet.Unscheduled
+)
+
+// NewSwitch returns an m x m' switch with uniform port capacity cap.
+func NewSwitch(m, mPrime, cap int) Switch { return switchnet.NewSwitch(m, mPrime, cap) }
+
+// UnitSwitch returns an m x m switch with unit capacities (the paper's
+// experimental configuration).
+func UnitSwitch(m int) Switch { return switchnet.UnitSwitch(m) }
+
+// NewSchedule returns an all-unscheduled schedule for n flows.
+func NewSchedule(n int) *Schedule { return switchnet.NewSchedule(n) }
+
+// ScaleCaps multiplies capacities by factor (resource augmentation "(1+c)x").
+func ScaleCaps(caps []int, factor int) []int { return switchnet.ScaleCaps(caps, factor) }
+
+// AddCaps adds delta to capacities (resource augmentation "+2*d_max-1").
+func AddCaps(caps []int, delta int) []int { return switchnet.AddCaps(caps, delta) }
+
+// Offline algorithm results.
+type (
+	// ARTResult is the outcome of SolveART (Theorem 1).
+	ARTResult = core.ARTResult
+	// MRTResult is the outcome of SolveMRT (Theorem 3 + binary search).
+	MRTResult = core.MRTResult
+	// TimeConstrainedResult is the outcome of SolveTimeConstrained.
+	TimeConstrainedResult = core.TimeConstrainedResult
+	// AMRTResult is the outcome of OnlineAMRT (Lemma 5.3).
+	AMRTResult = core.AMRTResult
+	// ARTLowerBoundResult carries the LP (1)-(4) bound of Lemma 3.1.
+	ARTLowerBoundResult = core.ARTLowerBoundResult
+	// Windows lists each flow's admissible rounds for time-constrained
+	// scheduling.
+	Windows = core.Windows
+	// PseudoSchedule is the Lemma 3.3 iterative-rounding output.
+	PseudoSchedule = core.PseudoSchedule
+)
+
+// ErrInfeasible is returned when no schedule meets the requested windows.
+var ErrInfeasible = core.ErrInfeasible
+
+// SolveART computes a schedule for a unit-demand instance whose average
+// response time is within (1 + O(log n)/c) of optimal using port capacities
+// scaled by 1+c (Theorem 1).
+func SolveART(inst *Instance, c int) (*ARTResult, error) { return core.SolveART(inst, c) }
+
+// SolveMRT computes a schedule achieving the optimal maximum response time
+// with every port capacity increased by at most 2*d_max-1 (Theorem 3).
+func SolveMRT(inst *Instance) (*MRTResult, error) { return core.SolveMRT(inst) }
+
+// SolveTimeConstrained schedules every flow inside its window or reports
+// ErrInfeasible; port capacities are exceeded by at most 2*d_max-1
+// (Theorem 3, including the deadline model of Remark 4.2).
+func SolveTimeConstrained(inst *Instance, win Windows) (*TimeConstrainedResult, error) {
+	return core.SolveTimeConstrained(inst, win)
+}
+
+// ResponseWindows builds FS-MRT windows [r_e, r_e+rho) for every flow.
+func ResponseWindows(inst *Instance, rho int) Windows { return core.ResponseWindows(inst, rho) }
+
+// DeadlineWindows builds windows [r_e, deadline_e] for every flow.
+func DeadlineWindows(inst *Instance, deadline []int) (Windows, error) {
+	return core.DeadlineWindows(inst, deadline)
+}
+
+// ARTLowerBound solves LP (1)-(4), a lower bound on any schedule's total
+// response time (Lemma 3.1); Figure 6's baseline.
+func ARTLowerBound(inst *Instance) (*ARTLowerBoundResult, error) { return core.ARTLowerBound(inst) }
+
+// MRTLowerBound returns the smallest rho whose LP (19)-(21) relaxation is
+// feasible; Figure 7's baseline.
+func MRTLowerBound(inst *Instance) (int, error) { return core.MRTLowerBound(inst) }
+
+// SRPTLowerBound is a cheap combinatorial lower bound on total response
+// time via per-port preemptive SRPT relaxations.
+func SRPTLowerBound(inst *Instance) int { return core.SRPTLowerBound(inst) }
+
+// IterativeRound exposes the Lemma 3.3 pseudo-schedule construction.
+func IterativeRound(inst *Instance) (*PseudoSchedule, error) { return core.IterativeRound(inst) }
+
+// OnlineAMRT runs the online batching algorithm of Lemma 5.3: maximum
+// response at most twice the final guess, capacities 2*(c_p+2*d_max-1).
+func OnlineAMRT(inst *Instance) (*AMRTResult, error) { return core.OnlineAMRT(inst) }
+
+// AMRTCaps returns the augmented capacities OnlineAMRT schedules within.
+func AMRTCaps(inst *Instance) []int { return core.AMRTCaps(inst) }
+
+// Simulation types (see internal/sim).
+type (
+	// Policy is an online per-round scheduling heuristic.
+	Policy = sim.Policy
+	// SimResult summarizes one simulation run.
+	SimResult = sim.Result
+	// SimState is the per-round view offered to a Policy.
+	SimState = sim.State
+	// PendingFlow is one released, unscheduled flow.
+	PendingFlow = sim.Pending
+)
+
+// Simulate runs the online simulator of Section 5.2.1 with the policy.
+func Simulate(inst *Instance, pol Policy) (*SimResult, error) { return sim.Run(inst, pol) }
+
+// The paper's heuristics (Section 5.2) and ablation baselines.
+var (
+	// MaxCard extracts a maximum-cardinality matching every round.
+	MaxCard Policy = heuristics.MaxCard{}
+	// MinRTime extracts a maximum-weight matching by flow age.
+	MinRTime Policy = heuristics.MinRTime{}
+	// MaxWeight extracts a maximum-weight matching by queue sizes.
+	MaxWeight Policy = heuristics.MaxWeight{}
+	// FIFO is a first-fit-by-age ablation baseline.
+	FIFO Policy = heuristics.FIFO{}
+	// GreedyAge replaces MinRTime's exact matching with greedy selection.
+	GreedyAge Policy = heuristics.GreedyAge{}
+)
+
+// Policies returns the three heuristics evaluated in Figures 6 and 7.
+func Policies() []Policy { return heuristics.All() }
+
+// PolicyByName resolves a policy by its Name; nil if unknown.
+func PolicyByName(name string) Policy { return heuristics.ByName(name) }
+
+// PoissonConfig is the paper's workload model: Poisson(M) uniform flows
+// per round for T rounds on a Ports x Ports switch.
+type PoissonConfig = workload.PoissonConfig
+
+// GeneratePoisson draws an instance from the paper's workload model.
+func GeneratePoisson(cfg PoissonConfig, rng *rand.Rand) *Instance { return cfg.Generate(rng) }
+
+// Fig4a builds the Lemma 5.1 online lower-bound gadget.
+func Fig4a(T, M int) *Instance { return workload.Fig4a(T, M) }
+
+// Fig4b builds the Lemma 5.2 online lower-bound gadget.
+func Fig4b() *Instance { return workload.Fig4b() }
+
+// ReadTrace parses a CSV flow trace ("release,in,out,demand") onto the
+// given switch, for replaying real datacenter traces.
+func ReadTrace(r io.Reader, sw Switch) (*Instance, error) { return workload.ReadTrace(r, sw) }
+
+// WriteTrace emits an instance's flows as a CSV trace.
+func WriteTrace(w io.Writer, inst *Instance) error { return workload.WriteTrace(w, inst) }
+
+// Coflow extension (the Section 6 "generalizations" direction): groups of
+// flows that complete together, with Varys-style online policies.
+type (
+	// Coflow is a group of flows released together; it completes when
+	// its last member does.
+	Coflow = coflow.Coflow
+	// CoflowInstance is a coflow scheduling instance.
+	CoflowInstance = coflow.Instance
+	// CoflowResult carries coflow-level response metrics.
+	CoflowResult = coflow.Result
+)
+
+// SimulateCoflows flattens the coflow instance and runs a coflow policy:
+// one of CoflowSEBF, CoflowSCF, or CoflowFIFO.
+func SimulateCoflows(in *CoflowInstance, mk func(owner []int) Policy) (*CoflowResult, *SimResult, error) {
+	return coflow.Run(in, mk)
+}
+
+// CoflowSEBF is the smallest-effective-bottleneck-first policy (Varys).
+func CoflowSEBF(owner []int) Policy { return coflow.SEBF(owner) }
+
+// CoflowSCF is the smallest-total-size-first policy.
+func CoflowSCF(owner []int) Policy { return coflow.SCF(owner) }
+
+// CoflowFIFO schedules coflows in release order.
+func CoflowFIFO(in *CoflowInstance) func(owner []int) Policy {
+	return func(owner []int) Policy { return coflow.FIFO(in, owner) }
+}

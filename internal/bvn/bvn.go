@@ -1,0 +1,205 @@
+// Package bvn implements the Birkhoff-von Neumann style decomposition used
+// in Theorem 1 of the paper: a bipartite multigraph with maximum degree D is
+// partitioned into at most D matchings (König's edge-coloring theorem,
+// computed constructively with Kempe-chain flips), and a port-replication
+// transform reduces b-matchings to matchings for switches with non-unit
+// capacities (the transformation of [24] cited in the paper).
+package bvn
+
+// EdgeColor colors the edges of a bipartite multigraph so that no two edges
+// sharing an endpoint receive the same color, using at most
+// max-degree colors (König's theorem). Edges are (left, right) pairs;
+// parallel edges are allowed. It returns the color of each edge and the
+// number of colors used.
+func EdgeColor(nL, nR int, edges [][2]int) (colors []int, numColors int) {
+	// Max degree bounds the palette size.
+	degL := make([]int, nL)
+	degR := make([]int, nR)
+	for _, e := range edges {
+		degL[e[0]]++
+		degR[e[1]]++
+	}
+	maxDeg := 0
+	for _, d := range degL {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	for _, d := range degR {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg == 0 {
+		return make([]int, len(edges)), 0
+	}
+
+	// occL[u][c] / occR[v][c] is the edge currently colored c at the vertex,
+	// or -1.
+	occL := make([][]int, nL)
+	occR := make([][]int, nR)
+	for u := range occL {
+		occL[u] = newOcc(maxDeg)
+	}
+	for v := range occR {
+		occR[v] = newOcc(maxDeg)
+	}
+	colors = make([]int, len(edges))
+	for i := range colors {
+		colors[i] = -1
+	}
+
+	freeAt := func(occ []int) int {
+		for c, id := range occ {
+			if id == -1 {
+				return c
+			}
+		}
+		return -1 // cannot happen: palette size = max degree
+	}
+
+	for id, e := range edges {
+		u, v := e[0], e[1]
+		a := freeAt(occL[u])
+		b := freeAt(occR[v])
+		if a == b {
+			colors[id] = a
+			occL[u][a] = id
+			occR[v][a] = id
+			continue
+		}
+		// Make color a free at v by flipping the alternating a/b Kempe
+		// chain starting at v. In a bipartite graph the chain cannot reach
+		// u, so a stays free at u.
+		if occR[v][a] != -1 {
+			flipChain(edges, colors, occL, occR, v, a, b)
+		}
+		colors[id] = a
+		occL[u][a] = id
+		occR[v][a] = id
+	}
+
+	used := 0
+	for _, c := range colors {
+		if c+1 > used {
+			used = c + 1
+		}
+	}
+	return colors, used
+}
+
+// newOcc returns a palette occupancy slice initialized to -1.
+func newOcc(size int) []int {
+	occ := make([]int, size)
+	for i := range occ {
+		occ[i] = -1
+	}
+	return occ
+}
+
+// flipChain swaps colors a and b along the maximal alternating chain that
+// starts at right vertex v with an edge colored a.
+func flipChain(edges [][2]int, colors []int, occL, occR [][]int, v, a, b int) {
+	// Collect the chain first, then repaint; repainting while walking
+	// corrupts the occupancy lookups.
+	var chain []int
+	onRight := true
+	vert := v
+	col := a
+	for {
+		var id int
+		if onRight {
+			id = occR[vert][col]
+		} else {
+			id = occL[vert][col]
+		}
+		if id == -1 {
+			break
+		}
+		chain = append(chain, id)
+		if onRight {
+			vert = edges[id][0]
+		} else {
+			vert = edges[id][1]
+		}
+		onRight = !onRight
+		if col == a {
+			col = b
+		} else {
+			col = a
+		}
+	}
+	for _, id := range chain {
+		old := colors[id]
+		next := a
+		if old == a {
+			next = b
+		}
+		u2, v2 := edges[id][0], edges[id][1]
+		if occL[u2][old] == id {
+			occL[u2][old] = -1
+		}
+		if occR[v2][old] == id {
+			occR[v2][old] = -1
+		}
+		colors[id] = next
+		occL[u2][next] = id
+		occR[v2][next] = id
+	}
+}
+
+// Matchings groups edge indices by color, producing the decomposition into
+// matchings. colors and numColors are as returned by EdgeColor.
+func Matchings(colors []int, numColors int) [][]int {
+	groups := make([][]int, numColors)
+	for id, c := range colors {
+		if c >= 0 {
+			groups[c] = append(groups[c], id)
+		}
+	}
+	return groups
+}
+
+// Replicate applies the b-matching-to-matching transform from the proof of
+// Theorem 1: each left port l is replicated capL[l] times and each right
+// port r capR[r] times, and every edge is attached to replicas of its
+// endpoints in round-robin order. The resulting multigraph has maximum
+// degree at most max_p ceil(deg(p)/cap(p)). It returns the replicated edge
+// list and the replica counts on each side.
+func Replicate(edges [][2]int, capL, capR []int) (rep [][2]int, nRepL, nRepR int) {
+	baseL := make([]int, len(capL))
+	baseR := make([]int, len(capR))
+	for l := 1; l < len(capL); l++ {
+		baseL[l] = baseL[l-1] + capL[l-1]
+	}
+	for r := 1; r < len(capR); r++ {
+		baseR[r] = baseR[r-1] + capR[r-1]
+	}
+	if len(capL) > 0 {
+		nRepL = baseL[len(capL)-1] + capL[len(capL)-1]
+	}
+	if len(capR) > 0 {
+		nRepR = baseR[len(capR)-1] + capR[len(capR)-1]
+	}
+	cntL := make([]int, len(capL))
+	cntR := make([]int, len(capR))
+	rep = make([][2]int, len(edges))
+	for i, e := range edges {
+		l, r := e[0], e[1]
+		rep[i] = [2]int{baseL[l] + cntL[l]%capL[l], baseR[r] + cntR[r]%capR[r]}
+		cntL[l]++
+		cntR[r]++
+	}
+	return rep, nRepL, nRepR
+}
+
+// Decompose partitions the edges of a capacitated bipartite multigraph into
+// classes such that within each class every left port l carries at most
+// capL[l] edges and every right port r at most capR[r]. It combines
+// Replicate with EdgeColor and returns the classes as slices of edge
+// indices. The number of classes is at most max_p ceil(deg(p)/cap(p)).
+func Decompose(edges [][2]int, capL, capR []int) [][]int {
+	rep, nRepL, nRepR := Replicate(edges, capL, capR)
+	colors, num := EdgeColor(nRepL, nRepR, rep)
+	return Matchings(colors, num)
+}

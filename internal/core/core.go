@@ -1,0 +1,64 @@
+// Package core implements the paper's scheduling algorithms:
+//
+//   - FS-ART (Section 3): the LP lower bound (1)-(4), the interval LP
+//     (5)-(8) with the Bansal-Kulkarni style iterative rounding of
+//     Lemma 3.3, and the pseudo-schedule to valid-schedule conversion of
+//     Theorem 1 via Birkhoff-von Neumann decomposition.
+//   - FS-MRT (Section 4): the time-constrained LP (19)-(21), the
+//     Karp-Leighton-Rivest-Thompson-Vazirani-Vazirani rounding of
+//     Theorem 3 with per-port capacity increase at most 2*d_max-1, and the
+//     binary-search reduction from FS-MRT to time-constrained scheduling.
+//   - Online (Section 5.1): the batched AMRT algorithm of Lemma 5.3.
+//   - Combinatorial lower bounds used when LPs are too large.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"flowsched/internal/switchnet"
+)
+
+// ErrInfeasible is returned when an instance admits no schedule under the
+// requested constraints (e.g. no schedule with the given response bound).
+var ErrInfeasible = errors.New("core: infeasible")
+
+// varKey identifies an LP variable b_{e,t} / x_{e,t}.
+type varKey struct {
+	flow  int
+	round int
+}
+
+// varMap assigns dense indices to (flow, round) variables.
+type varMap struct {
+	keys []varKey
+	byK  map[varKey]int
+}
+
+func newVarMap() *varMap {
+	return &varMap{byK: make(map[varKey]int)}
+}
+
+func (m *varMap) add(flow, round int) int {
+	k := varKey{flow, round}
+	if j, ok := m.byK[k]; ok {
+		return j
+	}
+	j := len(m.keys)
+	m.keys = append(m.keys, k)
+	m.byK[k] = j
+	return j
+}
+
+func (m *varMap) len() int { return len(m.keys) }
+
+func (m *varMap) key(j int) varKey { return m.keys[j] }
+
+// requireUnitDemands guards the Theorem 1 pipeline, which the paper states
+// for unit flows.
+func requireUnitDemands(inst *switchnet.Instance) error {
+	if !inst.UnitDemands() {
+		return fmt.Errorf("core: algorithm requires unit demands (Theorem 1)")
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"sort"
+
+	"flowsched/internal/switchnet"
+)
+
+// ExactMRTFeasible decides by exhaustive backtracking whether the instance
+// admits a schedule with maximum response time at most rho under the
+// original (unaugmented) port capacities. Exponential in the number of
+// flows; it exists to validate the Theorem 2 reduction and the online
+// lower-bound gadgets on small instances, and to cross-check the LP bound.
+func ExactMRTFeasible(inst *switchnet.Instance, rho int) bool {
+	return ExactMRTFeasibleWithFixed(inst, rho, nil)
+}
+
+// ExactARTOptimal computes the exact minimum total response time of an
+// instance by branch and bound over schedules within maxRho rounds of each
+// flow's release (original capacities). Exponential; used to certify that
+// ARTLowerBound is a true lower bound and to measure its gap on tiny
+// instances. It returns -1 if no schedule fits within maxRho.
+func ExactARTOptimal(inst *switchnet.Instance, maxRho int) int {
+	n := inst.N()
+	if n == 0 {
+		return 0
+	}
+	loads := map[int][]int{}
+	numPorts := inst.Switch.NumPorts()
+	caps := inst.Switch.Caps()
+	best := -1
+	var rec func(f, sum int)
+	rec = func(f, sum int) {
+		if best >= 0 && sum+(n-f) >= best {
+			return // each remaining flow adds >= 1
+		}
+		if f == n {
+			best = sum
+			return
+		}
+		e := inst.Flows[f]
+		pIn := inst.Switch.PortIndex(switchnet.In, e.In)
+		pOut := inst.Switch.PortIndex(switchnet.Out, e.Out)
+		for t := e.Release; t < e.Release+maxRho; t++ {
+			row, ok := loads[t]
+			if !ok {
+				row = make([]int, numPorts)
+				loads[t] = row
+			}
+			if row[pIn]+e.Demand > caps[pIn] || row[pOut]+e.Demand > caps[pOut] {
+				continue
+			}
+			row[pIn] += e.Demand
+			row[pOut] += e.Demand
+			rec(f+1, sum+t+1-e.Release)
+			row[pIn] -= e.Demand
+			row[pOut] -= e.Demand
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// ExactFeasibleWindows decides by exhaustive backtracking whether every
+// flow can be scheduled within its explicit window (original capacities).
+// Used by adversarial analyses that must forbid specific rounds, e.g. the
+// Lemma 5.2 case analysis.
+func ExactFeasibleWindows(inst *switchnet.Instance, win Windows) bool {
+	n := inst.N()
+	if n == 0 {
+		return true
+	}
+	loads := map[int][]int{}
+	numPorts := inst.Switch.NumPorts()
+	caps := inst.Switch.Caps()
+	var rec func(f int) bool
+	rec = func(f int) bool {
+		if f == n {
+			return true
+		}
+		e := inst.Flows[f]
+		pIn := inst.Switch.PortIndex(switchnet.In, e.In)
+		pOut := inst.Switch.PortIndex(switchnet.Out, e.Out)
+		for _, t := range win[f] {
+			row, ok := loads[t]
+			if !ok {
+				row = make([]int, numPorts)
+				loads[t] = row
+			}
+			if row[pIn]+e.Demand > caps[pIn] || row[pOut]+e.Demand > caps[pOut] {
+				continue
+			}
+			row[pIn] += e.Demand
+			row[pOut] += e.Demand
+			if rec(f + 1) {
+				return true
+			}
+			row[pIn] -= e.Demand
+			row[pOut] -= e.Demand
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// ExactMRTFeasibleWithFixed is ExactMRTFeasible with some flows pinned to
+// given rounds (fixed[f] = round, or switchnet.Unscheduled to leave f
+// free). It supports adversarial analyses where an online algorithm's
+// prefix decisions are fixed and the best completion is sought.
+func ExactMRTFeasibleWithFixed(inst *switchnet.Instance, rho int, fixed []int) bool {
+	n := inst.N()
+	if n == 0 {
+		return true
+	}
+	loads := map[int][]int{}
+	numPorts := inst.Switch.NumPorts()
+	caps := inst.Switch.Caps()
+	getRow := func(t int) []int {
+		row, ok := loads[t]
+		if !ok {
+			row = make([]int, numPorts)
+			loads[t] = row
+		}
+		return row
+	}
+	place := func(f, t int) bool {
+		e := inst.Flows[f]
+		row := getRow(t)
+		pIn := inst.Switch.PortIndex(switchnet.In, e.In)
+		pOut := inst.Switch.PortIndex(switchnet.Out, e.Out)
+		if row[pIn]+e.Demand > caps[pIn] || row[pOut]+e.Demand > caps[pOut] {
+			return false
+		}
+		row[pIn] += e.Demand
+		row[pOut] += e.Demand
+		return true
+	}
+	unplace := func(f, t int) {
+		e := inst.Flows[f]
+		row := getRow(t)
+		row[inst.Switch.PortIndex(switchnet.In, e.In)] -= e.Demand
+		row[inst.Switch.PortIndex(switchnet.Out, e.Out)] -= e.Demand
+	}
+
+	var free []int
+	for f := 0; f < n; f++ {
+		if fixed != nil && fixed[f] != switchnet.Unscheduled {
+			t := fixed[f]
+			if t < inst.Flows[f].Release || t >= inst.Flows[f].Release+rho {
+				return false
+			}
+			if !place(f, t) {
+				return false
+			}
+		} else {
+			free = append(free, f)
+		}
+	}
+	// Order by deadline for earlier pruning.
+	sort.Slice(free, func(a, b int) bool {
+		return inst.Flows[free[a]].Release < inst.Flows[free[b]].Release
+	})
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(free) {
+			return true
+		}
+		f := free[k]
+		r := inst.Flows[f].Release
+		for t := r; t < r+rho; t++ {
+			if place(f, t) {
+				if rec(k + 1) {
+					return true
+				}
+				unplace(f, t)
+			}
+		}
+		return false
+	}
+	return rec(0)
+}

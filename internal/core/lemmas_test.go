@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowsched/internal/switchnet"
+	"flowsched/internal/workload"
+)
+
+// TestLemma52AdversarialBound validates the Lemma 5.2 construction: the
+// Figure 4(b) instance has offline maximum response time 2, but for every
+// round-0 decision an online algorithm can make, the adversary picks the
+// dashed flows so the best completion has maximum response time >= 3.
+func TestLemma52AdversarialBound(t *testing.T) {
+	base := workload.Fig4b()
+	// Offline optimum (exact): 2 rounds of response suffice, 1 does not.
+	if !ExactMRTFeasible(base, 2) {
+		t.Fatal("offline rho=2 should be feasible")
+	}
+	if ExactMRTFeasible(base, 1) {
+		t.Fatal("offline rho=1 should be infeasible")
+	}
+
+	// Solid flows are indices 0..3 with inputs {0,0,1,1} and outputs
+	// {0,1,2,3}. An online algorithm in round 0 schedules a subset that
+	// is a matching: at most one flow per input port.
+	solidSubsets := [][]int{
+		{}, {0}, {1}, {2}, {3},
+		{0, 2}, {0, 3}, {1, 2}, {1, 3},
+	}
+	for _, round0 := range solidSubsets {
+		// The adversary aims the dashed flows at the outputs of the two
+		// solid flows NOT scheduled in round 0 (one per input port).
+		unscheduled := map[int]bool{0: true, 1: true, 2: true, 3: true}
+		for _, f := range round0 {
+			delete(unscheduled, f)
+		}
+		// Pick one unscheduled flow per input port (the backlog the
+		// adversary targets); if an input port cleared both its flows
+		// that is impossible (capacity 1), so each port has >= 1 left.
+		var targets []int
+		seenIn := map[int]bool{}
+		for f := range unscheduled {
+			in := base.Flows[f].In
+			if !seenIn[in] {
+				seenIn[in] = true
+				targets = append(targets, f)
+			}
+		}
+		if len(targets) < 2 {
+			t.Fatalf("round0 %v left fewer than 2 ports backlogged", round0)
+		}
+		adv := &switchnet.Instance{Switch: base.Switch, Flows: append([]switchnet.Flow(nil), base.Flows[:4]...)}
+		for _, f := range targets[:2] {
+			adv.Flows = append(adv.Flows, switchnet.Flow{
+				In: 2, Out: base.Flows[f].Out, Demand: 1, Release: 1,
+			})
+		}
+		// Fix the online algorithm's round-0 choices: chosen solid flows
+		// run exactly at round 0, unchosen ones may not use round 0 (the
+		// algorithm already declined them there), dashed flows are free in
+		// their response window. The best completion with max response 2
+		// must NOT exist.
+		chosen := map[int]bool{}
+		for _, f := range round0 {
+			chosen[f] = true
+		}
+		win := make(Windows, adv.N())
+		for f := range adv.Flows {
+			switch {
+			case chosen[f]:
+				win[f] = []int{0}
+			case f < 4: // unchosen solid: deadline round 1, round 0 spent
+				win[f] = []int{1}
+			default: // dashed, released 1, rho=2
+				win[f] = []int{1, 2}
+			}
+		}
+		if ExactFeasibleWindows(adv, win) {
+			t.Fatalf("round0 %v: adversary failed to force response 3", round0)
+		}
+		// But the adversarial instance is still offline-solvable with 2.
+		if !ExactMRTFeasible(adv, 2) {
+			t.Fatalf("round0 %v: adversarial instance lost offline feasibility", round0)
+		}
+	}
+}
+
+// TestTheorem2ReductionCorrespondence validates the RTT reduction on random
+// small instances: RTT satisfiable <=> the reduced switch instance has a
+// schedule with maximum response time 3 (exact search both sides).
+func TestTheorem2ReductionCorrespondence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sat, unsat := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		r := workload.RandomRTT(rng, 1+rng.Intn(3), 2+rng.Intn(2))
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		inst, rho := workload.ReduceRTT(r)
+		if err := inst.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		want := r.Satisfiable()
+		got := ExactMRTFeasible(inst, rho)
+		if want != got {
+			t.Fatalf("trial %d: RTT satisfiable=%v but schedule feasible=%v\nT=%v\nG=%v",
+				trial, want, got, r.T, r.G)
+		}
+		if want {
+			sat++
+		} else {
+			unsat++
+		}
+	}
+	if sat == 0 || unsat == 0 {
+		t.Fatalf("reduction test unbalanced: %d sat, %d unsat", sat, unsat)
+	}
+}
+
+// TestTheorem2GapOnUnsatisfiable spot-checks the 4/3 gap phenomenon: when
+// the RTT instance is unsatisfiable, the reduced instance needs response
+// time at least 4 = (4/3)*3.
+func TestTheorem2GapOnUnsatisfiable(t *testing.T) {
+	// Overloaded RTT: three teachers each needing the same two classes in
+	// the same two hours.
+	r := &workload.RTT{
+		M: 3, MPrime: 2,
+		T: [][]int{{1, 2}, {1, 2}, {1, 2}},
+		G: [][]int{{0, 1}, {0, 1}, {0, 1}},
+	}
+	if r.Satisfiable() {
+		t.Fatal("instance should be unsatisfiable")
+	}
+	inst, rho := workload.ReduceRTT(r)
+	if ExactMRTFeasible(inst, rho) {
+		t.Fatal("reduced instance should not be schedulable with rho=3")
+	}
+	if !ExactMRTFeasible(inst, rho+1) {
+		t.Fatal("reduced instance should be schedulable with rho=4")
+	}
+}
+
+// TestMRTLowerBoundAgainstExact cross-validates the LP binary search with
+// exhaustive search on small instances: LP rho is a true lower bound, and
+// on unit-capacity instances it matches the exact optimum or undershoots
+// by the integrality gap only.
+func TestMRTLowerBoundAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		inst := &switchnet.Instance{Switch: switchnet.UnitSwitch(3)}
+		n := 3 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			inst.Flows = append(inst.Flows, switchnet.Flow{
+				In: rng.Intn(3), Out: rng.Intn(3), Demand: 1, Release: rng.Intn(3),
+			})
+		}
+		lpRho, err := MRTLowerBound(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := 1
+		for !ExactMRTFeasible(inst, exact) {
+			exact++
+		}
+		if lpRho > exact {
+			t.Fatalf("trial %d: LP bound %d exceeds exact optimum %d", trial, lpRho, exact)
+		}
+		// The augmented schedule achieves lpRho.
+		res, err := SolveMRT(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rho != lpRho {
+			t.Fatalf("trial %d: SolveMRT rho %d != lower bound %d", trial, res.Rho, lpRho)
+		}
+	}
+}

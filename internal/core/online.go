@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"flowsched/internal/switchnet"
+)
+
+// AMRTResult is the outcome of the online batching algorithm of Lemma 5.3.
+type AMRTResult struct {
+	// Schedule assigns rounds to all flows; it is feasible under port
+	// capacities 2*(c_p + 2*d_max - 1).
+	Schedule *switchnet.Schedule
+	// FinalRho is the final guessed maximum response time; the schedule's
+	// maximum response time is at most 2*FinalRho.
+	FinalRho int
+	// Checkpoints counts batch scheduling attempts (feasible or not).
+	Checkpoints int
+	// RhoBumps counts how many times the guess was increased.
+	RhoBumps int
+}
+
+// OnlineAMRT runs the online maximum-response-time algorithm from
+// Section 5.1 (Lemma 5.3): the scheduler guesses a response bound rho and,
+// at every round that is a multiple of rho, batch-schedules all pending
+// flows with the offline Theorem 3 algorithm into the next rho rounds; if
+// the batch is infeasible the guess increases by one. The resulting
+// schedule has maximum response time at most double the optimum and uses
+// at most 2*(c_p + 2*d_max - 1) capacity on every port.
+//
+// The function only inspects a flow after its release round, so it is a
+// legitimate online algorithm despite receiving the whole instance up
+// front.
+func OnlineAMRT(inst *switchnet.Instance) (*AMRTResult, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	n := inst.N()
+	res := &AMRTResult{Schedule: switchnet.NewSchedule(n), FinalRho: 1}
+	if n == 0 {
+		return res, nil
+	}
+
+	// Arrival order.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return inst.Flows[order[a]].Release < inst.Flows[order[b]].Release
+	})
+
+	rho := 1
+	next := 0 // next arrival index
+	var pending []int
+	scheduled := 0
+	horizonGuard := 4*inst.CongestionHorizon() + 16
+
+	for t := 0; scheduled < n; t++ {
+		if t > horizonGuard+rho*4 {
+			return nil, fmt.Errorf("core: AMRT exceeded time guard at round %d", t)
+		}
+		for next < n && inst.Flows[order[next]].Release < t {
+			pending = append(pending, order[next])
+			next++
+		}
+		if t%rho != 0 || len(pending) == 0 {
+			continue
+		}
+		// Offline sub-problem: schedule the batch within [t, t+rho),
+		// bumping the guess (and immediately retrying) while infeasible so
+		// every batch is dispatched at the checkpoint that formed it —
+		// this is what keeps the response of any flow below 2*rho.
+		for {
+			res.Checkpoints++
+			sub := &switchnet.Instance{Switch: inst.Switch, Flows: make([]switchnet.Flow, len(pending))}
+			win := make(Windows, len(pending))
+			for i, f := range pending {
+				sub.Flows[i] = inst.Flows[f]
+				// Releases are in the past; the window is the batch window.
+				sub.Flows[i].Release = 0
+				rounds := make([]int, rho)
+				for k := 0; k < rho; k++ {
+					rounds[k] = t + k
+				}
+				win[i] = rounds
+			}
+			tc, err := SolveTimeConstrained(sub, win)
+			if err == ErrInfeasible {
+				rho++
+				res.RhoBumps++
+				if rho > horizonGuard {
+					return nil, fmt.Errorf("core: AMRT guess exceeded guard %d", horizonGuard)
+				}
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			for i, f := range pending {
+				res.Schedule.Round[f] = tc.Schedule.Round[i]
+				scheduled++
+			}
+			pending = pending[:0]
+			break
+		}
+	}
+	res.FinalRho = rho
+	return res, nil
+}
+
+// AMRTCaps returns the augmented capacities under which an OnlineAMRT
+// schedule is guaranteed feasible: 2*(c_p + 2*d_max - 1).
+func AMRTCaps(inst *switchnet.Instance) []int {
+	dmax := inst.MaxDemand()
+	caps := inst.Switch.Caps()
+	out := make([]int, len(caps))
+	for i, c := range caps {
+		out[i] = 2 * (c + 2*dmax - 1)
+	}
+	return out
+}

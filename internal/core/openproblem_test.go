@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowsched/internal/workload"
+)
+
+// TestSmoothSequencesScheduleWithSmallRho gathers evidence for the
+// Section 6 open problem: every generated smooth sequence (interval degree
+// <= |I|+1) should schedule with a small constant maximum response time
+// and no capacity augmentation. The assertion uses a loose constant (5);
+// observed values in practice are 1-3, and a failure here would be
+// genuinely interesting.
+func TestSmoothSequencesScheduleWithSmallRho(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	worst := 0
+	for trial := 0; trial < 15; trial++ {
+		inst := workload.SmoothSequence(rng, 2+rng.Intn(3), 3+rng.Intn(3))
+		if inst.N() == 0 || inst.N() > 14 {
+			continue // keep the exact search cheap
+		}
+		if v := workload.CheckSmooth(inst); v != 0 {
+			t.Fatalf("trial %d: generator violated smoothness by %d", trial, v)
+		}
+		rho := OpenProblemProbe(inst, 6)
+		if rho < 0 {
+			t.Fatalf("trial %d: no schedule with rho <= 6 for a smooth sequence (n=%d)", trial, inst.N())
+		}
+		if rho > worst {
+			worst = rho
+		}
+	}
+	if worst > 5 {
+		t.Fatalf("worst observed rho = %d; evidence against the constant-response conjecture?", worst)
+	}
+}
+
+func TestCheckSmoothDetectsViolation(t *testing.T) {
+	// Three flows on the same port in one round violate |I|+1 = 2.
+	inst := workload.Fig4b()
+	inst.Flows = append(inst.Flows, inst.Flows[0], inst.Flows[0])
+	if workload.CheckSmooth(inst) == 0 {
+		t.Fatal("violation not detected")
+	}
+}
+
+func TestOpenProblemProbeUnsolvable(t *testing.T) {
+	inst := workload.Fig4b()
+	if got := OpenProblemProbe(inst, 1); got != -1 {
+		t.Fatalf("probe = %d, want -1 (needs rho 2)", got)
+	}
+	if got := OpenProblemProbe(inst, 3); got != 2 {
+		t.Fatalf("probe = %d, want 2", got)
+	}
+}

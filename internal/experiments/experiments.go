@@ -1,0 +1,287 @@
+// Package experiments regenerates the paper's evaluation artifacts
+// (Figures 6 and 7, plus validation tables for Theorems 1 and 3 and the
+// online results of Section 5.1). It drives the simulator, the LP lower
+// bounds, and the offline algorithms over the paper's load grid, writes
+// CSV and ASCII charts, and is shared by cmd/experiments and the test
+// suite.
+//
+// Scale note (see DESIGN.md): the paper uses a 150x150 switch with
+// M in {50,100,150,300,600}. The default configuration here keeps the same
+// load ratios M/m on a smaller switch so the homegrown simplex can solve
+// the LP baselines in minutes rather than hours; every knob is a flag in
+// cmd/experiments.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"flowsched/internal/core"
+	"flowsched/internal/heuristics"
+	"flowsched/internal/plot"
+	"flowsched/internal/sim"
+	"flowsched/internal/stats"
+	"flowsched/internal/switchnet"
+	"flowsched/internal/workload"
+)
+
+// Config selects the experiment scale.
+type Config struct {
+	// Ports is the switch size m (the paper uses 150).
+	Ports int
+	// Ratios are the load ratios M/m (the paper's {1/3,2/3,1,2,4}).
+	Ratios []float64
+	// HeurT are the T values swept for heuristics.
+	HeurT []int
+	// LPT are the T values at which LP lower bounds are computed.
+	LPT []int
+	// Trials and LPTrials are the per-point repetition counts.
+	Trials   int
+	LPTrials int
+	// Seed makes runs reproducible.
+	Seed int64
+	// EnableLP computes the LP baselines (dominates runtime).
+	EnableLP bool
+	// OutDir receives CSV and ASCII outputs ("" = no files).
+	OutDir string
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultConfig is a laptop-scale configuration preserving the paper's
+// load ratios.
+func DefaultConfig() Config {
+	return Config{
+		Ports:    6,
+		Ratios:   []float64{1.0 / 3, 2.0 / 3, 1, 2, 4},
+		HeurT:    []int{6, 8, 10, 12, 16, 20},
+		LPT:      []int{6, 8, 10},
+		Trials:   5,
+		LPTrials: 2,
+		Seed:     1,
+		EnableLP: true,
+	}
+}
+
+// ratioName labels a load ratio like the paper ("M=2m" etc.).
+func ratioName(r float64) string {
+	switch {
+	case r < 0.4:
+		return "M=m3" // M = m/3
+	case r < 0.8:
+		return "M=2m3"
+	case r < 1.5:
+		return "M=m"
+	case r < 3:
+		return "M=2m"
+	default:
+		return "M=4m"
+	}
+}
+
+// parallelFor runs fn(i) for i in [0,n) on a bounded pool.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// seedFor derives a deterministic seed per (base, ratio, T, trial).
+func seedFor(base int64, ri, T, trial int) int64 {
+	return base + int64(ri)*1_000_003 + int64(T)*7919 + int64(trial)*104729 + 17
+}
+
+// Fig6 regenerates the average-response-time panels of Figure 6: one chart
+// per load ratio, series per heuristic plus the LP (1)-(4) lower bound.
+func Fig6(cfg Config, w io.Writer) ([]*plot.Chart, error) {
+	return figure(cfg, w, "fig6", "avg response time", func(res *sim.Result, inst *switchnet.Instance) float64 {
+		return res.AvgResponse
+	}, func(inst *switchnet.Instance) (float64, error) {
+		lb, err := core.ARTLowerBound(inst)
+		if err != nil {
+			return 0, err
+		}
+		return lb.TotalResponse / float64(inst.N()), nil
+	})
+}
+
+// Fig7 regenerates the maximum-response-time panels of Figure 7 with the
+// binary-search LP (19)-(21) lower bound.
+func Fig7(cfg Config, w io.Writer) ([]*plot.Chart, error) {
+	return figure(cfg, w, "fig7", "max response time", func(res *sim.Result, inst *switchnet.Instance) float64 {
+		return float64(res.MaxResponse)
+	}, func(inst *switchnet.Instance) (float64, error) {
+		rho, err := core.MRTLowerBound(inst)
+		return float64(rho), err
+	})
+}
+
+// figure is the shared Figure 6/7 driver.
+func figure(cfg Config, w io.Writer, name, ylabel string,
+	metric func(*sim.Result, *switchnet.Instance) float64,
+	lowerBound func(*switchnet.Instance) (float64, error)) ([]*plot.Chart, error) {
+
+	pols := heuristics.All()
+	var charts []*plot.Chart
+	for ri, ratio := range cfg.Ratios {
+		M := ratio * float64(cfg.Ports)
+		chart := &plot.Chart{
+			Title:  fmt.Sprintf("%s %s (m=%d, M=%.3g)", name, ratioName(ratio), cfg.Ports, M),
+			XLabel: "T",
+			YLabel: ylabel,
+		}
+
+		// Heuristic curves (parallel over T x policy x trial).
+		type cell struct {
+			T     int
+			pol   sim.Policy
+			trial int
+		}
+		var cells []cell
+		for _, T := range cfg.HeurT {
+			for _, pol := range pols {
+				for tr := 0; tr < cfg.Trials; tr++ {
+					cells = append(cells, cell{T, pol, tr})
+				}
+			}
+		}
+		vals := make([]float64, len(cells))
+		errs := make([]error, len(cells))
+		parallelFor(len(cells), cfg.Workers, func(i int) {
+			c := cells[i]
+			rng := rand.New(rand.NewSource(seedFor(cfg.Seed, ri, c.T, c.trial)))
+			inst := workload.PoissonConfig{M: M, T: c.T, Ports: cfg.Ports}.Generate(rng)
+			if inst.N() == 0 {
+				return
+			}
+			res, err := sim.Run(inst, c.pol)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			vals[i] = metric(res, inst)
+		})
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("%s cell %d: %w", name, i, err)
+			}
+		}
+		for _, T := range cfg.HeurT {
+			for _, pol := range pols {
+				var xs []float64
+				for i, c := range cells {
+					if c.T == T && c.pol.Name() == pol.Name() {
+						xs = append(xs, vals[i])
+					}
+				}
+				chart.AddPoint(pol.Name(), float64(T), stats.Mean(xs))
+			}
+		}
+
+		// LP baseline curve.
+		if cfg.EnableLP {
+			type lpCell struct{ T, trial int }
+			var lpCells []lpCell
+			for _, T := range cfg.LPT {
+				for tr := 0; tr < cfg.LPTrials; tr++ {
+					lpCells = append(lpCells, lpCell{T, tr})
+				}
+			}
+			lpVals := make([]float64, len(lpCells))
+			lpErrs := make([]error, len(lpCells))
+			parallelFor(len(lpCells), cfg.Workers, func(i int) {
+				c := lpCells[i]
+				// Same seeds as the heuristics' first trials: the LP
+				// bound applies to the same instance draws.
+				rng := rand.New(rand.NewSource(seedFor(cfg.Seed, ri, c.T, c.trial)))
+				inst := workload.PoissonConfig{M: M, T: c.T, Ports: cfg.Ports}.Generate(rng)
+				if inst.N() == 0 {
+					return
+				}
+				v, err := lowerBound(inst)
+				if err != nil {
+					lpErrs[i] = err
+					return
+				}
+				lpVals[i] = v
+			})
+			for i, err := range lpErrs {
+				if err != nil {
+					return nil, fmt.Errorf("%s LP cell %d: %w", name, i, err)
+				}
+			}
+			for _, T := range cfg.LPT {
+				var xs []float64
+				for i, c := range lpCells {
+					if c.T == T {
+						xs = append(xs, lpVals[i])
+					}
+				}
+				chart.AddPoint("LP", float64(T), stats.Mean(xs))
+			}
+		}
+		charts = append(charts, chart)
+		if w != nil {
+			fmt.Fprintln(w, chart.RenderASCII(56, 12))
+		}
+	}
+	if cfg.OutDir != "" {
+		for _, c := range charts {
+			if err := writeChart(cfg.OutDir, c); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return charts, nil
+}
+
+// writeChart dumps CSV and ASCII renderings of a chart into dir.
+func writeChart(dir string, c *plot.Chart) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	base := filepath.Join(dir, sanitize(c.Title))
+	f, err := os.Create(base + ".csv")
+	if err != nil {
+		return err
+	}
+	if err := c.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.WriteFile(base+".txt", []byte(c.RenderASCII(64, 14)), 0o644)
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '=', r == '.':
+			out = append(out, r)
+		case r == ' ', r == '(', r == ')', r == ',', r == '/':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment tests fast.
+func tinyConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Ports:    4,
+		Ratios:   []float64{1, 4},
+		HeurT:    []int{4, 6},
+		LPT:      []int{4},
+		Trials:   2,
+		LPTrials: 1,
+		Seed:     3,
+		EnableLP: true,
+		OutDir:   t.TempDir(),
+	}
+}
+
+func TestFig6ProducesPanels(t *testing.T) {
+	cfg := tinyConfig(t)
+	var buf bytes.Buffer
+	charts, err := Fig6(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(charts) != len(cfg.Ratios) {
+		t.Fatalf("panels = %d, want %d", len(charts), len(cfg.Ratios))
+	}
+	for _, c := range charts {
+		names := map[string]bool{}
+		for _, s := range c.Series {
+			names[s.Name] = true
+		}
+		for _, want := range []string{"MaxCard", "MinRTime", "MaxWeight", "LP"} {
+			if !names[want] {
+				t.Fatalf("panel %q missing series %q", c.Title, want)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "fig6") {
+		t.Fatal("ASCII output missing")
+	}
+	files, err := filepath.Glob(filepath.Join(cfg.OutDir, "*.csv"))
+	if err != nil || len(files) != len(cfg.Ratios) {
+		t.Fatalf("csv files = %v (%v)", files, err)
+	}
+}
+
+func TestFig7LowerBoundIsBelowHeuristics(t *testing.T) {
+	cfg := tinyConfig(t)
+	charts, err := Fig7(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range charts {
+		var lp map[float64]float64
+		for _, s := range c.Series {
+			if s.Name == "LP" {
+				lp = map[float64]float64{}
+				for _, p := range s.Points {
+					lp[p[0]] = p[1]
+				}
+			}
+		}
+		if lp == nil {
+			t.Fatalf("panel %q has no LP series", c.Title)
+		}
+		for _, s := range c.Series {
+			if s.Name == "LP" {
+				continue
+			}
+			for _, p := range s.Points {
+				if bound, ok := lp[p[0]]; ok && p[1] < bound-1e-9 {
+					t.Fatalf("panel %q: %s at T=%v is %v < LP bound %v",
+						c.Title, s.Name, p[0], p[1], bound)
+				}
+			}
+		}
+	}
+}
+
+func TestTheorem1TableShape(t *testing.T) {
+	cfg := tinyConfig(t)
+	cfg.Trials = 1
+	var buf bytes.Buffer
+	tab, err := Theorem1Table(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(buf.String(), "theorem1") {
+		t.Fatal("render missing")
+	}
+}
+
+func TestTheorem3TableWithinBudget(t *testing.T) {
+	cfg := tinyConfig(t)
+	cfg.Trials = 2
+	tab, err := Theorem3Table(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		// overload_max column (index 3) must be <= budget (index 4).
+		var over, budget int
+		if _, err := fmtSscan(row[3], &over); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(row[4], &budget); err != nil {
+			t.Fatal(err)
+		}
+		if over > budget {
+			t.Fatalf("overload %d exceeds budget %d", over, budget)
+		}
+	}
+}
+
+func TestAMRTTableGuarantee(t *testing.T) {
+	cfg := tinyConfig(t)
+	cfg.Trials = 1
+	tab, err := AMRTTable(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(cfg.Ratios) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig4aTableDiverges(t *testing.T) {
+	cfg := tinyConfig(t)
+	tab, err := Fig4aTable(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestAblationTableCoversAllPolicies(t *testing.T) {
+	cfg := tinyConfig(t)
+	cfg.Trials = 1
+	tab, err := AblationTable(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5 policies", len(tab.Rows))
+	}
+}
+
+func TestSRPTComparisonTable(t *testing.T) {
+	cfg := tinyConfig(t)
+	tab, err := SRPTComparisonTable(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		// SRPT/LP ratio should be positive and typically >= ~0.5 (the LP
+		// has the -1/2 offset) — sanity-check positivity only.
+		if !strings.Contains(row[3], ".") {
+			t.Fatalf("ratio cell malformed: %q", row[3])
+		}
+	}
+}
+
+func TestTableWriteCSVAndRender(t *testing.T) {
+	dir := t.TempDir()
+	tab := &Table{Title: "demo table", Columns: []string{"a", "b"}, Rows: [][]string{{"1", "2"}}}
+	if err := tab.WriteCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "demo_table.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a,b\n1,2\n" {
+		t.Fatalf("csv = %q", data)
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	if !strings.Contains(buf.String(), "demo table") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestRatioName(t *testing.T) {
+	cases := map[float64]string{
+		1.0 / 3: "M=m3", 2.0 / 3: "M=2m3", 1: "M=m", 2: "M=2m", 4: "M=4m",
+	}
+	for r, want := range cases {
+		if got := ratioName(r); got != want {
+			t.Errorf("ratioName(%v) = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("fig6 M=m (m=6, M=2)"); strings.ContainsAny(got, " ()") {
+		t.Fatalf("sanitize left specials: %q", got)
+	}
+}
+
+// fmtSscan parses an integer table cell.
+func fmtSscan(s string, v *int) (int, error) {
+	return fmt.Sscanf(s, "%d", v)
+}

@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"flowsched/internal/core"
+	"flowsched/internal/heuristics"
+	"flowsched/internal/sim"
+	"flowsched/internal/stats"
+	"flowsched/internal/workload"
+)
+
+// Table is a simple labelled grid for the validation experiments.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render prints the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintln(w, t.Title)
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// WriteCSV writes the table as CSV into dir, named from its title.
+func (t *Table) WriteCSV(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ",") + "\n")
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ",") + "\n")
+	}
+	return os.WriteFile(filepath.Join(dir, sanitize(t.Title)+".csv"), []byte(b.String()), 0o644)
+}
+
+// Theorem1Table validates the FS-ART pipeline: for each augmentation c,
+// the realized total-response ratio against the LP bound (Theorem 1
+// promises 1 + O(log n)/c) and the conversion window h.
+func Theorem1Table(cfg Config, w io.Writer) (*Table, error) {
+	tab := &Table{
+		Title:   "theorem1 FS-ART approximation (unit demands)",
+		Columns: []string{"c", "capacity", "ratio_vs_LP", "window_h", "pseudo_ratio", "n"},
+	}
+	for _, c := range []int{1, 2, 4} {
+		var ratios, pseudo []float64
+		var h, n int
+		for tr := 0; tr < cfg.Trials; tr++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(tr)*31 + int64(c)))
+			inst := workload.PoissonConfig{M: float64(cfg.Ports), T: 6, Ports: cfg.Ports}.Generate(rng)
+			if inst.N() == 0 {
+				continue
+			}
+			res, err := core.SolveART(inst, c)
+			if err != nil {
+				return nil, err
+			}
+			if res.LPBound > 0 {
+				ratios = append(ratios, float64(res.Schedule.TotalResponse(inst))/res.LPBound)
+				pseudo = append(pseudo, float64(res.PseudoTotal)/res.LPBound)
+			}
+			h = res.WindowH
+			n = inst.N()
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", c),
+			fmt.Sprintf("(1+%d)x", c),
+			fmt.Sprintf("%.3f", stats.Mean(ratios)),
+			fmt.Sprintf("%d", h),
+			fmt.Sprintf("%.3f", stats.Mean(pseudo)),
+			fmt.Sprintf("%d", n),
+		})
+	}
+	if w != nil {
+		tab.Render(w)
+	}
+	return tab, tab.WriteCSV(cfg.OutDir)
+}
+
+// Theorem3Table validates the FS-MRT pipeline: the achieved rho equals the
+// LP optimum and the measured port overload stays within 2*d_max-1.
+func Theorem3Table(cfg Config, w io.Writer) (*Table, error) {
+	tab := &Table{
+		Title:   "theorem3 FS-MRT optimal with +2dmax-1 capacity",
+		Columns: []string{"dmax", "rho_LP", "rho_sched", "overload_max", "budget", "n"},
+	}
+	for _, dmax := range []int{1, 2, 3} {
+		var rhoLP, rhoS, over []float64
+		var n int
+		for tr := 0; tr < cfg.Trials; tr++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(tr)*67 + int64(dmax)))
+			inst := workload.PoissonConfig{
+				M: float64(cfg.Ports), T: 5, Ports: cfg.Ports, Cap: dmax, MaxDemand: dmax,
+			}.Generate(rng)
+			if inst.N() == 0 {
+				continue
+			}
+			res, err := core.SolveMRT(inst)
+			if err != nil {
+				return nil, err
+			}
+			rhoLP = append(rhoLP, float64(res.Rho))
+			rhoS = append(rhoS, float64(res.Schedule.MaxResponse(inst)))
+			over = append(over, float64(res.Schedule.MaxOverload(inst, inst.Switch.Caps())))
+			n = inst.N()
+		}
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", dmax),
+			fmt.Sprintf("%.2f", stats.Mean(rhoLP)),
+			fmt.Sprintf("%.2f", stats.Mean(rhoS)),
+			fmt.Sprintf("%.0f", stats.Max(over)),
+			fmt.Sprintf("%d", 2*dmax-1),
+			fmt.Sprintf("%d", n),
+		})
+	}
+	if w != nil {
+		tab.Render(w)
+	}
+	return tab, tab.WriteCSV(cfg.OutDir)
+}
+
+// AMRTTable validates the online Lemma 5.3 algorithm against the offline
+// optimum per load ratio.
+func AMRTTable(cfg Config, w io.Writer) (*Table, error) {
+	tab := &Table{
+		Title:   "amrt online max response (Lemma 5.3)",
+		Columns: []string{"load", "final_rho", "maxRT", "2*final_rho", "offline_rho", "online/offline"},
+	}
+	for ri, ratio := range cfg.Ratios {
+		var finals, maxs, offs []float64
+		for tr := 0; tr < cfg.Trials; tr++ {
+			rng := rand.New(rand.NewSource(seedFor(cfg.Seed, ri, 5, tr)))
+			inst := workload.PoissonConfig{M: ratio * float64(cfg.Ports), T: 5, Ports: cfg.Ports}.Generate(rng)
+			if inst.N() == 0 {
+				continue
+			}
+			on, err := core.OnlineAMRT(inst)
+			if err != nil {
+				return nil, err
+			}
+			off, err := core.MRTLowerBound(inst)
+			if err != nil {
+				return nil, err
+			}
+			finals = append(finals, float64(on.FinalRho))
+			maxs = append(maxs, float64(on.Schedule.MaxResponse(inst)))
+			offs = append(offs, float64(off))
+		}
+		ratioVal := 0.0
+		if stats.Mean(offs) > 0 {
+			ratioVal = stats.Mean(maxs) / stats.Mean(offs)
+		}
+		tab.Rows = append(tab.Rows, []string{
+			ratioName(ratio),
+			fmt.Sprintf("%.2f", stats.Mean(finals)),
+			fmt.Sprintf("%.2f", stats.Mean(maxs)),
+			fmt.Sprintf("%.2f", 2*stats.Mean(finals)),
+			fmt.Sprintf("%.2f", stats.Mean(offs)),
+			fmt.Sprintf("%.2f", ratioVal),
+		})
+	}
+	if w != nil {
+		tab.Render(w)
+	}
+	return tab, tab.WriteCSV(cfg.OutDir)
+}
+
+// Fig4aTable shows the Lemma 5.1 divergence: the worst heuristic-to-OPT
+// ratio on the gadget grows with the gadget length.
+func Fig4aTable(cfg Config, w io.Writer) (*Table, error) {
+	tab := &Table{
+		Title:   "fig4a online ART lower bound gadget (Lemma 5.1)",
+		Columns: append([]string{"gadget_M", "T", "opt_upper"}, policyNames()...),
+	}
+	for _, gm := range []int{24, 48, 96, 192} {
+		T := gm / 4
+		inst := workload.Fig4a(T, gm)
+		// The paper's offline schedule costs at most 2T per solid pair
+		// plus 1 per dashed flow: total <= 4T + (gm - T).
+		opt := float64(3*T + gm)
+		row := []string{fmt.Sprintf("%d", gm), fmt.Sprintf("%d", T), fmt.Sprintf("%.0f", opt)}
+		for _, pol := range heuristics.All() {
+			res, err := sim.Run(inst, pol)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", float64(res.TotalResponse)/opt))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	if w != nil {
+		tab.Render(w)
+	}
+	return tab, tab.WriteCSV(cfg.OutDir)
+}
+
+func policyNames() []string {
+	var names []string
+	for _, p := range heuristics.All() {
+		names = append(names, p.Name()+"/opt")
+	}
+	return names
+}
+
+// AblationTable compares the exact-matching heuristics against greedy and
+// FIFO baselines under heavy load (experiment E10).
+func AblationTable(cfg Config, w io.Writer) (*Table, error) {
+	tab := &Table{
+		Title:   "ablation matching engines under load 4m",
+		Columns: []string{"policy", "avgRT", "maxRT"},
+	}
+	pols := heuristics.WithAblations()
+	for _, pol := range pols {
+		var avgs, maxs []float64
+		for tr := 0; tr < cfg.Trials; tr++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(tr)*13))
+			inst := workload.PoissonConfig{M: 4 * float64(cfg.Ports), T: 10, Ports: cfg.Ports}.Generate(rng)
+			if inst.N() == 0 {
+				continue
+			}
+			res, err := sim.Run(inst, pol)
+			if err != nil {
+				return nil, err
+			}
+			avgs = append(avgs, res.AvgResponse)
+			maxs = append(maxs, float64(res.MaxResponse))
+		}
+		tab.Rows = append(tab.Rows, []string{
+			pol.Name(),
+			fmt.Sprintf("%.2f", stats.Mean(avgs)),
+			fmt.Sprintf("%.2f", stats.Mean(maxs)),
+		})
+	}
+	if w != nil {
+		tab.Render(w)
+	}
+	return tab, tab.WriteCSV(cfg.OutDir)
+}
+
+// SRPTComparisonTable contrasts the cheap SRPT bound with the LP (1)-(4)
+// bound, quantifying how much is lost when the LP is too large to solve.
+func SRPTComparisonTable(cfg Config, w io.Writer) (*Table, error) {
+	tab := &Table{
+		Title:   "bounds LP(1)-(4) vs per-port SRPT relaxation",
+		Columns: []string{"load", "LP_total", "SRPT_total", "SRPT/LP"},
+	}
+	for ri, ratio := range cfg.Ratios {
+		var lps, srpts []float64
+		for tr := 0; tr < cfg.LPTrials; tr++ {
+			rng := rand.New(rand.NewSource(seedFor(cfg.Seed, ri, 6, tr)))
+			inst := workload.PoissonConfig{M: ratio * float64(cfg.Ports), T: 6, Ports: cfg.Ports}.Generate(rng)
+			if inst.N() == 0 {
+				continue
+			}
+			lb, err := core.ARTLowerBound(inst)
+			if err != nil {
+				return nil, err
+			}
+			lps = append(lps, lb.TotalResponse)
+			srpts = append(srpts, float64(core.SRPTLowerBound(inst)))
+		}
+		frac := 0.0
+		if stats.Mean(lps) > 0 {
+			frac = stats.Mean(srpts) / stats.Mean(lps)
+		}
+		tab.Rows = append(tab.Rows, []string{
+			ratioName(ratio),
+			fmt.Sprintf("%.1f", stats.Mean(lps)),
+			fmt.Sprintf("%.1f", stats.Mean(srpts)),
+			fmt.Sprintf("%.2f", frac),
+		})
+	}
+	if w != nil {
+		tab.Render(w)
+	}
+	return tab, tab.WriteCSV(cfg.OutDir)
+}

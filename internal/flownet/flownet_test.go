@@ -1,0 +1,142 @@
+package flownet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxFlowTextbook(t *testing.T) {
+	// Classic 6-vertex network with max flow 23.
+	g := New(6)
+	g.AddEdge(0, 1, 16, 0)
+	g.AddEdge(0, 2, 13, 0)
+	g.AddEdge(1, 2, 10, 0)
+	g.AddEdge(2, 1, 4, 0)
+	g.AddEdge(1, 3, 12, 0)
+	g.AddEdge(3, 2, 9, 0)
+	g.AddEdge(2, 4, 14, 0)
+	g.AddEdge(4, 3, 7, 0)
+	g.AddEdge(3, 5, 20, 0)
+	g.AddEdge(4, 5, 4, 0)
+	if got := g.MaxFlow(0, 5); got != 23 {
+		t.Fatalf("max flow = %d, want 23", got)
+	}
+}
+
+func TestMaxFlowDisconnected(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5, 0)
+	if got := g.MaxFlow(0, 2); got != 0 {
+		t.Fatalf("max flow = %d, want 0", got)
+	}
+}
+
+func TestMaxFlowParallelEdges(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 3, 0)
+	g.AddEdge(0, 1, 4, 0)
+	if got := g.MaxFlow(0, 1); got != 7 {
+		t.Fatalf("max flow = %d, want 7", got)
+	}
+}
+
+func TestFlowPerEdge(t *testing.T) {
+	g := New(4)
+	a := g.AddEdge(0, 1, 2, 0)
+	b := g.AddEdge(0, 2, 2, 0)
+	c := g.AddEdge(1, 3, 1, 0)
+	d := g.AddEdge(2, 3, 5, 0)
+	if got := g.MaxFlow(0, 3); got != 3 {
+		t.Fatalf("max flow = %d, want 3", got)
+	}
+	if g.Flow(a) != 1 || g.Flow(c) != 1 {
+		t.Errorf("edge flows a=%d c=%d, want 1,1", g.Flow(a), g.Flow(c))
+	}
+	if g.Flow(b) != 2 || g.Flow(d) != 2 {
+		t.Errorf("edge flows b=%d d=%d, want 2,2", g.Flow(b), g.Flow(d))
+	}
+}
+
+func TestMinCostFlowPrefersCheapPath(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1, 1)
+	g.AddEdge(0, 2, 1, 10)
+	g.AddEdge(1, 3, 1, 1)
+	g.AddEdge(2, 3, 1, 1)
+	flow, cost := g.MinCostFlow(0, 3, 1)
+	if flow != 1 || cost != 2 {
+		t.Fatalf("flow=%d cost=%d, want 1, 2", flow, cost)
+	}
+	// Second unit must use the expensive route.
+	flow, cost = g.MinCostFlow(0, 3, 1)
+	if flow != 1 || cost != 11 {
+		t.Fatalf("flow=%d cost=%d, want 1, 11", flow, cost)
+	}
+}
+
+func TestMinCostFlowCapsAtMaxFlow(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 2, 3)
+	g.AddEdge(1, 2, 2, 4)
+	flow, cost := g.MinCostFlow(0, 2, 100)
+	if flow != 2 || cost != 14 {
+		t.Fatalf("flow=%d cost=%d, want 2, 14", flow, cost)
+	}
+}
+
+func TestMaxProfitFlowStopsAtNonNegative(t *testing.T) {
+	g := New(4)
+	// Two disjoint paths: one profitable (-5 total), one costly (+1).
+	g.AddEdge(0, 1, 1, -5)
+	g.AddEdge(1, 3, 1, 0)
+	g.AddEdge(0, 2, 1, 1)
+	g.AddEdge(2, 3, 1, 0)
+	flow, cost := g.MaxProfitFlow(0, 3)
+	if flow != 1 || cost != -5 {
+		t.Fatalf("flow=%d cost=%d, want 1, -5", flow, cost)
+	}
+}
+
+// Property: max flow equals min cut on random small graphs, verified
+// against a brute-force min-cut enumeration.
+func TestQuickMaxFlowEqualsMinCut(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		type e struct{ u, v, c int }
+		var edges []e
+		g := New(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := 1 + rng.Intn(5)
+			g.AddEdge(u, v, c, 0)
+			edges = append(edges, e{u, v, c})
+		}
+		s, t := 0, n-1
+		flow := g.MaxFlow(s, t)
+		// Brute-force min cut over all vertex bipartitions with s in S, t not.
+		best := int(^uint(0) >> 1)
+		for mask := 0; mask < 1<<n; mask++ {
+			if mask&(1<<s) == 0 || mask&(1<<t) != 0 {
+				continue
+			}
+			cut := 0
+			for _, ed := range edges {
+				if mask&(1<<ed.u) != 0 && mask&(1<<ed.v) == 0 {
+					cut += ed.c
+				}
+			}
+			if cut < best {
+				best = cut
+			}
+		}
+		return flow == best
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned when a basis matrix cannot be factorized.
+var ErrSingular = errors.New("lp: singular basis matrix")
+
+// luFactor is a dense LU factorization with partial pivoting of an n x n
+// matrix, supporting solves with the matrix and its transpose. It is the
+// kernel behind the revised simplex basis handling.
+type luFactor struct {
+	n    int
+	lu   []float64 // row-major combined L (unit diagonal) and U
+	perm []int     // row permutation: solving uses b[perm[i]]
+}
+
+// factorize computes the LU factorization of the dense row-major matrix a
+// (which is overwritten conceptually; a copy is taken).
+func factorize(n int, a []float64) (*luFactor, error) {
+	f := &luFactor{n: n, lu: append([]float64(nil), a...), perm: make([]int, n)}
+	for i := range f.perm {
+		f.perm[i] = i
+	}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		// Partial pivot: find max |lu[i][k]| for i >= k.
+		p := k
+		maxAbs := math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i*n+k]); v > maxAbs {
+				maxAbs = v
+				p = i
+			}
+		}
+		if maxAbs < 1e-12 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			f.perm[k], f.perm[p] = f.perm[p], f.perm[k]
+			for j := 0; j < n; j++ {
+				lu[k*n+j], lu[p*n+j] = lu[p*n+j], lu[k*n+j]
+			}
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivot
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			row := lu[i*n : i*n+n]
+			prow := lu[k*n : k*n+n]
+			for j := k + 1; j < n; j++ {
+				row[j] -= m * prow[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// solve solves A x = b in place: on return, b holds x.
+func (f *luFactor) solve(b []float64) {
+	n := f.n
+	// Apply permutation.
+	tmp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tmp[i] = b[f.perm[i]]
+	}
+	// Forward substitution with unit-lower L.
+	for i := 1; i < n; i++ {
+		s := tmp[i]
+		row := f.lu[i*n : i*n+n]
+		for j := 0; j < i; j++ {
+			s -= row[j] * tmp[j]
+		}
+		tmp[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := tmp[i]
+		row := f.lu[i*n : i*n+n]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * tmp[j]
+		}
+		tmp[i] = s / row[i]
+	}
+	copy(b, tmp)
+}
+
+// solveT solves A^T x = b in place: on return, b holds x.
+func (f *luFactor) solveT(b []float64) {
+	n := f.n
+	// A = P^T L U, so A^T = U^T L^T P. Solve U^T z = b, then L^T w = z,
+	// then x = P^T w (i.e., x[perm[i]] = w[i]).
+	// Forward substitution with U^T (U is upper, so U^T is lower).
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu[j*n+i] * b[j]
+		}
+		b[i] = s / f.lu[i*n+i]
+	}
+	// Back substitution with L^T (unit diagonal).
+	for i := n - 2; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu[j*n+i] * b[j]
+		}
+		b[i] = s
+	}
+	// Undo permutation.
+	tmp := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tmp[f.perm[i]] = b[i]
+	}
+	copy(b, tmp)
+}

@@ -1,0 +1,109 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolveKnown(t *testing.T) {
+	// A = [[2,1],[1,3]], b = [5,10] => x = [1,3].
+	f, err := factorize(2, []float64{2, 1, 1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{5, 10}
+	f.solve(b)
+	if math.Abs(b[0]-1) > 1e-12 || math.Abs(b[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [1 3]", b)
+	}
+}
+
+func TestLUSolveTransposed(t *testing.T) {
+	// A^T x = b with A = [[2,1],[0,3]]: A^T = [[2,0],[1,3]].
+	f, err := factorize(2, []float64{2, 1, 0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{4, 7}
+	f.solveT(b)
+	// 2x0 = 4 => x0 = 2; x0 + 3x1 = 7 => x1 = 5/3.
+	if math.Abs(b[0]-2) > 1e-12 || math.Abs(b[1]-5.0/3) > 1e-12 {
+		t.Fatalf("x = %v, want [2 1.667]", b)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	if _, err := factorize(2, []float64{1, 2, 2, 4}); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+func TestLUNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	f, err := factorize(2, []float64{0, 1, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{3, 7}
+	f.solve(b)
+	if math.Abs(b[0]-7) > 1e-12 || math.Abs(b[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [7 3]", b)
+	}
+}
+
+// Property: for random well-conditioned matrices, solve and solveT invert
+// matrix-vector products.
+func TestQuickLURoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := make([]float64, n*n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		// Diagonal dominance for conditioning.
+		for i := 0; i < n; i++ {
+			a[i*n+i] += float64(n) + 1
+		}
+		fac, err := factorize(n, a)
+		if err != nil {
+			return false
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		// b = A x.
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += a[i*n+j] * x[j]
+			}
+		}
+		fac.solve(b)
+		for i := range x {
+			if math.Abs(b[i]-x[i]) > 1e-8 {
+				return false
+			}
+		}
+		// bT = A^T x.
+		bt := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				bt[i] += a[j*n+i] * x[j]
+			}
+		}
+		fac.solveT(bt)
+		for i := range x {
+			if math.Abs(bt[i]-x[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package lp implements a linear-programming solver: a revised simplex
+// method with bounded variables, two-phase initialization, product-form
+// basis updates with periodic dense-LU refactorization, and Bland's rule as
+// an anti-cycling fallback. It stands in for the commercial solver (Gurobi)
+// used in the paper's experiments and solves the relaxations (1)-(4),
+// (5)-(8)/(9)-(12) and (19)-(21).
+//
+// Solutions returned by Solve are basic (vertex) solutions, which the
+// iterative-rounding algorithms in internal/core rely on.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inf is the bound value representing an infinite (absent) bound.
+var Inf = math.Inf(1)
+
+// Sense is the relational sense of a linear constraint row.
+type Sense int
+
+const (
+	// LE is a "<=" constraint.
+	LE Sense = iota
+	// GE is a ">=" constraint.
+	GE
+	// EQ is an "=" constraint.
+	EQ
+)
+
+// String returns "<=", ">=" or "=".
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal basic solution was found.
+	Optimal Status = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective is unbounded below.
+	Unbounded
+	// IterLimit means the iteration limit was exhausted.
+	IterLimit
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "iteration-limit"
+	}
+}
+
+// row is one linear constraint in sparse form.
+type row struct {
+	idx   []int
+	val   []float64
+	sense Sense
+	rhs   float64
+}
+
+// Problem is a linear program over variables x_0..x_{n-1}:
+//
+//	minimize    sum_j Cost[j] * x_j
+//	subject to  each added row, and Lower[j] <= x_j <= Upper[j].
+//
+// Variables default to cost 0 and bounds [0, +Inf). Build with NewProblem,
+// SetCost, SetBounds and AddRow, then call Solve.
+type Problem struct {
+	n     int
+	cost  []float64
+	lower []float64
+	upper []float64
+	rows  []row
+}
+
+// NewProblem returns a problem with numVars variables, all with zero cost
+// and bounds [0, +Inf).
+func NewProblem(numVars int) *Problem {
+	p := &Problem{
+		n:     numVars,
+		cost:  make([]float64, numVars),
+		lower: make([]float64, numVars),
+		upper: make([]float64, numVars),
+	}
+	for j := range p.upper {
+		p.upper[j] = Inf
+	}
+	return p
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return p.n }
+
+// NumRows returns the number of constraint rows.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// SetCost sets the objective coefficient of variable j.
+func (p *Problem) SetCost(j int, c float64) { p.cost[j] = c }
+
+// SetBounds sets the bounds of variable j. Use -Inf / Inf for free sides.
+func (p *Problem) SetBounds(j int, lo, hi float64) {
+	p.lower[j] = lo
+	p.upper[j] = hi
+}
+
+// AddRow appends the constraint sum_k val[k]*x_{idx[k]} (sense) rhs and
+// returns its row index. The idx slice must not contain duplicates.
+func (p *Problem) AddRow(idx []int, val []float64, sense Sense, rhs float64) int {
+	if len(idx) != len(val) {
+		panic("lp: AddRow index/value length mismatch")
+	}
+	p.rows = append(p.rows, row{
+		idx:   append([]int(nil), idx...),
+		val:   append([]float64(nil), val...),
+		sense: sense,
+		rhs:   rhs,
+	})
+	return len(p.rows) - 1
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status Status
+	// X holds the optimal variable values (valid when Status == Optimal).
+	X []float64
+	// Obj is the optimal objective value.
+	Obj float64
+	// Dual holds the dual value (shadow price) of each constraint row at
+	// the final basis (valid when Status == Optimal). For a minimization
+	// problem, LE rows have non-positive duals and GE rows non-negative
+	// duals at optimality (up to tolerance).
+	Dual []float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+// RowActivity returns sum_k val[k]*X[idx[k]] for row i of the problem.
+func (p *Problem) RowActivity(x []float64, i int) float64 {
+	r := p.rows[i]
+	s := 0.0
+	for k, j := range r.idx {
+		s += r.val[k] * x[j]
+	}
+	return s
+}
+
+// CheckFeasible verifies that x satisfies all rows and bounds of p within
+// tolerance tol, returning a descriptive error for the first violation.
+func (p *Problem) CheckFeasible(x []float64, tol float64) error {
+	for j := 0; j < p.n; j++ {
+		if x[j] < p.lower[j]-tol || x[j] > p.upper[j]+tol {
+			return fmt.Errorf("lp: x[%d]=%g violates bounds [%g,%g]", j, x[j], p.lower[j], p.upper[j])
+		}
+	}
+	for i, r := range p.rows {
+		a := p.RowActivity(x, i)
+		switch r.sense {
+		case LE:
+			if a > r.rhs+tol {
+				return fmt.Errorf("lp: row %d activity %g > rhs %g", i, a, r.rhs)
+			}
+		case GE:
+			if a < r.rhs-tol {
+				return fmt.Errorf("lp: row %d activity %g < rhs %g", i, a, r.rhs)
+			}
+		case EQ:
+			if math.Abs(a-r.rhs) > tol {
+				return fmt.Errorf("lp: row %d activity %g != rhs %g", i, a, r.rhs)
+			}
+		}
+	}
+	return nil
+}
+
+// Objective returns the objective value of x under p's costs.
+func (p *Problem) Objective(x []float64) float64 {
+	s := 0.0
+	for j := 0; j < p.n; j++ {
+		s += p.cost[j] * x[j]
+	}
+	return s
+}

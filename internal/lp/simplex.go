@@ -1,0 +1,530 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	feasTol       = 1e-7 // bound/row feasibility tolerance
+	optTol        = 1e-7 // reduced-cost optimality tolerance
+	pivotTol      = 1e-9 // minimum pivot magnitude
+	refactorEvery = 64   // eta vectors kept before refactorization
+	degenLimit    = 400  // degenerate pivots before switching to Bland
+	phase1Tol     = 1e-6 // residual infeasibility accepted after phase 1
+)
+
+// spCol is a sparse column of the constraint matrix.
+type spCol struct {
+	ri []int
+	rv []float64
+}
+
+// simplex holds the working state of a solve.
+type simplex struct {
+	m, n    int // rows; total columns (structural + slack + artificial)
+	nStruct int
+	cols    []spCol
+	cost    []float64 // current-phase cost
+	lower   []float64
+	upper   []float64
+	rhs     []float64
+
+	basis   []int  // basis[i] = column basic in row i
+	pos     []int  // pos[j] = row position if basic, else -1
+	atUpper []bool // nonbasic status
+	x       []float64
+
+	lu    *luFactor
+	etas  []eta
+	iters int
+	bland bool
+	degen int
+
+	maxIters int
+}
+
+type eta struct {
+	r int
+	w []float64
+}
+
+// SolveOptions tunes the solver.
+type SolveOptions struct {
+	// MaxIters bounds total pivots (0 means automatic).
+	MaxIters int
+}
+
+// Solve runs the two-phase revised simplex method and returns an optimal
+// basic solution, or a solution whose Status explains why none exists.
+func (p *Problem) Solve() (*Solution, error) { return p.SolveWith(SolveOptions{}) }
+
+// SolveWith is Solve with explicit options.
+func (p *Problem) SolveWith(opt SolveOptions) (*Solution, error) {
+	m := len(p.rows)
+	s := &simplex{
+		m:       m,
+		nStruct: p.n,
+	}
+	// Columns: structural, then one slack per row, artificials appended
+	// during initialization as needed.
+	total := p.n + m
+	s.cols = make([]spCol, total)
+	s.lower = make([]float64, total)
+	s.upper = make([]float64, total)
+	s.rhs = make([]float64, m)
+	for i, r := range p.rows {
+		s.rhs[i] = r.rhs
+		for k, j := range r.idx {
+			if j < 0 || j >= p.n {
+				return nil, fmt.Errorf("lp: row %d references variable %d out of range", i, j)
+			}
+			s.cols[j].ri = append(s.cols[j].ri, i)
+			s.cols[j].rv = append(s.cols[j].rv, r.val[k])
+		}
+	}
+	for j := 0; j < p.n; j++ {
+		s.lower[j] = p.lower[j]
+		s.upper[j] = p.upper[j]
+		if math.IsInf(s.lower[j], -1) && math.IsInf(s.upper[j], 1) {
+			return nil, fmt.Errorf("lp: variable %d is free; free variables are not supported", j)
+		}
+		if s.lower[j] > s.upper[j] {
+			return &Solution{Status: Infeasible}, nil
+		}
+	}
+	for i, r := range p.rows {
+		j := p.n + i
+		s.cols[j] = spCol{ri: []int{i}, rv: []float64{1}}
+		switch r.sense {
+		case LE:
+			s.lower[j], s.upper[j] = 0, Inf
+		case GE:
+			s.lower[j], s.upper[j] = math.Inf(-1), 0
+		case EQ:
+			s.lower[j], s.upper[j] = 0, 0
+		}
+	}
+	s.n = total
+	s.maxIters = opt.MaxIters
+	if s.maxIters == 0 {
+		s.maxIters = 200*(m+1) + 20*p.n + 20000
+	}
+
+	if m == 0 {
+		return p.solveUnconstrained()
+	}
+
+	// Nonbasic start for structural and slack columns: the finite bound
+	// (preferring lower).
+	s.x = make([]float64, total)
+	s.atUpper = make([]bool, total)
+	s.pos = make([]int, total)
+	for j := range s.pos {
+		s.pos[j] = -1
+	}
+	for j := 0; j < total; j++ {
+		if !math.IsInf(s.lower[j], -1) {
+			s.x[j] = s.lower[j]
+		} else {
+			s.x[j] = s.upper[j]
+			s.atUpper[j] = true
+		}
+	}
+
+	// Residuals decide the initial basis: slack if its value fits its
+	// bounds, otherwise an artificial column.
+	res := make([]float64, m)
+	copy(res, s.rhs)
+	for j := 0; j < p.n; j++ {
+		if v := s.x[j]; v != 0 {
+			for k, i := range s.cols[j].ri {
+				res[i] -= s.cols[j].rv[k] * v
+			}
+		}
+	}
+	s.basis = make([]int, m)
+	needPhase1 := false
+	var phase1Cost []float64
+	for i := 0; i < m; i++ {
+		sj := p.n + i
+		if res[i] >= s.lower[sj]-feasTol && res[i] <= s.upper[sj]+feasTol {
+			s.basis[i] = sj
+			s.pos[sj] = i
+			s.x[sj] = res[i]
+			continue
+		}
+		// Clamp slack to its nearest bound and absorb the residual in a
+		// fresh artificial with coefficient chosen so it starts >= 0.
+		var slackVal, resid float64
+		if res[i] > s.upper[sj] {
+			slackVal = s.upper[sj]
+			resid = res[i] - slackVal
+			s.atUpper[sj] = true
+		} else {
+			slackVal = s.lower[sj]
+			resid = res[i] - slackVal
+			s.atUpper[sj] = false
+		}
+		s.x[sj] = slackVal
+		sigma := 1.0
+		if resid < 0 {
+			sigma = -1
+		}
+		aj := len(s.cols)
+		s.cols = append(s.cols, spCol{ri: []int{i}, rv: []float64{sigma}})
+		s.lower = append(s.lower, 0)
+		s.upper = append(s.upper, Inf)
+		s.x = append(s.x, resid/sigma)
+		s.atUpper = append(s.atUpper, false)
+		s.pos = append(s.pos, i)
+		s.basis[i] = aj
+		needPhase1 = true
+	}
+	s.n = len(s.cols)
+
+	if err := s.refactor(); err != nil {
+		return nil, err
+	}
+
+	if needPhase1 {
+		phase1Cost = make([]float64, s.n)
+		for j := total; j < s.n; j++ {
+			phase1Cost[j] = 1
+		}
+		s.cost = phase1Cost
+		st := s.iterate()
+		if st == IterLimit {
+			return &Solution{Status: IterLimit, Iterations: s.iters}, nil
+		}
+		infeas := 0.0
+		for j := total; j < s.n; j++ {
+			infeas += s.x[j]
+		}
+		if infeas > phase1Tol {
+			return &Solution{Status: Infeasible, Iterations: s.iters}, nil
+		}
+		// Freeze artificials at zero.
+		for j := total; j < s.n; j++ {
+			s.lower[j], s.upper[j] = 0, 0
+			s.x[j] = 0
+		}
+	}
+
+	// Phase 2.
+	s.cost = make([]float64, s.n)
+	copy(s.cost, p.cost)
+	s.bland = false
+	s.degen = 0
+	st := s.iterate()
+	if st == Unbounded {
+		return &Solution{Status: Unbounded, Iterations: s.iters}, nil
+	}
+	if st == IterLimit {
+		return &Solution{Status: IterLimit, Iterations: s.iters}, nil
+	}
+	// Final accuracy pass.
+	if err := s.refactor(); err != nil {
+		return nil, err
+	}
+	x := make([]float64, p.n)
+	copy(x, s.x[:p.n])
+	// Dual values: y = B^{-T} c_B at the final basis.
+	y := make([]float64, m)
+	for i, j := range s.basis {
+		y[i] = s.cost[j]
+	}
+	s.btran(y)
+	sol := &Solution{Status: Optimal, X: x, Obj: p.Objective(x), Dual: y, Iterations: s.iters}
+	return sol, nil
+}
+
+// solveUnconstrained handles problems without rows: each variable sits at
+// the bound favoured by its cost.
+func (p *Problem) solveUnconstrained() (*Solution, error) {
+	x := make([]float64, p.n)
+	for j := 0; j < p.n; j++ {
+		switch {
+		case p.cost[j] > 0:
+			if math.IsInf(p.lower[j], -1) {
+				return &Solution{Status: Unbounded}, nil
+			}
+			x[j] = p.lower[j]
+		case p.cost[j] < 0:
+			if math.IsInf(p.upper[j], 1) {
+				return &Solution{Status: Unbounded}, nil
+			}
+			x[j] = p.upper[j]
+		default:
+			if !math.IsInf(p.lower[j], -1) {
+				x[j] = p.lower[j]
+			} else {
+				x[j] = p.upper[j]
+			}
+		}
+	}
+	return &Solution{Status: Optimal, X: x, Obj: p.Objective(x)}, nil
+}
+
+// refactor rebuilds the dense LU of the basis and recomputes basic values
+// from scratch for numerical hygiene.
+func (s *simplex) refactor() error {
+	m := s.m
+	dense := make([]float64, m*m)
+	for i, j := range s.basis {
+		col := s.cols[j]
+		for k, r := range col.ri {
+			dense[r*m+i] = col.rv[k]
+		}
+	}
+	f, err := factorize(m, dense)
+	if err != nil {
+		return err
+	}
+	s.lu = f
+	s.etas = s.etas[:0]
+	// x_B = B^{-1} (b - N x_N).
+	res := make([]float64, m)
+	copy(res, s.rhs)
+	for j := 0; j < s.n; j++ {
+		if s.pos[j] >= 0 {
+			continue
+		}
+		if v := s.x[j]; v != 0 {
+			col := s.cols[j]
+			for k, r := range col.ri {
+				res[r] -= col.rv[k] * v
+			}
+		}
+	}
+	s.lu.solve(res)
+	for i, j := range s.basis {
+		s.x[j] = res[i]
+	}
+	return nil
+}
+
+// ftran computes w = B^{-1} v in place.
+func (s *simplex) ftran(v []float64) {
+	s.lu.solve(v)
+	for _, e := range s.etas {
+		alpha := v[e.r] / e.w[e.r]
+		if alpha != 0 {
+			for i, wi := range e.w {
+				if wi != 0 {
+					v[i] -= wi * alpha
+				}
+			}
+		}
+		v[e.r] = alpha
+	}
+}
+
+// btran computes y = B^{-T} v in place.
+func (s *simplex) btran(v []float64) {
+	for k := len(s.etas) - 1; k >= 0; k-- {
+		e := s.etas[k]
+		sum := 0.0
+		for i, wi := range e.w {
+			if i != e.r && wi != 0 {
+				sum += wi * v[i]
+			}
+		}
+		v[e.r] = (v[e.r] - sum) / e.w[e.r]
+	}
+	s.lu.solveT(v)
+}
+
+// reducedCost returns c_j - y . A_j.
+func (s *simplex) reducedCost(j int, y []float64) float64 {
+	d := s.cost[j]
+	col := s.cols[j]
+	for k, r := range col.ri {
+		d -= col.rv[k] * y[r]
+	}
+	return d
+}
+
+// iterate runs primal simplex pivots with the current cost vector until
+// optimality, unboundedness, or the iteration limit.
+func (s *simplex) iterate() Status {
+	m := s.m
+	y := make([]float64, m)
+	w := make([]float64, m)
+	for {
+		if s.iters >= s.maxIters {
+			return IterLimit
+		}
+		// BTRAN for duals.
+		for i := range y {
+			y[i] = 0
+		}
+		for i, j := range s.basis {
+			y[i] = s.cost[j]
+		}
+		s.btran(y)
+
+		// Pricing.
+		enter := -1
+		enterDir := 1.0
+		best := optTol
+		for j := 0; j < s.n; j++ {
+			if s.pos[j] >= 0 || s.lower[j] == s.upper[j] {
+				continue
+			}
+			d := s.reducedCost(j, y)
+			if !s.atUpper[j] && d < -optTol {
+				score := -d
+				if s.bland {
+					enter = j
+					enterDir = 1
+					break
+				}
+				if score > best {
+					best = score
+					enter = j
+					enterDir = 1
+				}
+			} else if s.atUpper[j] && d > optTol {
+				score := d
+				if s.bland {
+					enter = j
+					enterDir = -1
+					break
+				}
+				if score > best {
+					best = score
+					enter = j
+					enterDir = -1
+				}
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+
+		// FTRAN of the entering column.
+		for i := range w {
+			w[i] = 0
+		}
+		col := s.cols[enter]
+		for k, r := range col.ri {
+			w[r] = col.rv[k]
+		}
+		s.ftran(w)
+
+		// Ratio test with bounded variables. Entering moves by
+		// enterDir * delta >= 0; basic i changes by -enterDir*delta*w[i].
+		delta := math.Inf(1)
+		leave := -1
+		leaveToUpper := false
+		if !math.IsInf(s.upper[enter], 1) && !math.IsInf(s.lower[enter], -1) {
+			delta = s.upper[enter] - s.lower[enter]
+		}
+		for i := 0; i < m; i++ {
+			wi := w[i] * enterDir
+			if math.Abs(wi) < pivotTol {
+				continue
+			}
+			jb := s.basis[i]
+			var ratio float64
+			var toUpper bool
+			if wi > 0 {
+				// Basic decreases toward its lower bound.
+				if math.IsInf(s.lower[jb], -1) {
+					continue
+				}
+				ratio = (s.x[jb] - s.lower[jb]) / wi
+				toUpper = false
+			} else {
+				if math.IsInf(s.upper[jb], 1) {
+					continue
+				}
+				ratio = (s.x[jb] - s.upper[jb]) / wi
+				toUpper = true
+			}
+			if ratio < 0 {
+				ratio = 0
+			}
+			if ratio < delta-pivotTol ||
+				(ratio < delta+pivotTol && leave >= 0 && betterLeave(s, i, leave, w)) {
+				delta = ratio
+				leave = i
+				leaveToUpper = toUpper
+			}
+		}
+		if math.IsInf(delta, 1) {
+			return Unbounded
+		}
+
+		if delta <= feasTol {
+			s.degen++
+			if s.degen > degenLimit {
+				s.bland = true
+			}
+		} else {
+			s.degen = 0
+			s.bland = false
+		}
+
+		if leave < 0 {
+			// Bound flip: entering jumps to its other bound.
+			s.applyStep(enterDir, delta, w)
+			s.atUpper[enter] = !s.atUpper[enter]
+			if s.atUpper[enter] {
+				s.x[enter] = s.upper[enter]
+			} else {
+				s.x[enter] = s.lower[enter]
+			}
+			s.iters++
+			continue
+		}
+
+		// Pivot: update values, basis, and eta file.
+		s.applyStep(enterDir, delta, w)
+		s.x[enter] += enterDir * delta
+		jOut := s.basis[leave]
+		if leaveToUpper {
+			s.x[jOut] = s.upper[jOut]
+			s.atUpper[jOut] = true
+		} else {
+			s.x[jOut] = s.lower[jOut]
+			s.atUpper[jOut] = false
+		}
+		s.pos[jOut] = -1
+		s.basis[leave] = enter
+		s.pos[enter] = leave
+		s.etas = append(s.etas, eta{r: leave, w: append([]float64(nil), w...)})
+		s.iters++
+		if len(s.etas) >= refactorEvery {
+			if err := s.refactor(); err != nil {
+				// Singular update: fall back to a fresh factorization on
+				// the next loop; treat as iteration-limit failure.
+				return IterLimit
+			}
+		}
+	}
+}
+
+// applyStep moves the basic variables for a step of size delta in direction
+// dir of the entering column (w = B^{-1} A_enter).
+func (s *simplex) applyStep(dir, delta float64, w []float64) {
+	if delta == 0 {
+		return
+	}
+	for i, j := range s.basis {
+		if w[i] != 0 {
+			s.x[j] -= dir * delta * w[i]
+		}
+	}
+}
+
+// betterLeave prefers the leaving row with the larger pivot magnitude among
+// near-tied ratios (numerical stability); in Bland mode it prefers the
+// lowest basis column index (anti-cycling).
+func betterLeave(s *simplex, i, cur int, w []float64) bool {
+	if s.bland {
+		return s.basis[i] < s.basis[cur]
+	}
+	return math.Abs(w[i]) > math.Abs(w[cur])
+}

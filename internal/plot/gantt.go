@@ -1,0 +1,81 @@
+package plot
+
+import (
+	"fmt"
+	"strings"
+
+	"flowsched/internal/switchnet"
+)
+
+// Gantt renders a schedule as a per-port timeline: one row per port, one
+// column per round, each cell showing the port's load that round ("." for
+// idle, digits for load, "#" for load above 9). A trailing "!" column
+// marker is appended to any row that exceeds the given capacities at some
+// round, making augmentation visible at a glance.
+func Gantt(inst *switchnet.Instance, s *switchnet.Schedule, caps []int) string {
+	horizon := s.Makespan()
+	if horizon == 0 {
+		return "(empty schedule)\n"
+	}
+	numPorts := inst.Switch.NumPorts()
+	loads := make([][]int, horizon)
+	for t := range loads {
+		loads[t] = make([]int, numPorts)
+	}
+	for f, t := range s.Round {
+		if t == switchnet.Unscheduled {
+			continue
+		}
+		e := inst.Flows[f]
+		loads[t][inst.Switch.PortIndex(switchnet.In, e.In)] += e.Demand
+		loads[t][inst.Switch.PortIndex(switchnet.Out, e.Out)] += e.Demand
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s|%s\n", "port", ruler(horizon))
+	for p := 0; p < numPorts; p++ {
+		name := portName(inst.Switch, p)
+		over := false
+		var row strings.Builder
+		for t := 0; t < horizon; t++ {
+			load := loads[t][p]
+			switch {
+			case load == 0:
+				row.WriteByte('.')
+			case load > 9:
+				row.WriteByte('#')
+			default:
+				row.WriteByte(byte('0' + load))
+			}
+			if caps != nil && load > caps[p] {
+				over = true
+			}
+		}
+		suffix := ""
+		if over {
+			suffix = " !"
+		}
+		fmt.Fprintf(&b, "%-8s|%s|%s\n", name, row.String(), suffix)
+	}
+	return b.String()
+}
+
+// ruler emits a round-index ruler with a tick every 5 rounds.
+func ruler(horizon int) string {
+	var b strings.Builder
+	for t := 0; t < horizon; t++ {
+		if t%5 == 0 {
+			b.WriteByte('|')
+		} else {
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// portName labels a global port index as in<i> or out<j>.
+func portName(sw switchnet.Switch, p int) string {
+	if p < sw.NumIn() {
+		return fmt.Sprintf("in%d", p)
+	}
+	return fmt.Sprintf("out%d", p-sw.NumIn())
+}

@@ -1,0 +1,80 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"flowsched/internal/switchnet"
+)
+
+func ganttInstance() (*switchnet.Instance, *switchnet.Schedule) {
+	inst := &switchnet.Instance{
+		Switch: switchnet.UnitSwitch(2),
+		Flows: []switchnet.Flow{
+			{In: 0, Out: 1, Demand: 1, Release: 0},
+			{In: 1, Out: 1, Demand: 1, Release: 0},
+		},
+	}
+	s := &switchnet.Schedule{Round: []int{0, 2}}
+	return inst, s
+}
+
+func TestGanttBasic(t *testing.T) {
+	inst, s := ganttInstance()
+	out := Gantt(inst, s, inst.Switch.Caps())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + 4 ports.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "in0") || !strings.Contains(lines[1], "1..") {
+		t.Fatalf("in0 row wrong: %q", lines[1])
+	}
+	// out1 carries both flows: rounds 0 and 2.
+	if !strings.Contains(lines[4], "1.1") {
+		t.Fatalf("out1 row wrong: %q", lines[4])
+	}
+	if strings.Contains(out, "!") {
+		t.Fatal("no overload expected")
+	}
+}
+
+func TestGanttMarksOverload(t *testing.T) {
+	inst, s := ganttInstance()
+	s.Round = []int{0, 0} // both flows at round 0: out1 load 2 > cap 1
+	out := Gantt(inst, s, inst.Switch.Caps())
+	if !strings.Contains(out, "!") {
+		t.Fatalf("overload not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "2") {
+		t.Fatalf("load digit missing:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	inst := &switchnet.Instance{Switch: switchnet.UnitSwitch(1)}
+	if out := Gantt(inst, switchnet.NewSchedule(0), nil); !strings.Contains(out, "empty") {
+		t.Fatalf("empty schedule output: %q", out)
+	}
+}
+
+func TestGanttHeavyLoadGlyph(t *testing.T) {
+	inst := &switchnet.Instance{Switch: switchnet.NewSwitch(1, 1, 20)}
+	for i := 0; i < 12; i++ {
+		inst.Flows = append(inst.Flows, switchnet.Flow{In: 0, Out: 0, Demand: 1, Release: 0})
+	}
+	s := switchnet.NewSchedule(12)
+	for i := range s.Round {
+		s.Round[i] = 0
+	}
+	out := Gantt(inst, s, inst.Switch.Caps())
+	if !strings.Contains(out, "#") {
+		t.Fatalf("load >9 glyph missing:\n%s", out)
+	}
+}
+
+func TestRuler(t *testing.T) {
+	if r := ruler(7); r != "|----|-" {
+		t.Fatalf("ruler = %q", r)
+	}
+}

@@ -1,0 +1,94 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleChart() *Chart {
+	c := &Chart{Title: "demo", XLabel: "T", YLabel: "avg"}
+	c.AddPoint("MaxCard", 10, 2.5)
+	c.AddPoint("MaxCard", 20, 3.5)
+	c.AddPoint("LP", 10, 2.0)
+	c.AddPoint("LP", 20, 2.5)
+	return c
+}
+
+func TestAddPointGroupsSeries(t *testing.T) {
+	c := sampleChart()
+	if len(c.Series) != 2 {
+		t.Fatalf("series = %d", len(c.Series))
+	}
+	if len(c.Series[0].Points) != 2 {
+		t.Fatalf("points = %d", len(c.Series[0].Points))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleChart().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "T,MaxCard,LP" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "10,2.5,2" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestWriteCSVHandlesMissingPoints(t *testing.T) {
+	c := &Chart{XLabel: "x"}
+	c.AddPoint("a", 1, 1)
+	c.AddPoint("b", 2, 2)
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1,1,\n") {
+		t.Fatalf("missing cell not blank: %q", buf.String())
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	out := sampleChart().RenderASCII(40, 10)
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "MaxCard") || !strings.Contains(out, "LP") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers missing")
+	}
+}
+
+func TestRenderASCIIEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if out := c.RenderASCII(30, 8); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+}
+
+func TestRenderASCIISinglePoint(t *testing.T) {
+	c := &Chart{}
+	c.AddPoint("s", 5, 5)
+	out := c.RenderASCII(20, 6)
+	if !strings.Contains(out, "*") {
+		t.Fatal("point missing")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(3) != "3" {
+		t.Errorf("trimFloat(3) = %q", trimFloat(3))
+	}
+	if trimFloat(2.5) != "2.5" {
+		t.Errorf("trimFloat(2.5) = %q", trimFloat(2.5))
+	}
+}

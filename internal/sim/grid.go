@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"flowsched/internal/switchnet"
+)
+
+// Trial is one cell of an experiment grid: a generated instance must be
+// simulated under a policy (and optionally compared against bounds).
+type Trial struct {
+	// Label tags the cell (e.g. "M=150,T=20").
+	Label string
+	// Seed makes the trial reproducible.
+	Seed int64
+	// Generate builds the instance from the trial's RNG.
+	Generate func(rng *rand.Rand) *switchnet.Instance
+	// Policy schedules it.
+	Policy Policy
+}
+
+// TrialResult couples a Trial with its simulation outcome.
+type TrialResult struct {
+	Trial Trial
+	Res   *Result
+	Err   error
+	// Instance is retained so callers can compute lower bounds on the
+	// exact same draw.
+	Instance *switchnet.Instance
+}
+
+// RunGrid executes all trials concurrently on a bounded worker pool and
+// returns results in input order. workers <= 0 selects GOMAXPROCS.
+func RunGrid(trials []Trial, workers int) []TrialResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]TrialResult, len(trials))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range trials {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tr := trials[i]
+			rng := rand.New(rand.NewSource(tr.Seed))
+			inst := tr.Generate(rng)
+			res, err := Run(inst, tr.Policy)
+			results[i] = TrialResult{Trial: tr, Res: res, Err: err, Instance: inst}
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// FirstError returns the first trial error, if any.
+func FirstError(results []TrialResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("trial %q (seed %d): %w", r.Trial.Label, r.Trial.Seed, r.Err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+// Package sim is the online flow-scheduling simulator described in
+// Section 5.2.1 of the paper: it maintains the bipartite graph G_t of
+// released-but-unscheduled flows, asks a pluggable Policy for a feasible
+// set of flows each round, and advances time until every flow has been
+// scheduled. It replaces the in-house C++ simulator of the paper.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"flowsched/internal/switchnet"
+)
+
+// Pending describes one released, not-yet-scheduled flow offered to a
+// Policy.
+type Pending struct {
+	// Flow is the flow's index in the instance.
+	Flow int
+	// In and Out are the flow's ports; Demand its size; Release its
+	// release round.
+	In, Out, Demand, Release int
+}
+
+// State is the per-round view a Policy selects from.
+type State struct {
+	// Round is the current round t.
+	Round int
+	// Switch describes port counts and capacities.
+	Switch switchnet.Switch
+	// Pending lists the flows available for scheduling, in release order
+	// (ties by flow index). The "open queue" of the paper: any subset
+	// obeying port capacities may be selected.
+	Pending []Pending
+	// QueueIn[i] and QueueOut[j] are the numbers of pending flows
+	// touching input port i / output port j (the queue sizes used by the
+	// MaxWeight heuristic).
+	QueueIn, QueueOut []int
+}
+
+// Policy selects, each round, a capacity-feasible subset of pending flows.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick returns indices into s.Pending to schedule in round s.Round.
+	// The engine validates feasibility and fails loudly on violations.
+	Pick(s *State) []int
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	// Schedule holds the per-flow rounds chosen by the policy.
+	Schedule *switchnet.Schedule
+	// TotalResponse, AvgResponse and MaxResponse are the paper's metrics.
+	TotalResponse int
+	AvgResponse   float64
+	MaxResponse   int
+	// Rounds is the number of rounds simulated until the system drained.
+	Rounds int
+}
+
+// Run simulates policy pol on inst until all flows are scheduled.
+func Run(inst *switchnet.Instance, pol Policy) (*Result, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	n := inst.N()
+	sched := switchnet.NewSchedule(n)
+	if n == 0 {
+		return &Result{Schedule: sched}, nil
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := inst.Flows[order[a]].Release, inst.Flows[order[b]].Release
+		if ra != rb {
+			return ra < rb
+		}
+		return order[a] < order[b]
+	})
+
+	st := &State{
+		Switch:   inst.Switch,
+		QueueIn:  make([]int, inst.Switch.NumIn()),
+		QueueOut: make([]int, inst.Switch.NumOut()),
+	}
+	caps := inst.Switch.Caps()
+	loadRow := make([]int, inst.Switch.NumPorts())
+
+	next := 0
+	scheduled := 0
+	guard := 4*inst.CongestionHorizon() + 64
+	t := inst.Flows[order[0]].Release
+	for scheduled < n {
+		if t > guard {
+			return nil, fmt.Errorf("sim: policy %q did not drain by round %d", pol.Name(), guard)
+		}
+		for next < n && inst.Flows[order[next]].Release <= t {
+			f := order[next]
+			e := inst.Flows[f]
+			st.Pending = append(st.Pending, Pending{Flow: f, In: e.In, Out: e.Out, Demand: e.Demand, Release: e.Release})
+			st.QueueIn[e.In]++
+			st.QueueOut[e.Out]++
+			next++
+		}
+		if len(st.Pending) == 0 {
+			// Jump to the next arrival.
+			t = inst.Flows[order[next]].Release
+			continue
+		}
+		st.Round = t
+		picks := pol.Pick(st)
+
+		// Validate and apply the selection.
+		for i := range loadRow {
+			loadRow[i] = 0
+		}
+		seen := make(map[int]bool, len(picks))
+		for _, pi := range picks {
+			if pi < 0 || pi >= len(st.Pending) {
+				return nil, fmt.Errorf("sim: policy %q picked out-of-range index %d", pol.Name(), pi)
+			}
+			if seen[pi] {
+				return nil, fmt.Errorf("sim: policy %q picked index %d twice", pol.Name(), pi)
+			}
+			seen[pi] = true
+			p := st.Pending[pi]
+			pIn := inst.Switch.PortIndex(switchnet.In, p.In)
+			pOut := inst.Switch.PortIndex(switchnet.Out, p.Out)
+			loadRow[pIn] += p.Demand
+			loadRow[pOut] += p.Demand
+			if loadRow[pIn] > caps[pIn] || loadRow[pOut] > caps[pOut] {
+				return nil, fmt.Errorf("sim: policy %q overloaded a port in round %d", pol.Name(), t)
+			}
+			sched.Round[p.Flow] = t
+			scheduled++
+		}
+		// Compact the pending list.
+		if len(picks) > 0 {
+			kept := st.Pending[:0]
+			for pi, p := range st.Pending {
+				if seen[pi] {
+					st.QueueIn[p.In]--
+					st.QueueOut[p.Out]--
+					continue
+				}
+				kept = append(kept, p)
+			}
+			st.Pending = kept
+		}
+		t++
+	}
+	res := &Result{
+		Schedule:      sched,
+		TotalResponse: sched.TotalResponse(inst),
+		AvgResponse:   sched.AvgResponse(inst),
+		MaxResponse:   sched.MaxResponse(inst),
+		Rounds:        t,
+	}
+	return res, nil
+}

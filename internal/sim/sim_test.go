@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flowsched/internal/switchnet"
+)
+
+// takeAll is a test policy that greedily takes pending flows first-fit in
+// pending order.
+type takeAll struct{}
+
+func (takeAll) Name() string { return "takeAll" }
+
+func (takeAll) Pick(s *State) []int {
+	loadIn := make([]int, s.Switch.NumIn())
+	loadOut := make([]int, s.Switch.NumOut())
+	var picks []int
+	for i, p := range s.Pending {
+		if loadIn[p.In]+p.Demand <= s.Switch.InCaps[p.In] && loadOut[p.Out]+p.Demand <= s.Switch.OutCaps[p.Out] {
+			loadIn[p.In] += p.Demand
+			loadOut[p.Out] += p.Demand
+			picks = append(picks, i)
+		}
+	}
+	return picks
+}
+
+// lazy schedules nothing until the queue exceeds a threshold; used to test
+// queue bookkeeping.
+type overloader struct{}
+
+func (overloader) Name() string { return "overloader" }
+
+func (overloader) Pick(s *State) []int {
+	// Pick everything, ignoring capacity: must be rejected by the engine.
+	picks := make([]int, len(s.Pending))
+	for i := range picks {
+		picks[i] = i
+	}
+	return picks
+}
+
+type badIndex struct{}
+
+func (badIndex) Name() string { return "badIndex" }
+
+func (badIndex) Pick(s *State) []int { return []int{len(s.Pending)} }
+
+type dup struct{}
+
+func (dup) Name() string { return "dup" }
+
+func (dup) Pick(s *State) []int {
+	if len(s.Pending) > 0 {
+		return []int{0, 0}
+	}
+	return nil
+}
+
+func smallInstance() *switchnet.Instance {
+	return &switchnet.Instance{
+		Switch: switchnet.UnitSwitch(2),
+		Flows: []switchnet.Flow{
+			{In: 0, Out: 0, Demand: 1, Release: 0},
+			{In: 1, Out: 0, Demand: 1, Release: 0},
+			{In: 0, Out: 1, Demand: 1, Release: 2},
+		},
+	}
+}
+
+func TestRunDrainsAllFlows(t *testing.T) {
+	inst := smallInstance()
+	res, err := Run(inst, takeAll{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedule.Complete() {
+		t.Fatal("schedule incomplete")
+	}
+	if err := res.Schedule.Validate(inst, inst.Switch.Caps()); err != nil {
+		t.Fatal(err)
+	}
+	// Flows 0,1 conflict on output 0: one runs at 0, other at 1.
+	if res.TotalResponse != 1+2+1 {
+		t.Fatalf("total = %d, want 4", res.TotalResponse)
+	}
+	if res.MaxResponse != 2 {
+		t.Fatalf("max = %d", res.MaxResponse)
+	}
+}
+
+func TestRunEmptyInstance(t *testing.T) {
+	res, err := Run(&switchnet.Instance{Switch: switchnet.UnitSwitch(1)}, takeAll{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || !res.Schedule.Complete() {
+		t.Fatal("empty instance mishandled")
+	}
+}
+
+func TestRunRejectsOverload(t *testing.T) {
+	inst := smallInstance()
+	if _, err := Run(inst, overloader{}); err == nil || !strings.Contains(err.Error(), "overloaded") {
+		t.Fatalf("want overload error, got %v", err)
+	}
+}
+
+func TestRunRejectsBadIndexAndDup(t *testing.T) {
+	inst := smallInstance()
+	if _, err := Run(inst, badIndex{}); err == nil || !strings.Contains(err.Error(), "out-of-range") {
+		t.Fatalf("want index error, got %v", err)
+	}
+	if _, err := Run(inst, dup{}); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("want dup error, got %v", err)
+	}
+}
+
+// never schedules, so the engine's guard must fire.
+type never struct{}
+
+func (never) Name() string { return "never" }
+
+func (never) Pick(*State) []int { return nil }
+
+func TestRunGuardsAgainstStall(t *testing.T) {
+	inst := smallInstance()
+	if _, err := Run(inst, never{}); err == nil || !strings.Contains(err.Error(), "drain") {
+		t.Fatalf("want stall error, got %v", err)
+	}
+}
+
+func TestQueueBookkeeping(t *testing.T) {
+	// Policy that asserts queue counts match pending.
+	inst := &switchnet.Instance{
+		Switch: switchnet.UnitSwitch(3),
+		Flows: []switchnet.Flow{
+			{In: 0, Out: 1, Demand: 1, Release: 0},
+			{In: 0, Out: 2, Demand: 1, Release: 0},
+			{In: 1, Out: 1, Demand: 1, Release: 1},
+		},
+	}
+	check := policyFunc(func(s *State) []int {
+		wantIn := make([]int, 3)
+		wantOut := make([]int, 3)
+		for _, p := range s.Pending {
+			wantIn[p.In]++
+			wantOut[p.Out]++
+		}
+		for i := range wantIn {
+			if s.QueueIn[i] != wantIn[i] {
+				t.Fatalf("round %d: QueueIn[%d] = %d, want %d", s.Round, i, s.QueueIn[i], wantIn[i])
+			}
+			if s.QueueOut[i] != wantOut[i] {
+				t.Fatalf("round %d: QueueOut[%d] = %d, want %d", s.Round, i, s.QueueOut[i], wantOut[i])
+			}
+		}
+		if len(s.Pending) > 0 {
+			return []int{0}
+		}
+		return nil
+	})
+	if _, err := Run(inst, check); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// policyFunc adapts a function to the Policy interface for tests.
+type policyFunc func(*State) []int
+
+func (policyFunc) Name() string          { return "func" }
+func (f policyFunc) Pick(s *State) []int { return f(s) }
+
+func TestRunGridParallelAndDeterministic(t *testing.T) {
+	gen := func(rng *rand.Rand) *switchnet.Instance {
+		inst := &switchnet.Instance{Switch: switchnet.UnitSwitch(3)}
+		for i := 0; i < 10; i++ {
+			inst.Flows = append(inst.Flows, switchnet.Flow{
+				In: rng.Intn(3), Out: rng.Intn(3), Demand: 1, Release: rng.Intn(4),
+			})
+		}
+		return inst
+	}
+	var trials []Trial
+	for i := 0; i < 12; i++ {
+		trials = append(trials, Trial{Label: "t", Seed: int64(i % 3), Generate: gen, Policy: takeAll{}})
+	}
+	res1 := RunGrid(trials, 4)
+	res2 := RunGrid(trials, 1)
+	if err := FirstError(res1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range res1 {
+		if res1[i].Res.TotalResponse != res2[i].Res.TotalResponse {
+			t.Fatalf("trial %d not deterministic across worker counts", i)
+		}
+	}
+	// Same seed => same result.
+	if res1[0].Res.TotalResponse != res1[3].Res.TotalResponse {
+		t.Fatal("same seed gave different results")
+	}
+}

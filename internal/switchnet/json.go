@@ -1,0 +1,53 @@
+package switchnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// instanceJSON is the on-disk representation of an Instance.
+type instanceJSON struct {
+	InCaps  []int  `json:"in_caps"`
+	OutCaps []int  `json:"out_caps"`
+	Flows   []Flow `json:"flows"`
+}
+
+// MarshalJSON implements json.Marshaler for Instance.
+func (in *Instance) MarshalJSON() ([]byte, error) {
+	return json.Marshal(instanceJSON{
+		InCaps:  in.Switch.InCaps,
+		OutCaps: in.Switch.OutCaps,
+		Flows:   in.Flows,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Instance.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var raw instanceJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	in.Switch = Switch{InCaps: raw.InCaps, OutCaps: raw.OutCaps}
+	in.Flows = raw.Flows
+	return nil
+}
+
+// WriteInstance writes inst as indented JSON to w.
+func WriteInstance(w io.Writer, inst *Instance) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(inst)
+}
+
+// ReadInstance parses an instance from r and validates it.
+func ReadInstance(r io.Reader) (*Instance, error) {
+	var inst Instance
+	if err := json.NewDecoder(r).Decode(&inst); err != nil {
+		return nil, fmt.Errorf("decoding instance: %w", err)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("invalid instance: %w", err)
+	}
+	return &inst, nil
+}

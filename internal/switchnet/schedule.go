@@ -1,0 +1,183 @@
+package switchnet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Unscheduled marks a flow that has not been assigned a round.
+const Unscheduled = -1
+
+// Schedule assigns each flow of an instance to a single round.
+// Round[f] is the round in which flow f runs, or Unscheduled.
+//
+// Following the paper's convention (Section 2), a flow scheduled in round t
+// completes at C_e = t + 1, so its response time is t + 1 - r_e.
+type Schedule struct {
+	Round []int
+}
+
+// NewSchedule returns a schedule with all n flows unscheduled.
+func NewSchedule(n int) *Schedule {
+	r := make([]int, n)
+	for i := range r {
+		r[i] = Unscheduled
+	}
+	return &Schedule{Round: r}
+}
+
+// Complete reports whether every flow has been assigned a round.
+func (s *Schedule) Complete() bool {
+	for _, t := range s.Round {
+		if t == Unscheduled {
+			return false
+		}
+	}
+	return true
+}
+
+// Makespan returns one past the last used round, or 0 for an empty schedule.
+func (s *Schedule) Makespan() int {
+	m := 0
+	for _, t := range s.Round {
+		if t != Unscheduled && t+1 > m {
+			m = t + 1
+		}
+	}
+	return m
+}
+
+// ResponseTime returns rho_f = Round[f] + 1 - r_f for flow f of inst.
+// It panics if the flow is unscheduled.
+func (s *Schedule) ResponseTime(inst *Instance, f int) int {
+	t := s.Round[f]
+	if t == Unscheduled {
+		panic(fmt.Sprintf("switchnet: flow %d is unscheduled", f))
+	}
+	return t + 1 - inst.Flows[f].Release
+}
+
+// TotalResponse returns the sum of response times over all flows.
+func (s *Schedule) TotalResponse(inst *Instance) int {
+	total := 0
+	for f := range s.Round {
+		total += s.ResponseTime(inst, f)
+	}
+	return total
+}
+
+// AvgResponse returns the average response time, or 0 for an empty instance.
+func (s *Schedule) AvgResponse(inst *Instance) float64 {
+	if len(s.Round) == 0 {
+		return 0
+	}
+	return float64(s.TotalResponse(inst)) / float64(len(s.Round))
+}
+
+// MaxResponse returns the maximum response time over all flows, or 0 for an
+// empty instance.
+func (s *Schedule) MaxResponse(inst *Instance) int {
+	m := 0
+	for f := range s.Round {
+		if r := s.ResponseTime(inst, f); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// PortRoundLoads returns the demand placed on each (global port, round)
+// pair as a map from round to per-port load slice. Only rounds with nonzero
+// load appear.
+func (s *Schedule) PortRoundLoads(inst *Instance) map[int][]int {
+	loads := make(map[int][]int)
+	for f, t := range s.Round {
+		if t == Unscheduled {
+			continue
+		}
+		row, ok := loads[t]
+		if !ok {
+			row = make([]int, inst.Switch.NumPorts())
+			loads[t] = row
+		}
+		e := inst.Flows[f]
+		row[inst.Switch.PortIndex(In, e.In)] += e.Demand
+		row[inst.Switch.PortIndex(Out, e.Out)] += e.Demand
+	}
+	return loads
+}
+
+// MaxOverload returns the largest amount by which the schedule exceeds the
+// given per-port capacities in any round (0 if it never does). caps must
+// have length inst.Switch.NumPorts().
+func (s *Schedule) MaxOverload(inst *Instance, caps []int) int {
+	worst := 0
+	for _, row := range s.PortRoundLoads(inst) {
+		for p, load := range row {
+			if over := load - caps[p]; over > worst {
+				worst = over
+			}
+		}
+	}
+	return worst
+}
+
+// Validate checks that the schedule is feasible for inst under the given
+// per-port capacities caps (global index order): every flow is scheduled,
+// no flow runs before its release, and no port is overloaded in any round.
+// Pass inst.Switch.Caps() for the unaugmented capacities.
+func (s *Schedule) Validate(inst *Instance, caps []int) error {
+	if len(s.Round) != len(inst.Flows) {
+		return fmt.Errorf("schedule covers %d flows, instance has %d", len(s.Round), len(inst.Flows))
+	}
+	if len(caps) != inst.Switch.NumPorts() {
+		return fmt.Errorf("got %d capacities, instance has %d ports", len(caps), inst.Switch.NumPorts())
+	}
+	for f, t := range s.Round {
+		if t == Unscheduled {
+			return fmt.Errorf("flow %d: %w", f, ErrUnscheduled)
+		}
+		if t < inst.Flows[f].Release {
+			return fmt.Errorf("flow %d scheduled at round %d before release %d", f, t, inst.Flows[f].Release)
+		}
+	}
+	for t, row := range s.PortRoundLoads(inst) {
+		for p, load := range row {
+			if load > caps[p] {
+				return fmt.Errorf("round %d: port %d loaded %d > capacity %d", t, p, load, caps[p])
+			}
+		}
+	}
+	return nil
+}
+
+// ScaleCaps returns capacities multiplied by factor (for "(1+c) times the
+// capacity" style augmentation).
+func ScaleCaps(caps []int, factor int) []int {
+	out := make([]int, len(caps))
+	for i, c := range caps {
+		out[i] = c * factor
+	}
+	return out
+}
+
+// AddCaps returns capacities increased by delta (for "+2*d_max-1" style
+// augmentation).
+func AddCaps(caps []int, delta int) []int {
+	out := make([]int, len(caps))
+	for i, c := range caps {
+		out[i] = c + delta
+	}
+	return out
+}
+
+// ResponseHistogram returns the sorted multiset of response times; useful
+// for percentile reporting in experiments.
+func (s *Schedule) ResponseHistogram(inst *Instance) []int {
+	rs := make([]int, len(s.Round))
+	for f := range s.Round {
+		rs[f] = s.ResponseTime(inst, f)
+	}
+	sort.Ints(rs)
+	return rs
+}

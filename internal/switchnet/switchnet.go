@@ -1,0 +1,253 @@
+// Package switchnet models a non-blocking switch as a capacitated bipartite
+// graph, together with flow requests and round-based schedules, following
+// Section 2 of Jahanjou, Rajaraman and Stalfa, "Scheduling Flows on a Switch
+// to Optimize Response Times" (SPAA 2020).
+//
+// A switch S(m,m') has m input ports and m' output ports, each with an
+// integer capacity. A flow is a directed edge from an input port to an
+// output port with an integer demand and a release round. A schedule assigns
+// each flow to a single round no earlier than its release, such that the
+// total demand incident on any port in any round does not exceed the port's
+// capacity (possibly augmented, for the resource-augmentation results).
+package switchnet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Side distinguishes the two sides of the bipartite switch.
+type Side int
+
+const (
+	// In denotes the input (ingress) side of the switch.
+	In Side = iota
+	// Out denotes the output (egress) side of the switch.
+	Out
+)
+
+// String returns "in" or "out".
+func (s Side) String() string {
+	if s == In {
+		return "in"
+	}
+	return "out"
+}
+
+// Switch describes the port structure of a non-blocking switch: the
+// capacities of its input and output ports. The zero value is an empty
+// switch with no ports.
+type Switch struct {
+	// InCaps[i] is the capacity of input port i.
+	InCaps []int
+	// OutCaps[j] is the capacity of output port j.
+	OutCaps []int
+}
+
+// NewSwitch returns an m x m' switch with every port capacity set to cap.
+func NewSwitch(m, mPrime, cap int) Switch {
+	in := make([]int, m)
+	out := make([]int, mPrime)
+	for i := range in {
+		in[i] = cap
+	}
+	for j := range out {
+		out[j] = cap
+	}
+	return Switch{InCaps: in, OutCaps: out}
+}
+
+// UnitSwitch returns an m x m switch with unit port capacities, the
+// configuration used throughout the paper's experiments (Section 5.2).
+func UnitSwitch(m int) Switch { return NewSwitch(m, m, 1) }
+
+// NumIn returns the number of input ports.
+func (s Switch) NumIn() int { return len(s.InCaps) }
+
+// NumOut returns the number of output ports.
+func (s Switch) NumOut() int { return len(s.OutCaps) }
+
+// NumPorts returns the total number of ports, inputs first.
+// Ports are globally indexed 0..NumPorts()-1 with input port i at index i
+// and output port j at index NumIn()+j.
+func (s Switch) NumPorts() int { return len(s.InCaps) + len(s.OutCaps) }
+
+// PortIndex returns the global index of port i on the given side.
+func (s Switch) PortIndex(side Side, i int) int {
+	if side == In {
+		return i
+	}
+	return len(s.InCaps) + i
+}
+
+// Cap returns the capacity of the port with the given global index.
+func (s Switch) Cap(port int) int {
+	if port < len(s.InCaps) {
+		return s.InCaps[port]
+	}
+	return s.OutCaps[port-len(s.InCaps)]
+}
+
+// Caps returns a fresh slice of all port capacities in global index order.
+func (s Switch) Caps() []int {
+	caps := make([]int, 0, s.NumPorts())
+	caps = append(caps, s.InCaps...)
+	caps = append(caps, s.OutCaps...)
+	return caps
+}
+
+// Clone returns a deep copy of the switch.
+func (s Switch) Clone() Switch {
+	return Switch{InCaps: append([]int(nil), s.InCaps...), OutCaps: append([]int(nil), s.OutCaps...)}
+}
+
+// Flow is a single flow request: an edge from input port In to output port
+// Out with integer demand Demand, released at round Release (it may be
+// scheduled in any round t >= Release).
+type Flow struct {
+	// In is the input-port index in [0, m).
+	In int `json:"in"`
+	// Out is the output-port index in [0, m').
+	Out int `json:"out"`
+	// Demand is the flow size d_e >= 1. It must satisfy
+	// Demand <= min(cap(In), cap(Out)) so the flow fits in one round.
+	Demand int `json:"demand"`
+	// Release is the earliest round r_e >= 0 in which the flow may run.
+	Release int `json:"release"`
+}
+
+// Instance couples a switch with a set of flow requests. Flows are
+// identified by their index in Flows.
+type Instance struct {
+	Switch Switch `json:"switch"`
+	Flows  []Flow `json:"flows"`
+}
+
+// N returns the number of flows.
+func (in *Instance) N() int { return len(in.Flows) }
+
+// Kappa returns kappa_e = min(cap(e.In), cap(e.Out)) for flow index f.
+func (in *Instance) Kappa(f int) int {
+	e := in.Flows[f]
+	ci := in.Switch.InCaps[e.In]
+	co := in.Switch.OutCaps[e.Out]
+	if ci < co {
+		return ci
+	}
+	return co
+}
+
+// MaxDemand returns d_max = max_e d_e, or 0 for an empty instance.
+func (in *Instance) MaxDemand() int {
+	d := 0
+	for _, e := range in.Flows {
+		if e.Demand > d {
+			d = e.Demand
+		}
+	}
+	return d
+}
+
+// MaxRelease returns the latest release round, or 0 for an empty instance.
+func (in *Instance) MaxRelease() int {
+	r := 0
+	for _, e := range in.Flows {
+		if e.Release > r {
+			r = e.Release
+		}
+	}
+	return r
+}
+
+// TotalDemand returns the sum of all flow demands.
+func (in *Instance) TotalDemand() int {
+	t := 0
+	for _, e := range in.Flows {
+		t += e.Demand
+	}
+	return t
+}
+
+// PortLoads returns, for every global port index, the total demand of flows
+// incident on the port.
+func (in *Instance) PortLoads() []int {
+	loads := make([]int, in.Switch.NumPorts())
+	for _, e := range in.Flows {
+		loads[in.Switch.PortIndex(In, e.In)] += e.Demand
+		loads[in.Switch.PortIndex(Out, e.Out)] += e.Demand
+	}
+	return loads
+}
+
+// CongestionHorizon returns a round index by which any reasonable schedule
+// can finish all flows: max release plus the largest ceil(load/capacity)
+// over ports plus d_max slack. It is used to size LP horizons.
+func (in *Instance) CongestionHorizon() int {
+	h := 0
+	loads := in.PortLoads()
+	for p, load := range loads {
+		c := in.Switch.Cap(p)
+		if c <= 0 {
+			continue
+		}
+		rounds := (load + c - 1) / c
+		if rounds > h {
+			h = rounds
+		}
+	}
+	return in.MaxRelease() + h + in.MaxDemand() + 1
+}
+
+// Validate checks structural well-formedness: port indices in range,
+// positive capacities and demands, non-negative releases, and the standing
+// assumption d_e <= kappa_e from Section 2.
+func (in *Instance) Validate() error {
+	for i, c := range in.Switch.InCaps {
+		if c <= 0 {
+			return fmt.Errorf("input port %d: capacity %d is not positive", i, c)
+		}
+	}
+	for j, c := range in.Switch.OutCaps {
+		if c <= 0 {
+			return fmt.Errorf("output port %d: capacity %d is not positive", j, c)
+		}
+	}
+	for f, e := range in.Flows {
+		if e.In < 0 || e.In >= in.Switch.NumIn() {
+			return fmt.Errorf("flow %d: input port %d out of range [0,%d)", f, e.In, in.Switch.NumIn())
+		}
+		if e.Out < 0 || e.Out >= in.Switch.NumOut() {
+			return fmt.Errorf("flow %d: output port %d out of range [0,%d)", f, e.Out, in.Switch.NumOut())
+		}
+		if e.Demand <= 0 {
+			return fmt.Errorf("flow %d: demand %d is not positive", f, e.Demand)
+		}
+		if e.Release < 0 {
+			return fmt.Errorf("flow %d: release %d is negative", f, e.Release)
+		}
+		if k := in.Kappa(f); e.Demand > k {
+			return fmt.Errorf("flow %d: demand %d exceeds kappa=%d (min port capacity)", f, e.Demand, k)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	return &Instance{Switch: in.Switch.Clone(), Flows: append([]Flow(nil), in.Flows...)}
+}
+
+// UnitDemands reports whether every flow has demand exactly 1, the setting
+// of Theorem 1 and of the paper's experiments.
+func (in *Instance) UnitDemands() bool {
+	for _, e := range in.Flows {
+		if e.Demand != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrUnscheduled is returned by schedule validation when a flow has not been
+// assigned a round.
+var ErrUnscheduled = errors.New("flow is unscheduled")

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flowsched/internal/switchnet"
+)
+
+// RTT is an instance of the Restricted Timetable problem (Definition 4.1,
+// after Even, Itai and Shamir): m teachers, mPrime classes, hours {1,2,3}.
+// Teacher i is available in hours T[i] (|T[i]| >= 2) and must teach each
+// class in G[i] for one hour, with |G[i]| = |T[i]|; no teacher teaches two
+// classes in one hour and no class is taught by two teachers in one hour.
+// Deciding satisfiability is NP-hard, which Theorem 2 transfers to FS-MRT.
+type RTT struct {
+	M      int
+	MPrime int
+	T      [][]int // subsets of {1,2,3}, size 2 or 3
+	G      [][]int // subsets of [0, MPrime), |G[i]| == |T[i]|
+}
+
+// Validate checks the structural side conditions of Definition 4.1.
+func (r *RTT) Validate() error {
+	if len(r.T) != r.M || len(r.G) != r.M {
+		return fmt.Errorf("workload: T/G length mismatch with M=%d", r.M)
+	}
+	for i := 0; i < r.M; i++ {
+		if len(r.T[i]) < 2 || len(r.T[i]) > 3 {
+			return fmt.Errorf("workload: |T[%d]| = %d outside {2,3}", i, len(r.T[i]))
+		}
+		seen := map[int]bool{}
+		for _, h := range r.T[i] {
+			if h < 1 || h > 3 || seen[h] {
+				return fmt.Errorf("workload: T[%d] contains invalid/duplicate hour %d", i, h)
+			}
+			seen[h] = true
+		}
+		if len(r.G[i]) != len(r.T[i]) {
+			return fmt.Errorf("workload: |G[%d]| = %d != |T[%d]| = %d", i, len(r.G[i]), i, len(r.T[i]))
+		}
+		seenJ := map[int]bool{}
+		for _, j := range r.G[i] {
+			if j < 0 || j >= r.MPrime || seenJ[j] {
+				return fmt.Errorf("workload: G[%d] contains invalid/duplicate class %d", i, j)
+			}
+			seenJ[j] = true
+		}
+	}
+	return nil
+}
+
+// RandomRTT draws a random valid RTT instance.
+func RandomRTT(rng *rand.Rand, m, mPrime int) *RTT {
+	r := &RTT{M: m, MPrime: mPrime}
+	hours := []int{1, 2, 3}
+	for i := 0; i < m; i++ {
+		size := 2 + rng.Intn(2)
+		if mPrime < size {
+			size = mPrime
+		}
+		if size < 2 {
+			size = 2
+		}
+		hs := append([]int(nil), hours...)
+		rng.Shuffle(3, func(a, b int) { hs[a], hs[b] = hs[b], hs[a] })
+		r.T = append(r.T, append([]int(nil), hs[:size]...))
+		js := rng.Perm(mPrime)[:size]
+		r.G = append(r.G, js)
+	}
+	return r
+}
+
+// Satisfiable decides the RTT instance by backtracking over the bijections
+// from T[i] to G[i] (teacher i must use each available hour exactly once
+// since |G[i]| = |T[i]|). Exponential; intended for reduction validation on
+// small instances.
+func (r *RTT) Satisfiable() bool {
+	// busy[j][h] marks class j taught in hour h.
+	busy := make([][4]bool, r.MPrime)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == r.M {
+			return true
+		}
+		hs := r.T[i]
+		js := r.G[i]
+		perm := make([]int, len(js))
+		for k := range perm {
+			perm[k] = k
+		}
+		var tryPerm func(k int) bool
+		tryPerm = func(k int) bool {
+			if k == len(hs) {
+				return rec(i + 1)
+			}
+			for l := k; l < len(perm); l++ {
+				perm[k], perm[l] = perm[l], perm[k]
+				j := js[perm[k]]
+				h := hs[k]
+				if !busy[j][h] {
+					busy[j][h] = true
+					if tryPerm(k + 1) {
+						return true
+					}
+					busy[j][h] = false
+				}
+				perm[k], perm[l] = perm[l], perm[k]
+			}
+			return false
+		}
+		return tryPerm(0)
+	}
+	return rec(0)
+}
+
+// ReduceRTT builds the FS-MRT instance of Theorem 2's reduction: the RTT
+// instance is satisfiable iff the returned switch instance admits a
+// schedule with maximum response time at most the returned rho (= 3).
+// Rounds are 0-indexed (the paper's round h is round h-1 here).
+func ReduceRTT(r *RTT) (*switchnet.Instance, int) {
+	inst := &switchnet.Instance{}
+	// Input ports: p_i first, then blocker inputs appended as created.
+	// Output ports: q_j first, then q*_i blocker outputs.
+	numIn := r.M
+	numOut := r.MPrime
+	newIn := func() int { v := numIn; numIn++; return v }
+	newOut := func() int { v := numOut; numOut++; return v }
+
+	// Steps 1-2: teaching flows released at min(T_i) - 1.
+	for i := 0; i < r.M; i++ {
+		minH := 4
+		for _, h := range r.T[i] {
+			if h < minH {
+				minH = h
+			}
+		}
+		for _, j := range r.G[i] {
+			inst.Flows = append(inst.Flows, switchnet.Flow{
+				In: i, Out: j, Demand: 1, Release: minH - 1,
+			})
+		}
+	}
+	// Step 3: three blocker flows into every q_j, released at round 3
+	// (paper round 4), occupying q_j in rounds 3,4,5.
+	for j := 0; j < r.MPrime; j++ {
+		for k := 0; k < 3; k++ {
+			inst.Flows = append(inst.Flows, switchnet.Flow{
+				In: newIn(), Out: j, Demand: 1, Release: 3,
+			})
+		}
+	}
+	// Steps 4-5: per-teacher gadgets for |T_i| = 2 that pin p_i's free
+	// hour. For T_i = {1,3} the dashed flow is released at round 1 and
+	// must run there; for T_i = {1,2} it is released at round 2.
+	for i := 0; i < r.M; i++ {
+		if len(r.T[i]) != 2 {
+			continue
+		}
+		has := map[int]bool{}
+		for _, h := range r.T[i] {
+			has[h] = true
+		}
+		var dashRelease int
+		switch {
+		case has[1] && has[3]:
+			dashRelease = 1 // blocks paper-round 2
+		case has[1] && has[2]:
+			dashRelease = 2 // blocks paper-round 3
+		default: // {2,3}: release time alone blocks paper-round 1
+			continue
+		}
+		qStar := newOut()
+		inst.Flows = append(inst.Flows, switchnet.Flow{
+			In: i, Out: qStar, Demand: 1, Release: dashRelease,
+		})
+		for k := 0; k < 3; k++ {
+			inst.Flows = append(inst.Flows, switchnet.Flow{
+				In: newIn(), Out: qStar, Demand: 1, Release: dashRelease + 1,
+			})
+		}
+	}
+	inst.Switch = switchnet.NewSwitch(numIn, numOut, 1)
+	return inst, 3
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"flowsched/internal/switchnet"
+)
+
+// Trace I/O: a minimal CSV flow-trace format ("release,in,out,demand" per
+// line, with an optional header) so real datacenter traces — the paper
+// cites pFabric/VL2-style workloads as motivation — can be replayed
+// through the simulator and the offline algorithms. Port capacities are
+// supplied separately since traces carry only flows.
+
+// ReadTrace parses a CSV flow trace onto the given switch and validates
+// the resulting instance.
+func ReadTrace(r io.Reader, sw switchnet.Switch) (*switchnet.Instance, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	cr.TrimLeadingSpace = true
+	inst := &switchnet.Instance{Switch: sw}
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line+1, err)
+		}
+		line++
+		if line == 1 && rec[0] == "release" {
+			continue // header
+		}
+		vals := make([]int, 4)
+		for i, s := range rec {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace line %d field %d: %w", line, i+1, err)
+			}
+			vals[i] = v
+		}
+		inst.Flows = append(inst.Flows, switchnet.Flow{
+			Release: vals[0], In: vals[1], Out: vals[2], Demand: vals[3],
+		})
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: invalid trace: %w", err)
+	}
+	return inst, nil
+}
+
+// WriteTrace emits the instance's flows as a CSV trace with header.
+func WriteTrace(w io.Writer, inst *switchnet.Instance) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"release", "in", "out", "demand"}); err != nil {
+		return err
+	}
+	for _, e := range inst.Flows {
+		rec := []string{
+			strconv.Itoa(e.Release),
+			strconv.Itoa(e.In),
+			strconv.Itoa(e.Out),
+			strconv.Itoa(e.Demand),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

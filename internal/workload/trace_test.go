@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flowsched/internal/switchnet"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inst := PoissonConfig{M: 8, T: 4, Ports: 4}.Generate(rng)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf, inst.Switch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != inst.N() {
+		t.Fatalf("n = %d, want %d", got.N(), inst.N())
+	}
+	for i := range inst.Flows {
+		if got.Flows[i] != inst.Flows[i] {
+			t.Fatalf("flow %d mismatch: %+v vs %+v", i, got.Flows[i], inst.Flows[i])
+		}
+	}
+}
+
+func TestReadTraceWithoutHeader(t *testing.T) {
+	trace := "0,0,1,1\n2,1,0,1\n"
+	inst, err := ReadTrace(strings.NewReader(trace), switchnet.UnitSwitch(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.N() != 2 || inst.Flows[1].Release != 2 {
+		t.Fatalf("parsed %+v", inst.Flows)
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	sw := switchnet.UnitSwitch(2)
+	cases := []string{
+		"release,in,out,demand\n0,9,0,1\n", // port out of range
+		"0,0,1\n",                          // wrong field count
+		"a,0,1,1\n",                        // non-integer
+		"0,0,1,5\n",                        // demand over capacity
+	}
+	for i, trace := range cases {
+		if _, err := ReadTrace(strings.NewReader(trace), sw); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWriteTraceHeader(t *testing.T) {
+	inst := &switchnet.Instance{Switch: switchnet.UnitSwitch(1),
+		Flows: []switchnet.Flow{{In: 0, Out: 0, Demand: 1, Release: 3}}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "release,in,out,demand" || lines[1] != "3,0,0,1" {
+		t.Fatalf("trace = %q", buf.String())
+	}
+}

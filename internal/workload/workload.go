@@ -1,0 +1,171 @@
+// Package workload generates the problem instances used in the paper's
+// experiments and proofs: Poisson flow arrivals on a uniform switch
+// (Section 5.2.1), the online lower-bound gadgets of Figure 4, the
+// Restricted Timetable reduction of Theorem 2, and auxiliary traffic
+// patterns (permutation, hotspot) for extended experiments.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"flowsched/internal/switchnet"
+)
+
+// Poisson draws a Poisson(lambda) variate using Knuth's product method,
+// splitting large lambda into chunks to avoid underflow.
+func Poisson(rng *rand.Rand, lambda float64) int {
+	total := 0
+	for lambda > 0 {
+		chunk := lambda
+		if chunk > 30 {
+			chunk = 30
+		}
+		lambda -= chunk
+		l := math.Exp(-chunk)
+		k := 0
+		p := 1.0
+		for {
+			p *= rng.Float64()
+			if p <= l {
+				break
+			}
+			k++
+		}
+		total += k
+	}
+	return total
+}
+
+// PoissonConfig describes the experiment methodology of Section 5.2.1: an
+// m x m switch with unit capacities, and for each round t in [0, T) a
+// Poisson(M)-distributed number of unit flows with uniformly random input
+// and output ports released at t.
+type PoissonConfig struct {
+	// M is the mean number of flows released per round.
+	M float64
+	// T is the number of rounds during which flows are generated.
+	T int
+	// Ports is the number of input (and output) ports (150 in the paper).
+	Ports int
+	// Cap is the per-port capacity (1 in the paper).
+	Cap int
+	// MaxDemand, when > 1, draws demands uniformly from [1, MaxDemand]
+	// (the paper uses unit demands; this exercises the general-demand
+	// code paths).
+	MaxDemand int
+}
+
+// Generate draws an instance from the configuration using rng.
+func (c PoissonConfig) Generate(rng *rand.Rand) *switchnet.Instance {
+	cap := c.Cap
+	if cap == 0 {
+		cap = 1
+	}
+	maxD := c.MaxDemand
+	if maxD < 1 {
+		maxD = 1
+	}
+	if maxD > cap {
+		maxD = cap
+	}
+	inst := &switchnet.Instance{Switch: switchnet.NewSwitch(c.Ports, c.Ports, cap)}
+	for t := 0; t < c.T; t++ {
+		k := Poisson(rng, c.M)
+		for i := 0; i < k; i++ {
+			d := 1
+			if maxD > 1 {
+				d = 1 + rng.Intn(maxD)
+			}
+			inst.Flows = append(inst.Flows, switchnet.Flow{
+				In:      rng.Intn(c.Ports),
+				Out:     rng.Intn(c.Ports),
+				Demand:  d,
+				Release: t,
+			})
+		}
+	}
+	return inst
+}
+
+// Fig4a builds the Lemma 5.1 lower-bound instance (Figure 4a): two solid
+// flows (1,2) and (1,3) arrive every round in [0, T), and a dashed flow
+// (4,3) arrives every round in [T, M). Any online algorithm accumulates a
+// backlog at port 2 or 3 that the dashed stream then starves.
+// Ports: inputs {0:"1", 1:"4"}, outputs {0:"2", 1:"3"}.
+func Fig4a(T, M int) *switchnet.Instance {
+	inst := &switchnet.Instance{Switch: switchnet.UnitSwitch(2)}
+	for t := 0; t < T; t++ {
+		inst.Flows = append(inst.Flows,
+			switchnet.Flow{In: 0, Out: 0, Demand: 1, Release: t},
+			switchnet.Flow{In: 0, Out: 1, Demand: 1, Release: t},
+		)
+	}
+	for t := T; t < M; t++ {
+		inst.Flows = append(inst.Flows,
+			switchnet.Flow{In: 1, Out: 1, Demand: 1, Release: t},
+		)
+	}
+	return inst
+}
+
+// Fig4b builds the Lemma 5.2 lower-bound instance (Figure 4b): solid flows
+// (1,2),(1,3),(4,5),(4,6) arrive in round 0 and dashed flows (7,3),(7,5)
+// in round 1. The optimum has maximum response time 2, but any online
+// algorithm is forced to 3 on some extension.
+// Ports: inputs {0:"1", 1:"4", 2:"7"}, outputs {0:"2", 1:"3", 2:"5", 3:"6"}.
+func Fig4b() *switchnet.Instance {
+	return &switchnet.Instance{
+		Switch: switchnet.NewSwitch(3, 4, 1),
+		Flows: []switchnet.Flow{
+			{In: 0, Out: 0, Demand: 1, Release: 0},
+			{In: 0, Out: 1, Demand: 1, Release: 0},
+			{In: 1, Out: 2, Demand: 1, Release: 0},
+			{In: 1, Out: 3, Demand: 1, Release: 0},
+			{In: 2, Out: 1, Demand: 1, Release: 1},
+			{In: 2, Out: 2, Demand: 1, Release: 1},
+		},
+	}
+}
+
+// Permutation builds a permutation-traffic instance: in each of T rounds, a
+// random perfect matching of the m ports arrives (every port sees exactly
+// one new flow per round). This is the classic stress pattern for crossbar
+// scheduling, complementing the paper's uniform traffic.
+func Permutation(rng *rand.Rand, m, T int) *switchnet.Instance {
+	inst := &switchnet.Instance{Switch: switchnet.UnitSwitch(m)}
+	perm := make([]int, m)
+	for t := 0; t < T; t++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(m, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		for i := 0; i < m; i++ {
+			inst.Flows = append(inst.Flows, switchnet.Flow{In: i, Out: perm[i], Demand: 1, Release: t})
+		}
+	}
+	return inst
+}
+
+// Hotspot builds a skewed-traffic instance: a fraction hot of all flows
+// target output port 0; the rest are uniform. Models the incast patterns
+// that motivate response-time objectives in datacenters.
+func Hotspot(rng *rand.Rand, m int, lambda float64, T int, hot float64) *switchnet.Instance {
+	inst := &switchnet.Instance{Switch: switchnet.UnitSwitch(m)}
+	for t := 0; t < T; t++ {
+		k := Poisson(rng, lambda)
+		for i := 0; i < k; i++ {
+			out := rng.Intn(m)
+			if rng.Float64() < hot {
+				out = 0
+			}
+			inst.Flows = append(inst.Flows, switchnet.Flow{
+				In:      rng.Intn(m),
+				Out:     out,
+				Demand:  1,
+				Release: t,
+			})
+		}
+	}
+	return inst
+}

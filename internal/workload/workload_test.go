@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"flowsched/internal/switchnet"
+)
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, lambda := range []float64{0.5, 3, 30, 150, 600} {
+		n := 4000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += Poisson(rng, lambda)
+		}
+		mean := float64(sum) / float64(n)
+		// Mean of Poisson(lambda) within 5 sigma of lambda.
+		tol := 5 * math.Sqrt(lambda/float64(n))
+		if math.Abs(mean-lambda) > tol*lambda+0.5 {
+			t.Fatalf("lambda=%v: sample mean %v too far", lambda, mean)
+		}
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if got := Poisson(rng, 0); got != 0 {
+		t.Fatalf("Poisson(0) = %d", got)
+	}
+}
+
+func TestPoissonConfigGenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := PoissonConfig{M: 10, T: 5, Ports: 8}
+	inst := cfg.Generate(rng)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.UnitDemands() {
+		t.Fatal("default config must produce unit demands")
+	}
+	if inst.Switch.NumIn() != 8 || inst.Switch.Cap(0) != 1 {
+		t.Fatal("switch shape wrong")
+	}
+	if inst.MaxRelease() >= 5 {
+		t.Fatalf("release %d outside [0,5)", inst.MaxRelease())
+	}
+	// Roughly M*T flows.
+	if inst.N() < 20 || inst.N() > 90 {
+		t.Fatalf("flow count %d implausible for M=10,T=5", inst.N())
+	}
+}
+
+func TestPoissonConfigDemands(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := PoissonConfig{M: 20, T: 3, Ports: 4, Cap: 5, MaxDemand: 3}
+	inst := cfg.Generate(rng)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, e := range inst.Flows {
+		seen[e.Demand] = true
+		if e.Demand < 1 || e.Demand > 3 {
+			t.Fatalf("demand %d outside [1,3]", e.Demand)
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatal("expected varied demands")
+	}
+}
+
+func TestFig4aShape(t *testing.T) {
+	inst := Fig4a(5, 12)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.N() != 2*5+(12-5) {
+		t.Fatalf("n = %d", inst.N())
+	}
+	// Port 1 (input 0) saturated: two flows per round in [0,5).
+	solid := 0
+	for _, e := range inst.Flows {
+		if e.In == 0 {
+			solid++
+			if e.Release >= 5 {
+				t.Fatal("solid flow released late")
+			}
+		} else if e.In != 1 || e.Out != 1 {
+			t.Fatalf("unexpected dashed flow %+v", e)
+		}
+	}
+	if solid != 10 {
+		t.Fatalf("solid = %d", solid)
+	}
+}
+
+func TestFig4bShape(t *testing.T) {
+	inst := Fig4b()
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.N() != 6 {
+		t.Fatalf("n = %d", inst.N())
+	}
+	if inst.Switch.NumIn() != 3 || inst.Switch.NumOut() != 4 {
+		t.Fatal("switch shape wrong")
+	}
+}
+
+func TestPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	inst := Permutation(rng, 6, 4)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.N() != 24 {
+		t.Fatalf("n = %d", inst.N())
+	}
+	// Each round is a perfect matching: per-round port loads all 1.
+	perRound := map[int][]switchnet.Flow{}
+	for _, e := range inst.Flows {
+		perRound[e.Release] = append(perRound[e.Release], e)
+	}
+	for r, flows := range perRound {
+		seenIn := map[int]bool{}
+		seenOut := map[int]bool{}
+		for _, e := range flows {
+			if seenIn[e.In] || seenOut[e.Out] {
+				t.Fatalf("round %d not a matching", r)
+			}
+			seenIn[e.In] = true
+			seenOut[e.Out] = true
+		}
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	inst := Hotspot(rng, 8, 20, 5, 0.7)
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	for _, e := range inst.Flows {
+		if e.Out == 0 {
+			hot++
+		}
+	}
+	if frac := float64(hot) / float64(inst.N()); frac < 0.5 {
+		t.Fatalf("hot fraction %v too low", frac)
+	}
+}
+
+func TestRandomRTTValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		r := RandomRTT(rng, 1+rng.Intn(3), 3+rng.Intn(3))
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRTTValidateRejects(t *testing.T) {
+	bad := &RTT{M: 1, MPrime: 2, T: [][]int{{1}}, G: [][]int{{0}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("tiny T accepted")
+	}
+	bad2 := &RTT{M: 1, MPrime: 2, T: [][]int{{1, 2}}, G: [][]int{{0, 5}}}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("class out of range accepted")
+	}
+	bad3 := &RTT{M: 1, MPrime: 2, T: [][]int{{1, 2}}, G: [][]int{{0}}}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestRTTSatisfiableKnown(t *testing.T) {
+	// One teacher, hours {1,2}, classes {0,1}: trivially satisfiable.
+	r := &RTT{M: 1, MPrime: 2, T: [][]int{{1, 2}}, G: [][]int{{0, 1}}}
+	if !r.Satisfiable() {
+		t.Fatal("trivial instance unsatisfiable")
+	}
+	// Three teachers all needing class 0 in hours {1,2} — some teacher
+	// cannot place both classes.
+	r2 := &RTT{
+		M: 3, MPrime: 2,
+		T: [][]int{{1, 2}, {1, 2}, {1, 2}},
+		G: [][]int{{0, 1}, {0, 1}, {0, 1}},
+	}
+	if r2.Satisfiable() {
+		t.Fatal("overloaded instance satisfiable")
+	}
+}
+
+func TestReduceRTTStructure(t *testing.T) {
+	r := &RTT{M: 2, MPrime: 2, T: [][]int{{1, 3}, {2, 3}}, G: [][]int{{0, 1}, {0, 1}}}
+	inst, rho := ReduceRTT(r)
+	if rho != 3 {
+		t.Fatalf("rho = %d", rho)
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Teaching flows: 2 per teacher; q_j blockers: 3 per class; one
+	// gadget (teacher 0 has {1,3}): 1 dashed + 3 dotted.
+	want := 4 + 6 + 4
+	if inst.N() != want {
+		t.Fatalf("n = %d, want %d", inst.N(), want)
+	}
+}
