@@ -10,6 +10,7 @@
 //	experiments -fig all -out results
 //	experiments -fig 6 -ports 8 -trials 10 -lp=false
 //	experiments -fig 7 -ports 150 -lp=false -trials 3   # paper scale, heuristics only
+//	experiments -fig sweep -trials 3                    # verified engine sweep
 package main
 
 import (
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "which artifact: 6, 7, t1, t3, amrt, 4a, ablation, bounds, all")
+		fig      = flag.String("fig", "all", "which artifact: 6, 7, t1, t3, amrt, 4a, ablation, bounds, sweep, all")
 		ports    = flag.Int("ports", 6, "switch size m (paper: 150)")
 		trials   = flag.Int("trials", 5, "simulation trials per grid point (paper: 10)")
 		lpTrials = flag.Int("lptrials", 2, "LP trials per grid point")
@@ -103,6 +104,12 @@ func main() {
 	if want("bounds") {
 		run("LP vs SRPT bound comparison", func() error {
 			_, err := experiments.SRPTComparisonTable(cfg, os.Stdout)
+			return err
+		})
+	}
+	if want("sweep") {
+		run("Engine sweep: every solver x workload, oracle-verified", func() error {
+			_, err := experiments.SweepTable(cfg, os.Stdout)
 			return err
 		})
 	}

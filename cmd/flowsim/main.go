@@ -1,6 +1,7 @@
 // Command flowsim is the online flow-scheduling simulator of Section 5.2:
-// it generates (or loads) an instance and runs one of the scheduling
-// heuristics, printing response-time metrics.
+// it generates (or loads) instances and runs scheduling heuristics through
+// the scenario engine, so every reported number comes from a schedule the
+// verify oracle accepted.
 //
 // Examples:
 //
@@ -12,10 +13,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"flowsched/internal/core"
+	"flowsched/internal/engine"
 	"flowsched/internal/heuristics"
 	"flowsched/internal/sim"
 	"flowsched/internal/stats"
@@ -35,6 +36,7 @@ func main() {
 		trace   = flag.String("trace", "", "load a CSV flow trace (release,in,out,demand) onto a -ports switch")
 		srpt    = flag.Bool("srpt", false, "also print the per-port SRPT lower bound")
 		demands = flag.Int("dmax", 1, "max flow demand (capacity scales to match)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -50,7 +52,14 @@ func main() {
 		pols = []sim.Policy{p}
 	}
 
-	instances := make([]*switchnet.Instance, 0, *trials)
+	// Each trial is a workload generator; solvers crossed with trials run
+	// on the engine's pool with seeds derived per trial, so every policy
+	// judges the same instance draws.
+	type trial struct {
+		gen  engine.Generator
+		seed int64
+	}
+	var ts []trial
 	switch {
 	case *inFile != "":
 		f, err := os.Open(*inFile)
@@ -62,7 +71,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		instances = append(instances, inst)
+		ts = append(ts, trial{engine.FixedGen{Label: *inFile, Inst: inst}, *seed})
 	case *trace != "":
 		f, err := os.Open(*trace)
 		if err != nil {
@@ -73,38 +82,64 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		instances = append(instances, inst)
+		ts = append(ts, trial{engine.FixedGen{Label: *trace, Inst: inst}, *seed})
 	default:
 		cfg := workload.PoissonConfig{M: *mFlag, T: *tFlag, Ports: *ports, Cap: *demands, MaxDemand: *demands}
 		for tr := 0; tr < *trials; tr++ {
-			rng := rand.New(rand.NewSource(*seed + int64(tr)))
-			instances = append(instances, cfg.Generate(rng))
+			ts = append(ts, trial{engine.PoissonGen{Cfg: cfg}, *seed + int64(tr)})
 		}
 	}
 
-	fmt.Printf("%-10s %10s %10s %10s %8s\n", "policy", "avgRT", "maxRT", "rounds", "n")
+	var scenarios []engine.Scenario
+	for _, pol := range pols {
+		for _, tr := range ts {
+			scenarios = append(scenarios, engine.Scenario{
+				Seed:     tr.seed,
+				Workload: tr.gen,
+				Solver:   engine.PolicySolver{Policy: pol},
+			})
+		}
+	}
+	verdicts := engine.Run(scenarios, engine.Options{Workers: *workers, KeepInstances: *srpt})
+
+	fmt.Printf("%-10s %10s %10s %10s %8s %9s\n", "policy", "avgRT", "maxRT", "rounds", "n", "verified")
+	vi := 0
 	for _, pol := range pols {
 		var avgs, maxs, rounds, ns []float64
-		for _, inst := range instances {
-			if inst.N() == 0 {
+		verified := 0
+		count := 0
+		for range ts {
+			v := verdicts[vi]
+			vi++
+			if v.Solution == nil {
+				// The policy itself failed; nothing to report.
+				fatal(v.Err)
+			}
+			if v.N == 0 {
 				continue
 			}
-			res, err := sim.Run(inst, pol)
-			if err != nil {
-				fatal(err)
+			count++
+			if v.Verified {
+				verified++
+			} else {
+				// Solved but rejected by the oracle: keep running so the
+				// verified column can surface how widespread it is.
+				fmt.Fprintf(os.Stderr, "flowsim: %v\n", v.Err)
+				continue
 			}
-			avgs = append(avgs, res.AvgResponse)
-			maxs = append(maxs, float64(res.MaxResponse))
-			rounds = append(rounds, float64(res.Rounds))
-			ns = append(ns, float64(inst.N()))
+			avgs = append(avgs, v.Report.AvgResponse)
+			maxs = append(maxs, float64(v.Report.MaxResponse))
+			rounds = append(rounds, v.Solution.Stats["rounds"])
+			ns = append(ns, float64(v.N))
 		}
-		fmt.Printf("%-10s %10.3f %10.2f %10.1f %8.0f\n",
-			pol.Name(), stats.Mean(avgs), stats.Mean(maxs), stats.Mean(rounds), stats.Mean(ns))
+		fmt.Printf("%-10s %10.3f %10.2f %10.1f %8.0f %6d/%-2d\n",
+			pol.Name(), stats.Mean(avgs), stats.Mean(maxs), stats.Mean(rounds), stats.Mean(ns), verified, count)
 	}
 	if *srpt {
+		// The first policy's verdicts cover every distinct instance draw.
 		var bounds []float64
-		for _, inst := range instances {
-			if inst.N() > 0 {
+		for i := range ts {
+			if inst := verdicts[i].Instance; inst != nil && inst.N() > 0 {
 				bounds = append(bounds, float64(core.SRPTLowerBound(inst))/float64(inst.N()))
 			}
 		}

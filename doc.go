@@ -23,7 +23,22 @@
 //     Policies).
 //
 //   - Workload generators matching the paper's methodology (Poisson
-//     arrivals on an m x m switch) and its lower-bound gadgets.
+//     arrivals on an m x m switch) and its lower-bound gadgets, plus
+//     permutation and hotspot traffic patterns.
+//
+//   - A schedule verifier (CheckSchedule, CheckScaled, CheckAugmented):
+//     an independent feasibility oracle that re-derives port-capacity
+//     feasibility under a stated augmentation, full demand delivery, and
+//     release-time respect, and recomputes all response-time metrics from
+//     the raw assignment.
+//
+//   - A scenario engine (RunScenarios, RunSweep, DefaultSweep): a sharded,
+//     deterministic sweep harness that crosses any registered solver (the
+//     offline algorithms, the online heuristics, the coflow policies) with
+//     any workload generator on a bounded worker pool. Every scenario
+//     carries its own derived seed — the same seed yields an identical
+//     result table at any worker count — and every schedule is checked by
+//     the verify oracle before its metrics enter the table.
 //
 // The LP solver, matching algorithms, edge coloring, rounding theorem, and
 // simulator are all implemented in this repository with no external

@@ -6,9 +6,11 @@ import (
 
 	"flowsched/internal/coflow"
 	"flowsched/internal/core"
+	"flowsched/internal/engine"
 	"flowsched/internal/heuristics"
 	"flowsched/internal/sim"
 	"flowsched/internal/switchnet"
+	"flowsched/internal/verify"
 	"flowsched/internal/workload"
 )
 
@@ -203,3 +205,78 @@ func CoflowSCF(owner []int) Policy { return coflow.SCF(owner) }
 func CoflowFIFO(in *CoflowInstance) func(owner []int) Policy {
 	return func(owner []int) Policy { return coflow.FIFO(in, owner) }
 }
+
+// Schedule verification (see internal/verify): the independent feasibility
+// oracle every engine scenario and experiment figure runs through.
+type VerifyReport = verify.Report
+
+// CheckSchedule validates sched against inst under per-port capacities
+// caps (global index order) and recomputes the response-time metrics. It
+// returns a non-nil error iff the schedule is not a real schedule for the
+// instance under caps.
+func CheckSchedule(inst *Instance, sched *Schedule, caps []int) (*VerifyReport, error) {
+	return verify.CheckSchedule(inst, sched, caps)
+}
+
+// CheckScaled checks sched under capacities scaled by factor (Theorem 1's
+// "(1+c)x" augmentation).
+func CheckScaled(inst *Instance, sched *Schedule, factor int) (*VerifyReport, error) {
+	return verify.CheckScaled(inst, sched, factor)
+}
+
+// CheckAugmented checks sched under capacities increased by delta
+// (Theorem 3's "+2*d_max-1" augmentation).
+func CheckAugmented(inst *Instance, sched *Schedule, delta int) (*VerifyReport, error) {
+	return verify.CheckAugmented(inst, sched, delta)
+}
+
+// Scenario engine (see internal/engine): a sharded, deterministic sweep
+// harness that runs any registered solver against any workload generator
+// and verifies every schedule with the oracle.
+type (
+	// Scenario is one seeded (workload, solver) cell.
+	Scenario = engine.Scenario
+	// ScenarioVerdict is the engine's judgment of one scenario.
+	ScenarioVerdict = engine.Verdict
+	// EngineOptions tunes worker count and sharding.
+	EngineOptions = engine.Options
+	// EngineSolver schedules instances and declares the capacities its
+	// schedules are feasible under.
+	EngineSolver = engine.Solver
+	// EngineSolution is a solver's schedule plus declared capacities.
+	EngineSolution = engine.Solution
+	// WorkloadGen generates instances from a scenario-private RNG.
+	WorkloadGen = engine.Generator
+	// SweepConfig crosses solvers with generators over seeded trials.
+	SweepConfig = engine.SweepConfig
+	// ResultTable is a sweep's verdict table (Render, WriteCSV).
+	ResultTable = engine.ResultTable
+)
+
+// RunScenarios executes scenarios on the engine's worker pool and returns
+// verdicts in scenario order.
+func RunScenarios(scenarios []Scenario, opt EngineOptions) []ScenarioVerdict {
+	return engine.Run(scenarios, opt)
+}
+
+// RunSweep executes a full solver x workload sweep and returns its result
+// table; failures are recorded per row (table.FirstError, AllVerified).
+func RunSweep(cfg SweepConfig) *ResultTable { return engine.RunSweep(cfg) }
+
+// DefaultSweep crosses the default solver registry (ART, MRT, AMRT, the
+// three heuristics, coflow-SEBF) with the default workload patterns
+// (Poisson, permutation, hotspot) at the given scale.
+func DefaultSweep(ports, T, trials int, seed int64, workers int) SweepConfig {
+	return engine.DefaultSweep(ports, T, trials, seed, workers)
+}
+
+// EngineSolvers returns the default solver registry.
+func EngineSolvers() []EngineSolver { return engine.Solvers() }
+
+// EngineSolverByName resolves a solver by its table name (e.g. "MRT",
+// "ART(c=1)", "MaxWeight", "Coflow/SEBF"); nil if unknown.
+func EngineSolverByName(name string) EngineSolver { return engine.SolverByName(name) }
+
+// EngineGenerators returns the default workload registry at the given
+// scale.
+func EngineGenerators(ports, T int) []WorkloadGen { return engine.Generators(ports, T) }

@@ -88,18 +88,19 @@ func artLowerBoundLP(inst *switchnet.Instance, horizon int) (*lp.Problem, *varMa
 		}
 		p.AddRow(idx, val, lp.GE, float64(e.Demand))
 	}
-	// Constraint (3): per-port per-round capacity.
-	type pt struct{ port, t int }
-	rows := make(map[pt][]int)
+	// Constraint (3): per-port per-round capacity, rows in deterministic
+	// order.
+	rows := make(map[portRound][]int)
 	for j := 0; j < vm.len(); j++ {
 		k := vm.key(j)
 		e := inst.Flows[k.flow]
 		pIn := inst.Switch.PortIndex(switchnet.In, e.In)
 		pOut := inst.Switch.PortIndex(switchnet.Out, e.Out)
-		rows[pt{pIn, k.round}] = append(rows[pt{pIn, k.round}], j)
-		rows[pt{pOut, k.round}] = append(rows[pt{pOut, k.round}], j)
+		rows[portRound{pIn, k.round}] = append(rows[portRound{pIn, k.round}], j)
+		rows[portRound{pOut, k.round}] = append(rows[portRound{pOut, k.round}], j)
 	}
-	for key, vars := range rows {
+	for _, key := range sortedPortRounds(rows) {
+		vars := rows[key]
 		val := make([]float64, len(vars))
 		for i := range vars {
 			val[i] = 1

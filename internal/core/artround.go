@@ -176,18 +176,19 @@ func solveInitialIntervalLP(inst *switchnet.Instance) ([]entry, float64, int, er
 			}
 			p.AddRow(idx, val, lp.GE, 1)
 		}
-		// Width-4 aligned windows: sum over t in [4a, 4a+4) at most 4*c_p.
-		type pw struct{ port, win int }
-		rows := make(map[pw][]int)
+		// Width-4 aligned windows: sum over t in [4a, 4a+4) at most 4*c_p,
+		// rows in deterministic order.
+		rows := make(map[portRound][]int)
 		for j := 0; j < vm.len(); j++ {
 			k := vm.key(j)
 			e := inst.Flows[k.flow]
 			pIn := inst.Switch.PortIndex(switchnet.In, e.In)
 			pOut := inst.Switch.PortIndex(switchnet.Out, e.Out)
-			rows[pw{pIn, k.round / 4}] = append(rows[pw{pIn, k.round / 4}], j)
-			rows[pw{pOut, k.round / 4}] = append(rows[pw{pOut, k.round / 4}], j)
+			rows[portRound{pIn, k.round / 4}] = append(rows[portRound{pIn, k.round / 4}], j)
+			rows[portRound{pOut, k.round / 4}] = append(rows[portRound{pOut, k.round / 4}], j)
 		}
-		for key, vars := range rows {
+		for _, key := range sortedPortRounds(rows) {
+			vars := rows[key]
 			val := make([]float64, len(vars))
 			for i := range val {
 				val[i] = 1
@@ -227,12 +228,19 @@ func solveRegroupedLP(inst *switchnet.Instance, entries []entry) ([]entry, int, 
 		p.SetCost(j, float64(en.round-e.Release)+0.5)
 		p.SetBounds(j, 0, 1)
 	}
-	// Flow covering rows.
+	// Flow covering rows, in ascending flow order (map iteration order
+	// would perturb the simplex pivot sequence run to run).
 	byFlow := make(map[int][]int)
+	flows := make([]int, 0, len(entries))
 	for j, en := range entries {
+		if _, ok := byFlow[en.flow]; !ok {
+			flows = append(flows, en.flow)
+		}
 		byFlow[en.flow] = append(byFlow[en.flow], j)
 	}
-	for _, idx := range byFlow {
+	sort.Ints(flows)
+	for _, f := range flows {
+		idx := byFlow[f]
 		val := make([]float64, len(idx))
 		for i := range val {
 			val[i] = 1

@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"flowsched/internal/switchnet"
 )
@@ -53,6 +54,28 @@ func (m *varMap) add(flow, round int) int {
 func (m *varMap) len() int { return len(m.keys) }
 
 func (m *varMap) key(j int) varKey { return m.keys[j] }
+
+// portRound keys a per-(port, round-or-window) constraint row.
+type portRound struct{ port, t int }
+
+// sortedPortRounds returns the map's keys ordered by (port, t). Constraint
+// rows must be added to LPs and rounding systems in this deterministic
+// order: map iteration order would otherwise vary per run, perturbing the
+// simplex pivot sequence and producing different (all individually valid)
+// schedules for the same instance — breaking reproducible sweeps.
+func sortedPortRounds(m map[portRound][]int) []portRound {
+	keys := make([]portRound, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].port != keys[b].port {
+			return keys[a].port < keys[b].port
+		}
+		return keys[a].t < keys[b].t
+	})
+	return keys
+}
 
 // requireUnitDemands guards the Theorem 1 pipeline, which the paper states
 // for unit flows.

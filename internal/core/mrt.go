@@ -69,18 +69,18 @@ func timeConstrainedLP(inst *switchnet.Instance, win Windows) (*lp.Problem, *var
 		p.AddRow(idx, val, lp.EQ, 1)
 	}
 	// Constraint (19): port capacity per round, one row per (port, round)
-	// that some window touches.
-	type pt struct{ port, t int }
-	rows := make(map[pt][]int)
+	// that some window touches, in deterministic order.
+	rows := make(map[portRound][]int)
 	for j := 0; j < vm.len(); j++ {
 		k := vm.key(j)
 		e := inst.Flows[k.flow]
 		pIn := inst.Switch.PortIndex(switchnet.In, e.In)
 		pOut := inst.Switch.PortIndex(switchnet.Out, e.Out)
-		rows[pt{pIn, k.round}] = append(rows[pt{pIn, k.round}], j)
-		rows[pt{pOut, k.round}] = append(rows[pt{pOut, k.round}], j)
+		rows[portRound{pIn, k.round}] = append(rows[portRound{pIn, k.round}], j)
+		rows[portRound{pOut, k.round}] = append(rows[portRound{pOut, k.round}], j)
 	}
-	for key, vars := range rows {
+	for _, key := range sortedPortRounds(rows) {
+		vars := rows[key]
 		val := make([]float64, len(vars))
 		for i, j := range vars {
 			val[i] = float64(inst.Flows[vm.key(j).flow].Demand)
@@ -156,17 +156,17 @@ func SolveTimeConstrained(inst *switchnet.Instance, win Windows) (*TimeConstrain
 		}
 		sys.AddRow(idx, coef, rounding.Lower, 1)
 	}
-	type pt struct{ port, t int }
-	capRows := make(map[pt][]int)
+	capRows := make(map[portRound][]int)
 	for j := 0; j < vm.len(); j++ {
 		k := vm.key(j)
 		e := inst.Flows[k.flow]
 		pIn := inst.Switch.PortIndex(switchnet.In, e.In)
 		pOut := inst.Switch.PortIndex(switchnet.Out, e.Out)
-		capRows[pt{pIn, k.round}] = append(capRows[pt{pIn, k.round}], j)
-		capRows[pt{pOut, k.round}] = append(capRows[pt{pOut, k.round}], j)
+		capRows[portRound{pIn, k.round}] = append(capRows[portRound{pIn, k.round}], j)
+		capRows[portRound{pOut, k.round}] = append(capRows[portRound{pOut, k.round}], j)
 	}
-	for _, vars := range capRows {
+	for _, key := range sortedPortRounds(capRows) {
+		vars := capRows[key]
 		coef := make([]float64, len(vars))
 		for i, j := range vars {
 			coef[i] = float64(inst.Flows[vm.key(j).flow].Demand)

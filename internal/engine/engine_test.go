@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"flowsched/internal/switchnet"
+	"flowsched/internal/workload"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		for _, n := range []int{0, 1, 7, 100} {
+			var hits = make([]int32, n)
+			ForEach(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachShardedExplicitShards(t *testing.T) {
+	var sum atomic.Int64
+	ForEachSharded(50, 4, 7, func(i int) { sum.Add(int64(i)) })
+	if got := sum.Load(); got != 49*50/2 {
+		t.Fatalf("sum = %d, want %d", got, 49*50/2)
+	}
+}
+
+func TestDeriveSeedStableAndSpread(t *testing.T) {
+	a := DeriveSeed(1, 0, 0)
+	if a != DeriveSeed(1, 0, 0) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 4; j++ {
+			s := DeriveSeed(1, i, j)
+			if seen[s] {
+				t.Fatalf("seed collision at (%d,%d)", i, j)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// renderSweep runs the default sweep at tiny scale and returns its rendered
+// table.
+func renderSweep(t *testing.T, workers int) string {
+	t.Helper()
+	cfg := DefaultSweep(4, 4, 2, 11, workers)
+	table := RunSweep(cfg)
+	if err := table.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if !table.AllVerified() {
+		t.Fatal("not all scenarios verified")
+	}
+	var buf bytes.Buffer
+	table.Render(&buf)
+	return buf.String()
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the acceptance criterion: the
+// default sweep crosses >=4 solvers with >=3 generators on a worker pool
+// with deterministic per-scenario seeds, every scenario passes the verify
+// oracle, and the same seed yields an identical result table regardless of
+// parallelism.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := DefaultSweep(4, 4, 2, 11, 1)
+	if len(cfg.Solvers) < 4 {
+		t.Fatalf("default registry has %d solvers, want >= 4", len(cfg.Solvers))
+	}
+	if len(cfg.Generators) < 3 {
+		t.Fatalf("default registry has %d generators, want >= 3", len(cfg.Generators))
+	}
+	serial := renderSweep(t, 1)
+	parallel := renderSweep(t, 8)
+	if serial != parallel {
+		t.Fatalf("sweep not deterministic across worker counts:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "true") || strings.Contains(serial, "false") {
+		t.Fatalf("expected every row verified:\n%s", serial)
+	}
+}
+
+// TestSweepSharesDrawsAcrossSolvers: all solvers inside one trial get the
+// same seed, hence judge the same instance draw.
+func TestSweepSharesDrawsAcrossSolvers(t *testing.T) {
+	cfg := DefaultSweep(3, 3, 1, 5, 1)
+	scenarios := cfg.Scenarios()
+	if len(scenarios) != len(cfg.Solvers)*len(cfg.Generators) {
+		t.Fatalf("got %d scenarios, want %d", len(scenarios), len(cfg.Solvers)*len(cfg.Generators))
+	}
+	perTrial := map[string]int64{}
+	for _, sc := range scenarios {
+		key := sc.Workload.Name()
+		if prev, ok := perTrial[key]; ok && prev != sc.Seed {
+			t.Fatalf("solvers of one trial got different seeds: %d vs %d", prev, sc.Seed)
+		}
+		perTrial[key] = sc.Seed
+	}
+}
+
+func TestRunRecordsSolverFailuresWithoutAborting(t *testing.T) {
+	// ART requires unit demands; a general-demand instance must fail its
+	// scenario while the neighboring one still succeeds.
+	inst := &switchnet.Instance{
+		Switch: switchnet.NewSwitch(2, 2, 3),
+		Flows:  []switchnet.Flow{{In: 0, Out: 0, Demand: 2, Release: 0}},
+	}
+	scenarios := []Scenario{
+		{Seed: 1, Workload: FixedGen{Label: "general", Inst: inst}, Solver: ARTSolver{C: 1}},
+		{Seed: 1, Workload: FixedGen{Label: "general", Inst: inst}, Solver: MRTSolver{}},
+	}
+	verdicts := Run(scenarios, Options{Workers: 2})
+	if verdicts[0].Err == nil || verdicts[0].Verified {
+		t.Fatal("ART on general demands should fail")
+	}
+	if verdicts[1].Err != nil || !verdicts[1].Verified {
+		t.Fatalf("MRT should succeed, got %v", verdicts[1].Err)
+	}
+	table := NewResultTable(verdicts)
+	if table.AllVerified() {
+		t.Fatal("table should not be all-verified")
+	}
+	if table.FirstError() == nil {
+		t.Fatal("FirstError should surface the ART failure")
+	}
+}
+
+// TestCoflowSolverRemapsToOriginalIndices: the coflow adapter must return a
+// schedule indexed by the original instance's flow order even though the
+// flattening reorders flows by release.
+func TestCoflowSolverRemapsToOriginalIndices(t *testing.T) {
+	// Deliberately interleave releases so flattening reorders.
+	inst := &switchnet.Instance{
+		Switch: switchnet.UnitSwitch(3),
+		Flows: []switchnet.Flow{
+			{In: 0, Out: 0, Demand: 1, Release: 2},
+			{In: 1, Out: 1, Demand: 1, Release: 0},
+			{In: 0, Out: 1, Demand: 1, Release: 2},
+			{In: 2, Out: 2, Demand: 1, Release: 0},
+		},
+	}
+	for _, pol := range []string{"SEBF", "SCF", "FIFO"} {
+		sol, err := (CoflowSolver{Policy: pol}).Solve(inst)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		for f, e := range inst.Flows {
+			if sol.Schedule.Round[f] < e.Release {
+				t.Fatalf("%s: flow %d at round %d before release %d (bad remap)",
+					pol, f, sol.Schedule.Round[f], e.Release)
+			}
+		}
+		if sol.Stats["coflows"] != 2 {
+			t.Fatalf("%s: grouped %v coflows, want 2", pol, sol.Stats["coflows"])
+		}
+	}
+}
+
+func TestFixedGenClones(t *testing.T) {
+	inst := &switchnet.Instance{
+		Switch: switchnet.UnitSwitch(2),
+		Flows:  []switchnet.Flow{{In: 0, Out: 0, Demand: 1, Release: 0}},
+	}
+	g := FixedGen{Inst: inst}
+	a := g.Generate(rand.New(rand.NewSource(1)))
+	a.Flows[0].Release = 99
+	if inst.Flows[0].Release != 0 {
+		t.Fatal("FixedGen leaked its backing instance")
+	}
+}
+
+func TestSolverByName(t *testing.T) {
+	for _, name := range []string{"ART(c=1)", "MRT", "AMRT", "MaxCard", "MinRTime", "MaxWeight", "FIFO", "GreedyAge", "Coflow/SEBF", "Coflow/SCF", "Coflow/FIFO"} {
+		if SolverByName(name) == nil {
+			t.Fatalf("SolverByName(%q) = nil", name)
+		}
+	}
+	if SolverByName("nope") != nil {
+		t.Fatal("unknown name should resolve to nil")
+	}
+}
+
+func TestResultTableCSV(t *testing.T) {
+	cfg := SweepConfig{
+		Solvers:    []Solver{PolicySolver{Policy: SolverByName("MaxCard").(PolicySolver).Policy}},
+		Generators: []Generator{PoissonGen{Cfg: workload.PoissonConfig{M: 2, T: 3, Ports: 3}}},
+		Trials:     2,
+		Seed:       3,
+	}
+	table := RunSweep(cfg)
+	var buf bytes.Buffer
+	if err := table.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 rows:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "workload,solver,seed") {
+		t.Fatalf("bad header %q", lines[0])
+	}
+}
+
+// TestEmptyInstanceScenarios: zero-flow draws must verify trivially for
+// every registered solver.
+func TestEmptyInstanceScenarios(t *testing.T) {
+	empty := &switchnet.Instance{Switch: switchnet.UnitSwitch(2)}
+	var scenarios []Scenario
+	for _, s := range Solvers() {
+		scenarios = append(scenarios, Scenario{Seed: 1, Workload: FixedGen{Label: "empty", Inst: empty}, Solver: s})
+	}
+	for _, v := range Run(scenarios, Options{Workers: 2}) {
+		if v.Err != nil || !v.Verified {
+			t.Fatalf("%s on empty instance: %v", v.Scenario.Solver.Name(), v.Err)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"flowsched/internal/coflow"
+	"flowsched/internal/core"
+	"flowsched/internal/heuristics"
+	"flowsched/internal/sim"
+	"flowsched/internal/switchnet"
+)
+
+// ARTSolver adapts SolveART (Theorem 1): unit-demand instances, capacities
+// scaled by 1+C.
+type ARTSolver struct {
+	// C >= 1 is the capacity augmentation parameter.
+	C int
+}
+
+// Name implements Solver.
+func (s ARTSolver) Name() string { return fmt.Sprintf("ART(c=%d)", s.C) }
+
+// Solve implements Solver.
+func (s ARTSolver) Solve(inst *switchnet.Instance) (*Solution, error) {
+	res, err := core.SolveART(inst, s.C)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Schedule: res.Schedule,
+		Caps:     switchnet.ScaleCaps(inst.Switch.Caps(), res.CapFactor),
+		Stats: map[string]float64{
+			"lp_bound":   res.LPBound,
+			"window_h":   float64(res.WindowH),
+			"lp_pivots":  float64(res.LPIterations),
+			"cap_factor": float64(res.CapFactor),
+		},
+	}, nil
+}
+
+// MRTSolver adapts SolveMRT (Theorem 3): optimal maximum response time with
+// additive augmentation 2*d_max-1.
+type MRTSolver struct{}
+
+// Name implements Solver.
+func (MRTSolver) Name() string { return "MRT" }
+
+// Solve implements Solver.
+func (MRTSolver) Solve(inst *switchnet.Instance) (*Solution, error) {
+	res, err := core.SolveMRT(inst)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Schedule: res.Schedule,
+		Caps:     switchnet.AddCaps(inst.Switch.Caps(), res.CapIncrease),
+		Stats: map[string]float64{
+			"rho":          float64(res.Rho),
+			"cap_increase": float64(res.CapIncrease),
+			"lp_pivots":    float64(res.LPIterations),
+		},
+	}, nil
+}
+
+// TimeConstrainedSolver adapts SolveTimeConstrained with the FS-MRT window
+// family [r_e, r_e+Rho): it either schedules every flow within Rho rounds
+// of release (augmentation 2*d_max-1) or fails with core.ErrInfeasible.
+type TimeConstrainedSolver struct {
+	// Rho is the per-flow response window length.
+	Rho int
+}
+
+// Name implements Solver.
+func (s TimeConstrainedSolver) Name() string { return fmt.Sprintf("TC(rho=%d)", s.Rho) }
+
+// Solve implements Solver.
+func (s TimeConstrainedSolver) Solve(inst *switchnet.Instance) (*Solution, error) {
+	res, err := core.SolveTimeConstrained(inst, core.ResponseWindows(inst, s.Rho))
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Schedule: res.Schedule,
+		Caps:     switchnet.AddCaps(inst.Switch.Caps(), res.CapIncrease),
+		Stats: map[string]float64{
+			"cap_increase": float64(res.CapIncrease),
+			"lp_pivots":    float64(res.LPIterations),
+		},
+	}, nil
+}
+
+// AMRTSolver adapts OnlineAMRT (Lemma 5.3): online batching, capacities
+// 2*(c_p + 2*d_max - 1).
+type AMRTSolver struct{}
+
+// Name implements Solver.
+func (AMRTSolver) Name() string { return "AMRT" }
+
+// Solve implements Solver.
+func (AMRTSolver) Solve(inst *switchnet.Instance) (*Solution, error) {
+	res, err := core.OnlineAMRT(inst)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Schedule: res.Schedule,
+		Caps:     core.AMRTCaps(inst),
+		Stats: map[string]float64{
+			"final_rho":   float64(res.FinalRho),
+			"rho_bumps":   float64(res.RhoBumps),
+			"checkpoints": float64(res.Checkpoints),
+		},
+	}, nil
+}
+
+// PolicySolver adapts a sim.Policy (the Section 5.2 heuristics and the
+// greedy/FIFO ablations): the simulator enforces raw capacities, so the
+// declared augmentation is none.
+type PolicySolver struct {
+	Policy sim.Policy
+}
+
+// Name implements Solver.
+func (s PolicySolver) Name() string { return s.Policy.Name() }
+
+// Solve implements Solver.
+func (s PolicySolver) Solve(inst *switchnet.Instance) (*Solution, error) {
+	res, err := sim.Run(inst, s.Policy)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Schedule: res.Schedule,
+		Caps:     inst.Switch.Caps(),
+		Stats:    map[string]float64{"rounds": float64(res.Rounds)},
+	}, nil
+}
+
+// CoflowSolver adapts the coflow policies (Varys-style SEBF, SCF, FIFO) to
+// plain flow instances by treating each release round's flows as one
+// coflow — the natural batch semantics of a shuffle stage — then mapping
+// the flattened schedule back onto the original flow indices.
+type CoflowSolver struct {
+	// Policy is "SEBF", "SCF" or "FIFO".
+	Policy string
+}
+
+// Name implements Solver.
+func (s CoflowSolver) Name() string { return "Coflow/" + s.Policy }
+
+// Solve implements Solver.
+func (s CoflowSolver) Solve(inst *switchnet.Instance) (*Solution, error) {
+	// Group flow indices by release round, ascending.
+	byRelease := map[int][]int{}
+	for f, e := range inst.Flows {
+		byRelease[e.Release] = append(byRelease[e.Release], f)
+	}
+	releases := make([]int, 0, len(byRelease))
+	for r := range byRelease {
+		releases = append(releases, r)
+	}
+	sort.Ints(releases)
+
+	cin := &coflow.Instance{Switch: inst.Switch}
+	var orig []int // flattened index -> original flow index
+	for _, r := range releases {
+		cf := coflow.Coflow{Release: r}
+		for _, f := range byRelease[r] {
+			cf.Members = append(cf.Members, inst.Flows[f])
+			orig = append(orig, f)
+		}
+		cin.Coflows = append(cin.Coflows, cf)
+	}
+
+	var mk func(owner []int) sim.Policy
+	switch s.Policy {
+	case "SEBF":
+		mk = coflow.SEBF
+	case "SCF":
+		mk = coflow.SCF
+	case "FIFO":
+		mk = func(owner []int) sim.Policy { return coflow.FIFO(cin, owner) }
+	default:
+		return nil, fmt.Errorf("engine: unknown coflow policy %q", s.Policy)
+	}
+	cfRes, simRes, err := coflow.Run(cin, mk)
+	if err != nil {
+		return nil, err
+	}
+	sched := switchnet.NewSchedule(inst.N())
+	for i, f := range orig {
+		sched.Round[f] = simRes.Schedule.Round[i]
+	}
+	return &Solution{
+		Schedule: sched,
+		Caps:     inst.Switch.Caps(),
+		Stats: map[string]float64{
+			"coflows":           float64(len(cin.Coflows)),
+			"coflow_total_resp": float64(cfRes.TotalResponse),
+			"coflow_max_resp":   float64(cfRes.MaxResponse),
+			"rounds":            float64(simRes.Rounds),
+		},
+	}, nil
+}
+
+// Solvers returns the default solver registry: the paper's two offline
+// algorithms, the online batching algorithm, the three simulation
+// heuristics, and the coflow extension.
+func Solvers() []Solver {
+	out := []Solver{ARTSolver{C: 1}, MRTSolver{}, AMRTSolver{}}
+	for _, p := range heuristics.All() {
+		out = append(out, PolicySolver{Policy: p})
+	}
+	return append(out, CoflowSolver{Policy: "SEBF"})
+}
+
+// SolverByName resolves a registered solver by Name; nil if unknown. Sim
+// policies outside the default registry (FIFO, GreedyAge) resolve too.
+func SolverByName(name string) Solver {
+	for _, s := range Solvers() {
+		if s.Name() == name {
+			return s
+		}
+	}
+	if p := heuristics.ByName(name); p != nil {
+		return PolicySolver{Policy: p}
+	}
+	switch name {
+	case "Coflow/SCF":
+		return CoflowSolver{Policy: "SCF"}
+	case "Coflow/FIFO":
+		return CoflowSolver{Policy: "FIFO"}
+	}
+	return nil
+}

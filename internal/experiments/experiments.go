@@ -18,15 +18,15 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
-	"runtime"
-	"sync"
 
 	"flowsched/internal/core"
+	"flowsched/internal/engine"
 	"flowsched/internal/heuristics"
 	"flowsched/internal/plot"
 	"flowsched/internal/sim"
 	"flowsched/internal/stats"
 	"flowsched/internal/switchnet"
+	"flowsched/internal/verify"
 	"flowsched/internal/workload"
 )
 
@@ -84,25 +84,6 @@ func ratioName(r float64) string {
 	}
 }
 
-// parallelFor runs fn(i) for i in [0,n) on a bounded pool.
-func parallelFor(n, workers int, fn func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			fn(i)
-		}(i)
-	}
-	wg.Wait()
-}
-
 // seedFor derives a deterministic seed per (base, ratio, T, trial).
 func seedFor(base int64, ri, T, trial int) int64 {
 	return base + int64(ri)*1_000_003 + int64(T)*7919 + int64(trial)*104729 + 17
@@ -111,8 +92,8 @@ func seedFor(base int64, ri, T, trial int) int64 {
 // Fig6 regenerates the average-response-time panels of Figure 6: one chart
 // per load ratio, series per heuristic plus the LP (1)-(4) lower bound.
 func Fig6(cfg Config, w io.Writer) ([]*plot.Chart, error) {
-	return figure(cfg, w, "fig6", "avg response time", func(res *sim.Result, inst *switchnet.Instance) float64 {
-		return res.AvgResponse
+	return figure(cfg, w, "fig6", "avg response time", func(rep *verify.Report) float64 {
+		return rep.AvgResponse
 	}, func(inst *switchnet.Instance) (float64, error) {
 		lb, err := core.ARTLowerBound(inst)
 		if err != nil {
@@ -125,17 +106,20 @@ func Fig6(cfg Config, w io.Writer) ([]*plot.Chart, error) {
 // Fig7 regenerates the maximum-response-time panels of Figure 7 with the
 // binary-search LP (19)-(21) lower bound.
 func Fig7(cfg Config, w io.Writer) ([]*plot.Chart, error) {
-	return figure(cfg, w, "fig7", "max response time", func(res *sim.Result, inst *switchnet.Instance) float64 {
-		return float64(res.MaxResponse)
+	return figure(cfg, w, "fig7", "max response time", func(rep *verify.Report) float64 {
+		return float64(rep.MaxResponse)
 	}, func(inst *switchnet.Instance) (float64, error) {
 		rho, err := core.MRTLowerBound(inst)
 		return float64(rho), err
 	})
 }
 
-// figure is the shared Figure 6/7 driver.
+// figure is the shared Figure 6/7 driver. Heuristic cells run as engine
+// scenarios, so every plotted point comes from a schedule the verify oracle
+// accepted; the metric is read from the oracle's recomputation, never from
+// the simulator's own claim.
 func figure(cfg Config, w io.Writer, name, ylabel string,
-	metric func(*sim.Result, *switchnet.Instance) float64,
+	metric func(*verify.Report) float64,
 	lowerBound func(*switchnet.Instance) (float64, error)) ([]*plot.Chart, error) {
 
 	pols := heuristics.All()
@@ -148,39 +132,30 @@ func figure(cfg Config, w io.Writer, name, ylabel string,
 			YLabel: ylabel,
 		}
 
-		// Heuristic curves (parallel over T x policy x trial).
+		// Heuristic curves: one scenario per T x policy x trial.
 		type cell struct {
 			T     int
 			pol   sim.Policy
 			trial int
 		}
 		var cells []cell
+		var scenarios []engine.Scenario
 		for _, T := range cfg.HeurT {
 			for _, pol := range pols {
 				for tr := 0; tr < cfg.Trials; tr++ {
 					cells = append(cells, cell{T, pol, tr})
+					scenarios = append(scenarios, engine.Scenario{
+						Seed:     seedFor(cfg.Seed, ri, T, tr),
+						Workload: engine.PoissonGen{Cfg: workload.PoissonConfig{M: M, T: T, Ports: cfg.Ports}},
+						Solver:   engine.PolicySolver{Policy: pol},
+					})
 				}
 			}
 		}
-		vals := make([]float64, len(cells))
-		errs := make([]error, len(cells))
-		parallelFor(len(cells), cfg.Workers, func(i int) {
-			c := cells[i]
-			rng := rand.New(rand.NewSource(seedFor(cfg.Seed, ri, c.T, c.trial)))
-			inst := workload.PoissonConfig{M: M, T: c.T, Ports: cfg.Ports}.Generate(rng)
-			if inst.N() == 0 {
-				return
-			}
-			res, err := sim.Run(inst, c.pol)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			vals[i] = metric(res, inst)
-		})
-		for i, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("%s cell %d: %w", name, i, err)
+		verdicts := engine.Run(scenarios, engine.Options{Workers: cfg.Workers})
+		for i, v := range verdicts {
+			if v.Err != nil {
+				return nil, fmt.Errorf("%s cell %d: %w", name, i, v.Err)
 			}
 		}
 		for _, T := range cfg.HeurT {
@@ -188,14 +163,15 @@ func figure(cfg Config, w io.Writer, name, ylabel string,
 				var xs []float64
 				for i, c := range cells {
 					if c.T == T && c.pol.Name() == pol.Name() {
-						xs = append(xs, vals[i])
+						xs = append(xs, metric(verdicts[i].Report))
 					}
 				}
 				chart.AddPoint(pol.Name(), float64(T), stats.Mean(xs))
 			}
 		}
 
-		// LP baseline curve.
+		// LP baseline curve (bounds, not schedules: plain fan-out on the
+		// engine's pool).
 		if cfg.EnableLP {
 			type lpCell struct{ T, trial int }
 			var lpCells []lpCell
@@ -206,7 +182,7 @@ func figure(cfg Config, w io.Writer, name, ylabel string,
 			}
 			lpVals := make([]float64, len(lpCells))
 			lpErrs := make([]error, len(lpCells))
-			parallelFor(len(lpCells), cfg.Workers, func(i int) {
+			engine.ForEach(len(lpCells), cfg.Workers, func(i int) {
 				c := lpCells[i]
 				// Same seeds as the heuristics' first trials: the LP
 				// bound applies to the same instance draws.
@@ -250,6 +226,40 @@ func figure(cfg Config, w io.Writer, name, ylabel string,
 		}
 	}
 	return charts, nil
+}
+
+// SweepTable runs the full default engine sweep (every registered solver
+// crossed with the default workload patterns) at the configuration's scale
+// and renders its verified result table.
+func SweepTable(cfg Config, w io.Writer) (*engine.ResultTable, error) {
+	T := 4
+	if len(cfg.HeurT) > 0 {
+		T = cfg.HeurT[0]
+	}
+	table := engine.RunSweep(engine.DefaultSweep(cfg.Ports, T, cfg.Trials, cfg.Seed, cfg.Workers))
+	if err := table.FirstError(); err != nil {
+		return nil, err
+	}
+	if w != nil {
+		table.Render(w)
+	}
+	if cfg.OutDir != "" {
+		if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+			return nil, err
+		}
+		f, err := os.Create(filepath.Join(cfg.OutDir, "engine_sweep.csv"))
+		if err != nil {
+			return nil, err
+		}
+		if err := table.WriteCSV(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return table, nil
 }
 
 // writeChart dumps CSV and ASCII renderings of a chart into dir.

@@ -174,8 +174,12 @@ type policyFunc func(*State) []int
 func (policyFunc) Name() string          { return "func" }
 func (f policyFunc) Pick(s *State) []int { return f(s) }
 
-func TestRunGridParallelAndDeterministic(t *testing.T) {
-	gen := func(rng *rand.Rand) *switchnet.Instance {
+// TestRunDeterministicPerSeed: the simulator itself is a pure function of
+// (instance, policy); grid fan-out determinism is covered by the engine
+// package, which replaced sim's bespoke RunGrid pool.
+func TestRunDeterministicPerSeed(t *testing.T) {
+	gen := func(seed int64) *switchnet.Instance {
+		rng := rand.New(rand.NewSource(seed))
 		inst := &switchnet.Instance{Switch: switchnet.UnitSwitch(3)}
 		for i := 0; i < 10; i++ {
 			inst.Flows = append(inst.Flows, switchnet.Flow{
@@ -184,22 +188,15 @@ func TestRunGridParallelAndDeterministic(t *testing.T) {
 		}
 		return inst
 	}
-	var trials []Trial
-	for i := 0; i < 12; i++ {
-		trials = append(trials, Trial{Label: "t", Seed: int64(i % 3), Generate: gen, Policy: takeAll{}})
-	}
-	res1 := RunGrid(trials, 4)
-	res2 := RunGrid(trials, 1)
-	if err := FirstError(res1); err != nil {
+	a, err := Run(gen(5), takeAll{})
+	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range res1 {
-		if res1[i].Res.TotalResponse != res2[i].Res.TotalResponse {
-			t.Fatalf("trial %d not deterministic across worker counts", i)
-		}
+	b, err := Run(gen(5), takeAll{})
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Same seed => same result.
-	if res1[0].Res.TotalResponse != res1[3].Res.TotalResponse {
+	if a.TotalResponse != b.TotalResponse || a.Rounds != b.Rounds {
 		t.Fatal("same seed gave different results")
 	}
 }

@@ -1,0 +1,57 @@
+package switchnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadInstance fuzzes the JSON instance decoder — one of the two
+// surfaces that accept external input. ReadInstance must never panic, and
+// any instance it accepts must survive a WriteInstance/ReadInstance round
+// trip unchanged.
+func FuzzReadInstance(f *testing.F) {
+	f.Add(`{"in_caps":[1,1],"out_caps":[1,1],"flows":[{"in":0,"out":1,"demand":1,"release":0}]}`)
+	f.Add(`{"in_caps":[2],"out_caps":[2],"flows":[]}`)
+	f.Add(`{}`)
+	f.Add(`[]`)
+	f.Add(`{"in_caps":[0],"out_caps":[1],"flows":[{"in":0,"out":0,"demand":1,"release":0}]}`)
+	f.Add(`{"in_caps":[1],"out_caps":[1],"flows":[{"in":5,"out":0,"demand":1,"release":0}]}`)
+	f.Add(`{"in_caps":[1],"out_caps":[1],"flows":[{"in":0,"out":0,"demand":-1,"release":-7}]}`)
+	f.Add(`not json`)
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > 1<<16 {
+			return
+		}
+		inst, err := ReadInstance(bytes.NewReader([]byte(data)))
+		if err != nil {
+			return
+		}
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("ReadInstance accepted an invalid instance: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteInstance(&buf, inst); err != nil {
+			t.Fatalf("WriteInstance failed on accepted instance: %v", err)
+		}
+		back, err := ReadInstance(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\njson:\n%s", err, buf.String())
+		}
+		if back.Switch.NumIn() != inst.Switch.NumIn() || back.Switch.NumOut() != inst.Switch.NumOut() {
+			t.Fatal("round trip changed port counts")
+		}
+		for p := 0; p < inst.Switch.NumPorts(); p++ {
+			if inst.Switch.Cap(p) != back.Switch.Cap(p) {
+				t.Fatalf("round trip changed capacity of port %d", p)
+			}
+		}
+		if len(back.Flows) != len(inst.Flows) {
+			t.Fatalf("round trip changed flow count: %d -> %d", len(inst.Flows), len(back.Flows))
+		}
+		for i := range inst.Flows {
+			if inst.Flows[i] != back.Flows[i] {
+				t.Fatalf("round trip changed flow %d: %+v -> %+v", i, inst.Flows[i], back.Flows[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,172 @@
+// Package verify is the repository's trusted feasibility oracle for flow
+// schedules. It re-derives, from first principles and independently of the
+// solver code paths, whether a produced schedule is a real schedule for its
+// instance: every flow assigned a round, no flow before its release, full
+// demand delivery, and no port loaded beyond the stated (possibly augmented)
+// capacity in any round. It also recomputes the paper's response-time
+// metrics from the raw assignment so experiment tables never report numbers
+// a solver merely claims.
+//
+// The package deliberately duplicates rather than calls
+// switchnet.Schedule.Validate: an oracle shared by property tests, the
+// scenario engine, and the experiment drivers must not inherit a bug from
+// the code it checks.
+package verify
+
+import (
+	"fmt"
+
+	"flowsched/internal/switchnet"
+)
+
+// Report is the outcome of checking one schedule against one instance. All
+// metric fields are recomputed here from the assignment, not copied from
+// solver results.
+type Report struct {
+	// Flows is the instance size n; Scheduled counts flows with an
+	// assigned round.
+	Flows     int
+	Scheduled int
+	// DeliveredDemand sums the demands of scheduled flows; TotalDemand is
+	// the instance's demand mass. Full delivery means the two are equal
+	// and Scheduled == Flows.
+	DeliveredDemand int
+	TotalDemand     int
+	// TotalResponse, AvgResponse and MaxResponse are the paper's metrics
+	// (C_e = round+1 convention), over the scheduled flows.
+	TotalResponse int
+	AvgResponse   float64
+	MaxResponse   int
+	// Makespan is one past the last used round.
+	Makespan int
+	// MaxOverload is the largest amount by which any (port, round) load
+	// exceeds the checked capacities; 0 for a capacity-feasible schedule.
+	MaxOverload int
+	// Violations lists every feasibility violation found, in a stable
+	// order. Empty iff the schedule is feasible.
+	Violations []string
+}
+
+// Feasible reports whether the check found no violations.
+func (r *Report) Feasible() bool { return len(r.Violations) == 0 }
+
+// Err returns nil for a feasible report, or an error naming the first
+// violation (and the total count).
+func (r *Report) Err() error {
+	if r.Feasible() {
+		return nil
+	}
+	if len(r.Violations) == 1 {
+		return fmt.Errorf("verify: %s", r.Violations[0])
+	}
+	return fmt.Errorf("verify: %s (and %d more violations)", r.Violations[0], len(r.Violations)-1)
+}
+
+// maxViolations bounds the recorded violation list so adversarial inputs
+// cannot balloon reports; the count of further violations is still implied
+// by MaxOverload / Scheduled.
+const maxViolations = 32
+
+// CheckSchedule validates sched against inst under the per-port capacities
+// caps (global index order: inputs then outputs; pass
+// inst.Switch.Caps() for unaugmented checking). It returns a Report with
+// recomputed metrics and the violation list, and a non-nil error iff the
+// schedule is not a real schedule for the instance under caps.
+//
+// Structural mismatches (wrong schedule length, wrong capacity count) are
+// returned as errors with a nil report, since no meaningful metrics exist.
+func CheckSchedule(inst *switchnet.Instance, sched *switchnet.Schedule, caps []int) (*Report, error) {
+	if inst == nil || sched == nil {
+		return nil, fmt.Errorf("verify: nil %s", map[bool]string{true: "instance", false: "schedule"}[inst == nil])
+	}
+	if len(sched.Round) != len(inst.Flows) {
+		return nil, fmt.Errorf("verify: schedule covers %d flows, instance has %d", len(sched.Round), len(inst.Flows))
+	}
+	if len(caps) != inst.Switch.NumPorts() {
+		return nil, fmt.Errorf("verify: got %d capacities, instance has %d ports", len(caps), inst.Switch.NumPorts())
+	}
+
+	rep := &Report{Flows: len(inst.Flows)}
+	violate := func(format string, args ...any) {
+		if len(rep.Violations) < maxViolations {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// Per-flow checks and metric accumulation.
+	type pr struct{ port, round int }
+	loads := make(map[pr]int)
+	for f, e := range inst.Flows {
+		rep.TotalDemand += e.Demand
+		t := sched.Round[f]
+		if t == switchnet.Unscheduled {
+			violate("flow %d is unscheduled", f)
+			continue
+		}
+		if t < 0 {
+			violate("flow %d assigned negative round %d", f, t)
+			continue
+		}
+		rep.Scheduled++
+		rep.DeliveredDemand += e.Demand
+		if t < e.Release {
+			violate("flow %d scheduled at round %d before release %d", f, t, e.Release)
+		}
+		resp := t + 1 - e.Release
+		rep.TotalResponse += resp
+		if resp > rep.MaxResponse {
+			rep.MaxResponse = resp
+		}
+		if t+1 > rep.Makespan {
+			rep.Makespan = t + 1
+		}
+		loads[pr{inst.Switch.PortIndex(switchnet.In, e.In), t}] += e.Demand
+		loads[pr{inst.Switch.PortIndex(switchnet.Out, e.Out), t}] += e.Demand
+	}
+	if rep.Scheduled > 0 {
+		rep.AvgResponse = float64(rep.TotalResponse) / float64(rep.Scheduled)
+	}
+
+	// Port-capacity checks. Map iteration order is random, so collect the
+	// worst overload unconditionally and report violations deterministically
+	// by a second pass over flows' (port, round) pairs.
+	for key, load := range loads {
+		if over := load - caps[key.port]; over > rep.MaxOverload {
+			rep.MaxOverload = over
+		}
+	}
+	if rep.MaxOverload > 0 {
+		seen := make(map[pr]bool)
+		for f, e := range inst.Flows {
+			t := sched.Round[f]
+			if t == switchnet.Unscheduled || t < 0 {
+				continue
+			}
+			for _, key := range []pr{
+				{inst.Switch.PortIndex(switchnet.In, e.In), t},
+				{inst.Switch.PortIndex(switchnet.Out, e.Out), t},
+			} {
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				if load := loads[key]; load > caps[key.port] {
+					violate("round %d: port %d loaded %d > capacity %d", key.round, key.port, load, caps[key.port])
+				}
+			}
+		}
+	}
+	return rep, rep.Err()
+}
+
+// CheckScaled checks sched under port capacities scaled by factor — the
+// "(1+c) times the capacity" augmentation of Theorem 1.
+func CheckScaled(inst *switchnet.Instance, sched *switchnet.Schedule, factor int) (*Report, error) {
+	return CheckSchedule(inst, sched, switchnet.ScaleCaps(inst.Switch.Caps(), factor))
+}
+
+// CheckAugmented checks sched under port capacities increased by delta —
+// the "+2*d_max-1" augmentation of Theorem 3.
+func CheckAugmented(inst *switchnet.Instance, sched *switchnet.Schedule, delta int) (*Report, error) {
+	return CheckSchedule(inst, sched, switchnet.AddCaps(inst.Switch.Caps(), delta))
+}

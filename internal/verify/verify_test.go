@@ -1,0 +1,162 @@
+package verify
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flowsched/internal/switchnet"
+)
+
+// twoFlowInstance returns two unit flows contending for output 0 on a 2x2
+// unit switch.
+func twoFlowInstance() *switchnet.Instance {
+	return &switchnet.Instance{
+		Switch: switchnet.UnitSwitch(2),
+		Flows: []switchnet.Flow{
+			{In: 0, Out: 0, Demand: 1, Release: 0},
+			{In: 1, Out: 0, Demand: 1, Release: 1},
+		},
+	}
+}
+
+func TestCheckScheduleFeasible(t *testing.T) {
+	inst := twoFlowInstance()
+	sched := &switchnet.Schedule{Round: []int{0, 1}}
+	rep, err := CheckSchedule(inst, sched, inst.Switch.Caps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Feasible() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.Scheduled != 2 || rep.DeliveredDemand != 2 || rep.TotalDemand != 2 {
+		t.Fatalf("delivery accounting wrong: %+v", rep)
+	}
+	// Responses: flow 0: 0+1-0 = 1; flow 1: 1+1-1 = 1.
+	if rep.TotalResponse != 2 || rep.MaxResponse != 1 || rep.AvgResponse != 1 {
+		t.Fatalf("metrics wrong: %+v", rep)
+	}
+	if rep.Makespan != 2 {
+		t.Fatalf("makespan = %d, want 2", rep.Makespan)
+	}
+}
+
+func TestCheckScheduleUnscheduledFlow(t *testing.T) {
+	inst := twoFlowInstance()
+	sched := &switchnet.Schedule{Round: []int{0, switchnet.Unscheduled}}
+	rep, err := CheckSchedule(inst, sched, inst.Switch.Caps())
+	if err == nil {
+		t.Fatal("want error for unscheduled flow")
+	}
+	if rep.Scheduled != 1 || rep.DeliveredDemand != 1 || rep.TotalDemand != 2 {
+		t.Fatalf("partial delivery accounting wrong: %+v", rep)
+	}
+	if !strings.Contains(rep.Violations[0], "unscheduled") {
+		t.Fatalf("violation = %q", rep.Violations[0])
+	}
+}
+
+func TestCheckScheduleBeforeRelease(t *testing.T) {
+	inst := twoFlowInstance()
+	sched := &switchnet.Schedule{Round: []int{0, 0}} // flow 1 released at 1
+	rep, err := CheckSchedule(inst, sched, switchnet.ScaleCaps(inst.Switch.Caps(), 2))
+	if err == nil {
+		t.Fatal("want error for scheduling before release")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "before release") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations = %v", rep.Violations)
+	}
+}
+
+func TestCheckScheduleOverload(t *testing.T) {
+	inst := &switchnet.Instance{
+		Switch: switchnet.UnitSwitch(2),
+		Flows: []switchnet.Flow{
+			{In: 0, Out: 0, Demand: 1, Release: 0},
+			{In: 1, Out: 0, Demand: 1, Release: 0},
+		},
+	}
+	sched := &switchnet.Schedule{Round: []int{0, 0}} // output 0 doubly loaded
+	rep, err := CheckSchedule(inst, sched, inst.Switch.Caps())
+	if err == nil {
+		t.Fatal("want overload error")
+	}
+	if rep.MaxOverload != 1 {
+		t.Fatalf("MaxOverload = %d, want 1", rep.MaxOverload)
+	}
+	// The same schedule passes under doubled capacities.
+	if _, err := CheckScaled(inst, sched, 2); err != nil {
+		t.Fatal(err)
+	}
+	// And under +1 additive augmentation.
+	if _, err := CheckAugmented(inst, sched, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckScheduleStructuralErrors(t *testing.T) {
+	inst := twoFlowInstance()
+	if _, err := CheckSchedule(inst, &switchnet.Schedule{Round: []int{0}}, inst.Switch.Caps()); err == nil {
+		t.Fatal("want length-mismatch error")
+	}
+	if _, err := CheckSchedule(inst, &switchnet.Schedule{Round: []int{0, 1}}, []int{1}); err == nil {
+		t.Fatal("want capacity-count error")
+	}
+	if _, err := CheckSchedule(nil, &switchnet.Schedule{}, nil); err == nil {
+		t.Fatal("want nil-instance error")
+	}
+	if _, err := CheckSchedule(inst, nil, inst.Switch.Caps()); err == nil {
+		t.Fatal("want nil-schedule error")
+	}
+}
+
+// TestReportMatchesScheduleMethods cross-checks the oracle's recomputed
+// metrics against the switchnet.Schedule methods on random feasible-by-
+// construction schedules (each flow in its own round).
+func TestReportMatchesScheduleMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(4)
+		n := 1 + rng.Intn(12)
+		inst := &switchnet.Instance{Switch: switchnet.UnitSwitch(m)}
+		sched := switchnet.NewSchedule(n)
+		for f := 0; f < n; f++ {
+			inst.Flows = append(inst.Flows, switchnet.Flow{
+				In: rng.Intn(m), Out: rng.Intn(m), Demand: 1, Release: rng.Intn(5),
+			})
+		}
+		// One flow per round (past its release): feasible on any switch.
+		used := map[int]bool{}
+		for f := 0; f < n; f++ {
+			t := inst.Flows[f].Release
+			for used[t] {
+				t++
+			}
+			used[t] = true
+			sched.Round[f] = t
+		}
+		rep, err := CheckSchedule(inst, sched, inst.Switch.Caps())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if rep.TotalResponse != sched.TotalResponse(inst) {
+			t.Fatalf("trial %d: total %d vs %d", trial, rep.TotalResponse, sched.TotalResponse(inst))
+		}
+		if rep.MaxResponse != sched.MaxResponse(inst) {
+			t.Fatalf("trial %d: max %d vs %d", trial, rep.MaxResponse, sched.MaxResponse(inst))
+		}
+		if rep.AvgResponse != sched.AvgResponse(inst) {
+			t.Fatalf("trial %d: avg %v vs %v", trial, rep.AvgResponse, sched.AvgResponse(inst))
+		}
+		if rep.Makespan != sched.Makespan() {
+			t.Fatalf("trial %d: makespan %d vs %d", trial, rep.Makespan, sched.Makespan())
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"flowsched/internal/switchnet"
+)
+
+// FuzzReadTrace fuzzes the CSV trace parser — one of the two surfaces that
+// accept external input. ReadTrace must never panic, and any trace it
+// accepts must survive a WriteTrace/ReadTrace round trip unchanged.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("release,in,out,demand\n0,0,0,1\n1,1,2,1\n")
+	f.Add("0,0,0,1\n2,3,3,1")
+	f.Add("release,in,out,demand\n")
+	f.Add("")
+	f.Add("a,b,c,d\n")
+	f.Add("0,0,0,1,5\n")
+	f.Add("-1,0,0,1\n")
+	f.Add("0,0,0,0\n")
+	f.Add("9999999999999999999,0,0,1\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > 1<<16 {
+			return
+		}
+		sw := switchnet.NewSwitch(4, 4, 2)
+		inst, err := ReadTrace(strings.NewReader(data), sw)
+		if err != nil {
+			return
+		}
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("ReadTrace accepted an invalid instance: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, inst); err != nil {
+			t.Fatalf("WriteTrace failed on accepted trace: %v", err)
+		}
+		back, err := ReadTrace(bytes.NewReader(buf.Bytes()), sw)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ntrace:\n%s", err, buf.String())
+		}
+		if len(back.Flows) != len(inst.Flows) {
+			t.Fatalf("round trip changed flow count: %d -> %d", len(inst.Flows), len(back.Flows))
+		}
+		for i := range inst.Flows {
+			if inst.Flows[i] != back.Flows[i] {
+				t.Fatalf("round trip changed flow %d: %+v -> %+v", i, inst.Flows[i], back.Flows[i])
+			}
+		}
+	})
+}
