@@ -19,11 +19,15 @@ package flowsched
 // the figures at any scale. Metrics are attached via b.ReportMetric:
 // avgRT, maxRT (response times) and ratio (heuristic / lower bound).
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
+	"time"
 
 	"flowsched/internal/core"
+	"flowsched/internal/stream"
 	"flowsched/internal/switchnet"
 	"flowsched/internal/workload"
 )
@@ -534,5 +538,74 @@ func BenchmarkExtendedWorkloads(b *testing.B) {
 				b.ReportMetric(max, "maxRT")
 			})
 		}
+	}
+}
+
+// BenchmarkStreamRuntime seeds the streaming-subsystem perf trajectory: it
+// drains overloaded Poisson/Pareto arrival streams of growing total size
+// through the incremental RoundRobin policy at a fixed admission limit and
+// reports throughput and per-round cost. Because the runtime's state is
+// incremental (VOQs plus touched-list resets, never a rescan of all flows
+// seen), ns/round must stay flat as the total flow count grows — that is
+// the property this benchmark guards. Results are also written to
+// BENCH_stream.json as a machine-readable baseline.
+func BenchmarkStreamRuntime(b *testing.B) {
+	type result struct {
+		Flows       int64   `json:"flows"`
+		Rounds      int64   `json:"rounds"`
+		NsPerRound  float64 `json:"ns_per_round"`
+		FlowsPerSec float64 `json:"flows_per_sec"`
+	}
+	var results []result
+	for _, totalFlows := range []int64{1 << 16, 1 << 18, 1 << 20} {
+		b.Run(fmt.Sprintf("flows=%d", totalFlows), func(b *testing.B) {
+			var last result
+			for i := 0; i < b.N; i++ {
+				src := workload.NewArrivalSource(workload.ArrivalConfig{
+					Ports: 150, M: 300, MaxFlows: totalFlows,
+					Alpha: 1.3, MinDemand: 1, MaxDemand: 1,
+				}, rand.New(rand.NewSource(17)))
+				rt, err := stream.New(src, stream.Config{
+					Switch:     switchnet.UnitSwitch(150),
+					Policy:     &stream.RoundRobin{},
+					MaxPending: 1 << 16,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				start := time.Now()
+				sum, err := rt.Run()
+				elapsed := time.Since(start)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sum.Completed != totalFlows {
+					b.Fatalf("drained %d of %d flows", sum.Completed, totalFlows)
+				}
+				if sum.PeakPending > 1<<16 {
+					b.Fatalf("peak pending %d exceeded the admission limit", sum.PeakPending)
+				}
+				last = result{
+					Flows:       sum.Completed,
+					Rounds:      sum.Rounds,
+					NsPerRound:  float64(elapsed.Nanoseconds()) / float64(sum.Rounds),
+					FlowsPerSec: float64(sum.Completed) / elapsed.Seconds(),
+				}
+			}
+			b.ReportMetric(last.NsPerRound, "ns/round")
+			b.ReportMetric(last.FlowsPerSec, "flows/s")
+			results = append(results, last)
+			// Rewrite the baseline after every sub-benchmark so partial runs
+			// still leave a valid file; failure to write is not a benchmark
+			// failure.
+			if data, err := json.MarshalIndent(map[string]any{
+				"benchmark": "BenchmarkStreamRuntime",
+				"results":   results,
+			}, "", "  "); err == nil {
+				if err := os.WriteFile("BENCH_stream.json", append(data, '\n'), 0o644); err != nil {
+					b.Logf("baseline not written: %v", err)
+				}
+			}
+		})
 	}
 }

@@ -8,18 +8,30 @@
 //	flowsim -ports 150 -M 300 -T 20 -policy MaxWeight -trials 10
 //	flowsim -in instance.json -policy MinRTime
 //	flowsim -ports 32 -M 64 -T 50 -policy all -srpt
+//
+// Streaming mode runs the internal/stream runtime on an unbounded arrival
+// process instead of a finite instance: flows arrive Poisson(M) per round
+// (optionally with bounded-Pareto sizes, or replayed from -trace), pass
+// through admission control, and drain under an incremental policy with
+// sliding-window metrics and optional spot-check verification:
+//
+//	flowsim -stream -flows 1000000 -ports 150 -M 300 -policy RoundRobin
+//	flowsim -stream -flows 200000 -alpha 1.3 -dmax 8 -policy MaxWeight -verifyevery 64
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"time"
 
 	"flowsched/internal/core"
 	"flowsched/internal/engine"
 	"flowsched/internal/heuristics"
 	"flowsched/internal/sim"
 	"flowsched/internal/stats"
+	"flowsched/internal/stream"
 	"flowsched/internal/switchnet"
 	"flowsched/internal/workload"
 )
@@ -29,7 +41,7 @@ func main() {
 		ports   = flag.Int("ports", 150, "switch size m")
 		mFlag   = flag.Float64("M", 150, "mean flow arrivals per round")
 		tFlag   = flag.Int("T", 20, "arrival rounds")
-		policy  = flag.String("policy", "all", "MaxCard, MinRTime, MaxWeight, FIFO, GreedyAge, or all")
+		policy  = flag.String("policy", "all", "MaxCard, MinRTime, MaxWeight, FIFO, GreedyAge, or all; with -stream also RoundRobin, StreamFIFO")
 		trials  = flag.Int("trials", 10, "number of random trials")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		inFile  = flag.String("in", "", "load instance JSON instead of generating")
@@ -37,8 +49,24 @@ func main() {
 		srpt    = flag.Bool("srpt", false, "also print the per-port SRPT lower bound")
 		demands = flag.Int("dmax", 1, "max flow demand (capacity scales to match)")
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+
+		streamMode  = flag.Bool("stream", false, "streaming mode: drain an unbounded arrival stream through internal/stream")
+		flows       = flag.Int64("flows", 1_000_000, "stream: total flows to drain")
+		alpha       = flag.Float64("alpha", 0, "stream: bounded-Pareto size tail index (0 = unit/uniform sizes)")
+		maxPending  = flag.Int("maxpending", stream.DefaultMaxPending, "stream: admission limit on the resident pending set")
+		window      = flag.Int("window", stream.DefaultWindowRounds, "stream: sliding metrics window in rounds")
+		verifyEvery = flag.Int("verifyevery", 0, "stream: spot-check window in rounds fed to the verify oracle (0 = off)")
 	)
 	flag.Parse()
+
+	if *streamMode {
+		runStream(streamOpts{
+			ports: *ports, m: *mFlag, policy: *policy, seed: *seed, trace: *trace,
+			dmax: *demands, flows: *flows, alpha: *alpha, maxPending: *maxPending,
+			window: *window, verifyEvery: *verifyEvery,
+		})
+		return
+	}
 
 	var pols []sim.Policy
 	if *policy == "all" {
@@ -144,6 +172,96 @@ func main() {
 			}
 		}
 		fmt.Printf("%-10s %10.3f %10s (per-port SRPT relaxation, avg per flow)\n", "LB:SRPT", stats.Mean(bounds), "-")
+	}
+}
+
+type streamOpts struct {
+	ports       int
+	m           float64
+	policy      string
+	seed        int64
+	trace       string
+	dmax        int
+	flows       int64
+	alpha       float64
+	maxPending  int
+	window      int
+	verifyEvery int
+}
+
+// streamPolicy resolves a native streaming policy or bridges a simulator
+// heuristic; "all" defaults to the native RoundRobin.
+func streamPolicy(name string) stream.Policy {
+	if name == "all" {
+		name = "RoundRobin"
+	}
+	if p := stream.ByName(name); p != nil {
+		return p
+	}
+	if p := heuristics.ByName(name); p != nil {
+		return &stream.Bridge{P: p}
+	}
+	return nil
+}
+
+// runStream drains an unbounded arrival stream through the streaming
+// runtime and reports its final metrics.
+func runStream(o streamOpts) {
+	pol := streamPolicy(o.policy)
+	if pol == nil {
+		fmt.Fprintf(os.Stderr, "flowsim: unknown stream policy %q\n", o.policy)
+		os.Exit(2)
+	}
+	cap := o.dmax
+	if cap < 1 {
+		cap = 1
+	}
+	sw := switchnet.NewSwitch(o.ports, o.ports, cap)
+	var src stream.Source
+	if o.trace != "" {
+		f, err := os.Open(o.trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = workload.NewTraceSource(f, sw)
+	} else {
+		src = workload.NewArrivalSource(workload.ArrivalConfig{
+			Ports: o.ports, Cap: cap, M: o.m, MaxFlows: o.flows,
+			Alpha: o.alpha, MinDemand: 1, MaxDemand: cap,
+		}, rand.New(rand.NewSource(o.seed)))
+	}
+	rt, err := stream.New(src, stream.Config{
+		Switch:       sw,
+		Policy:       pol,
+		MaxPending:   o.maxPending,
+		WindowRounds: o.window,
+		VerifyEvery:  o.verifyEvery,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	sum, err := rt.Run()
+	elapsed := time.Since(start)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("policy          %s\n", pol.Name())
+	fmt.Printf("flows           %d (admitted %d)\n", sum.Completed, sum.Admitted)
+	fmt.Printf("rounds          %d (final round %d)\n", sum.Rounds, sum.Round)
+	fmt.Printf("wall time       %v (%.0f flows/s, %.0f ns/round)\n",
+		elapsed.Round(time.Millisecond),
+		float64(sum.Completed)/elapsed.Seconds(),
+		float64(elapsed.Nanoseconds())/float64(max(sum.Rounds, 1)))
+	fmt.Printf("avg response    %.3f rounds\n", sum.AvgResponse)
+	fmt.Printf("max response    %d rounds\n", sum.MaxResponse)
+	fmt.Printf("window p50/p90/p99  %.0f / %.0f / %.0f rounds (last %d rounds)\n",
+		sum.P50, sum.P90, sum.P99, o.window)
+	fmt.Printf("peak pending    %d (admission limit %d)\n", sum.PeakPending, o.maxPending)
+	fmt.Printf("backpressured   %d flows\n", sum.Backpressured)
+	if o.verifyEvery > 0 {
+		fmt.Printf("verified        %d windows of %d rounds\n", sum.WindowsVerified, o.verifyEvery)
 	}
 }
 

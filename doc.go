@@ -40,6 +40,24 @@
 //     result table at any worker count — and every schedule is checked by
 //     the verify oracle before its metrics enter the table.
 //
+//   - A streaming scheduler runtime (NewStreamRuntime): the online setting
+//     extended to unbounded arrival processes. Flows arrive from a
+//     StreamSource (Poisson/bounded-Pareto generators, streaming CSV trace
+//     replay, or finite-instance replay), pass admission control into a
+//     bounded pending set — when the MaxPending limit is reached the
+//     runtime exerts lossless backpressure on the source, and the queueing
+//     delay stays visible in the metrics because response times are always
+//     charged from the original release round — and drain under a
+//     StreamPolicy. The native RoundRobin policy serves per-(input,output)
+//     virtual output queues with iSLIP-style rotating pointers in O(active
+//     ports) per round; StreamBridge runs any simulator heuristic on the
+//     stream unchanged, reproducing Simulate round for round on a replayed
+//     finite instance. Metrics are streaming (running totals plus
+//     sliding-window response-time quantiles from a mergeable log-histogram
+//     sketch), and VerifyEvery feeds each completed window of rounds
+//     through the verify oracle, so even unbounded runs are spot-checked
+//     for feasibility.
+//
 // The LP solver, matching algorithms, edge coloring, rounding theorem, and
 // simulator are all implemented in this repository with no external
 // dependencies; see DESIGN.md for the system inventory and EXPERIMENTS.md

@@ -9,6 +9,7 @@ import (
 	"flowsched/internal/engine"
 	"flowsched/internal/heuristics"
 	"flowsched/internal/sim"
+	"flowsched/internal/stream"
 	"flowsched/internal/switchnet"
 	"flowsched/internal/verify"
 	"flowsched/internal/workload"
@@ -252,6 +253,79 @@ type (
 	// ResultTable is a sweep's verdict table (Render, WriteCSV).
 	ResultTable = engine.ResultTable
 )
+
+// Streaming scheduler runtime (see internal/stream): the online setting of
+// Section 5.2.1 extended to unbounded arrival processes — flows arrive from
+// a Source, pass admission control into a bounded pending set, and drain
+// under an incremental policy with sliding-window metrics and windowed
+// spot-check verification.
+type (
+	// StreamSource yields flows in non-decreasing release order.
+	StreamSource = stream.Source
+	// StreamPolicy selects a capacity-feasible pending subset each round.
+	StreamPolicy = stream.Policy
+	// StreamView is a policy's window onto the runtime's per-port state.
+	StreamView = stream.View
+	// StreamConfig tunes admission control, metric windows, and
+	// verification cadence.
+	StreamConfig = stream.Config
+	// StreamRuntime drains a source round by round in bounded memory.
+	StreamRuntime = stream.Runtime
+	// StreamSummary is a point-in-time view of the streaming metrics.
+	StreamSummary = stream.Summary
+	// ArrivalConfig describes a generator-driven arrival process
+	// (Poisson arrivals, unit/uniform/bounded-Pareto sizes).
+	ArrivalConfig = workload.ArrivalConfig
+)
+
+// NewStreamRuntime builds a streaming runtime over src.
+func NewStreamRuntime(src StreamSource, cfg StreamConfig) (*StreamRuntime, error) {
+	return stream.New(src, cfg)
+}
+
+// StreamRoundRobin returns the native incremental policy: virtual output
+// queues served oldest-first with iSLIP-style rotating pointers; a round
+// costs O(active ports), independent of the pending count.
+func StreamRoundRobin() StreamPolicy { return &stream.RoundRobin{} }
+
+// StreamFIFO returns the oldest-first first-fit streaming baseline.
+func StreamFIFO() StreamPolicy { return stream.FIFO{} }
+
+// StreamBridge adapts any simulator Policy (MaxCard, MinRTime, MaxWeight,
+// ...) to the streaming runtime; the bounded pending set is materialized
+// as a SimState each round.
+func StreamBridge(p Policy) StreamPolicy { return &stream.Bridge{P: p} }
+
+// NewArrivalSource returns an unbounded generator-driven arrival stream.
+func NewArrivalSource(cfg ArrivalConfig, rng *rand.Rand) *workload.ArrivalSource {
+	return workload.NewArrivalSource(cfg, rng)
+}
+
+// NewTraceSource streams the CSV trace format ("release,in,out,demand",
+// sorted by release) without loading it into memory.
+func NewTraceSource(r io.Reader, sw Switch) *workload.TraceSource {
+	return workload.NewTraceSource(r, sw)
+}
+
+// NewInstanceSource replays a finite instance as an arrival stream in
+// (release, index) order.
+func NewInstanceSource(inst *Instance) *workload.InstanceSource {
+	return workload.NewInstanceSource(inst)
+}
+
+// BoundedPareto draws from the bounded Pareto(alpha) distribution on
+// [lo, hi] — the heavy-tailed flow-size model shared by ParetoConfig and
+// the arrival sources.
+func BoundedPareto(rng *rand.Rand, alpha float64, lo, hi int) int {
+	return workload.BoundedPareto(rng, alpha, lo, hi)
+}
+
+// ParetoConfig is the heavy-tailed offline workload: Poisson arrivals with
+// bounded-Pareto demands.
+type ParetoConfig = workload.ParetoConfig
+
+// GeneratePareto draws an instance from the heavy-tailed workload model.
+func GeneratePareto(cfg ParetoConfig, rng *rand.Rand) *Instance { return cfg.Generate(rng) }
 
 // RunScenarios executes scenarios on the engine's worker pool and returns
 // verdicts in scenario order.

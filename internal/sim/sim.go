@@ -88,7 +88,12 @@ func Run(inst *switchnet.Instance, pol Policy) (*Result, error) {
 		QueueOut: make([]int, inst.Switch.NumOut()),
 	}
 	caps := inst.Switch.Caps()
+	// Per-round scratch, allocated once and reset incrementally: loadRow is
+	// cleared via the touched-port list and seen via the picked indices, so
+	// a round's bookkeeping costs O(picks), not O(ports + pending).
 	loadRow := make([]int, inst.Switch.NumPorts())
+	touched := make([]int, 0, inst.Switch.NumPorts())
+	seen := make([]bool, 0, n)
 
 	next := 0
 	scheduled := 0
@@ -115,10 +120,9 @@ func Run(inst *switchnet.Instance, pol Policy) (*Result, error) {
 		picks := pol.Pick(st)
 
 		// Validate and apply the selection.
-		for i := range loadRow {
-			loadRow[i] = 0
+		if len(seen) < len(st.Pending) {
+			seen = append(seen, make([]bool, len(st.Pending)-len(seen))...)
 		}
-		seen := make(map[int]bool, len(picks))
 		for _, pi := range picks {
 			if pi < 0 || pi >= len(st.Pending) {
 				return nil, fmt.Errorf("sim: policy %q picked out-of-range index %d", pol.Name(), pi)
@@ -130,6 +134,12 @@ func Run(inst *switchnet.Instance, pol Policy) (*Result, error) {
 			p := st.Pending[pi]
 			pIn := inst.Switch.PortIndex(switchnet.In, p.In)
 			pOut := inst.Switch.PortIndex(switchnet.Out, p.Out)
+			if loadRow[pIn] == 0 {
+				touched = append(touched, pIn)
+			}
+			if loadRow[pOut] == 0 {
+				touched = append(touched, pOut)
+			}
 			loadRow[pIn] += p.Demand
 			loadRow[pOut] += p.Demand
 			if loadRow[pIn] > caps[pIn] || loadRow[pOut] > caps[pOut] {
@@ -138,19 +148,24 @@ func Run(inst *switchnet.Instance, pol Policy) (*Result, error) {
 			sched.Round[p.Flow] = t
 			scheduled++
 		}
-		// Compact the pending list.
+		// Compact the pending list and reset the round's scratch.
 		if len(picks) > 0 {
 			kept := st.Pending[:0]
 			for pi, p := range st.Pending {
 				if seen[pi] {
 					st.QueueIn[p.In]--
 					st.QueueOut[p.Out]--
+					seen[pi] = false
 					continue
 				}
 				kept = append(kept, p)
 			}
 			st.Pending = kept
 		}
+		for _, p := range touched {
+			loadRow[p] = 0
+		}
+		touched = touched[:0]
 		t++
 	}
 	res := &Result{

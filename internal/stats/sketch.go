@@ -1,0 +1,193 @@
+package stats
+
+import "math/bits"
+
+// Quantile sketching for the streaming runtime: response times arrive as an
+// unbounded sequence of non-negative integers, and the runtime needs
+// sliding-window quantiles in bounded memory. LogHistogram is an HDR-style
+// log-linear histogram (exact below sketchLinear, then sketchLinear
+// sub-buckets per power of two, so quantiles carry at most 1/sketchLinear
+// relative error). Sketches merge in O(buckets), which WindowQuantiles uses
+// to rotate fixed-size sub-window shards.
+
+// sketchLinear is the number of exact low buckets and of sub-buckets per
+// octave. It must be a power of two.
+const sketchLinear = 16
+
+// sketchLog2 is log2(sketchLinear).
+const sketchLog2 = 4
+
+// LogHistogram is a bounded-memory, mergeable quantile sketch over
+// non-negative integers. The zero value is an empty sketch ready to use.
+type LogHistogram struct {
+	n      uint64
+	counts []uint64
+}
+
+// sketchBucket maps a value to its bucket index.
+func sketchBucket(v uint64) int {
+	if v < sketchLinear {
+		return int(v)
+	}
+	k := bits.Len64(v) - 1 // v in [2^k, 2^(k+1)), k >= sketchLog2
+	sub := (v - 1<<k) >> (k - sketchLog2)
+	return sketchLinear + (k-sketchLog2)*sketchLinear + int(sub)
+}
+
+// sketchValue returns the midpoint of bucket i, the value reported for any
+// observation that landed in it.
+func sketchValue(i int) float64 {
+	if i < sketchLinear {
+		return float64(i)
+	}
+	k := (i-sketchLinear)/sketchLinear + sketchLog2
+	sub := uint64((i - sketchLinear) % sketchLinear)
+	width := uint64(1) << (k - sketchLog2)
+	lo := uint64(1)<<k + sub*width
+	return float64(lo) + float64(width-1)/2
+}
+
+// Add incorporates one observation; negative values count as zero.
+func (h *LogHistogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	b := sketchBucket(uint64(v))
+	if b >= len(h.counts) {
+		grown := make([]uint64, b+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[b]++
+	h.n++
+}
+
+// N returns the number of observations.
+func (h *LogHistogram) N() uint64 { return h.n }
+
+// Reset empties the sketch, retaining its bucket storage.
+func (h *LogHistogram) Reset() {
+	h.n = 0
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+}
+
+// Merge adds all of o's observations into h.
+func (h *LogHistogram) Merge(o *LogHistogram) {
+	if len(o.counts) > len(h.counts) {
+		grown := make([]uint64, len(o.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.n += o.n
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the observed values, up
+// to the sketch's bucket resolution; 0 for an empty sketch.
+func (h *LogHistogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank in [1, n]: the smallest bucket whose cumulative count reaches it.
+	rank := uint64(q*float64(h.n-1)) + 1
+	cum := uint64(0)
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return sketchValue(i)
+		}
+	}
+	return sketchValue(len(h.counts) - 1)
+}
+
+// WindowQuantiles tracks quantiles over a sliding window of the most recent
+// rounds by rotating a fixed ring of LogHistogram shards: each shard covers
+// window/shards consecutive rounds, and a query merges the live shards.
+// Memory is O(shards * buckets) regardless of how many observations ever
+// arrived. Rounds must be observed in non-decreasing order.
+type WindowQuantiles struct {
+	shards     []LogHistogram
+	perShard   int
+	lastPeriod int64
+	started    bool
+	scratch    LogHistogram
+}
+
+// NewWindowQuantiles returns a sliding window covering (approximately) the
+// given number of rounds, split into the given number of shards. Both
+// arguments are clamped to at least 1.
+func NewWindowQuantiles(windowRounds, shards int) *WindowQuantiles {
+	if shards < 1 {
+		shards = 1
+	}
+	if windowRounds < shards {
+		windowRounds = shards
+	}
+	return &WindowQuantiles{
+		shards:   make([]LogHistogram, shards),
+		perShard: (windowRounds + shards - 1) / shards,
+	}
+}
+
+// Observe records value v at the given round, expiring shards whose rounds
+// have slid out of the window.
+func (w *WindowQuantiles) Observe(round, v int) {
+	w.advance(round)
+	w.shards[w.lastPeriod%int64(len(w.shards))].Add(v)
+}
+
+// Advance expires shards that have slid out of the window as of round,
+// without recording an observation — call it before querying quantiles
+// when observations may have stopped arriving (an idle or stalled stream),
+// so stale shards do not linger in the reported window.
+func (w *WindowQuantiles) Advance(round int) { w.advance(round) }
+
+// advance rotates the ring up to the shard period containing round.
+func (w *WindowQuantiles) advance(round int) {
+	period := int64(round) / int64(w.perShard)
+	if !w.started {
+		w.started = true
+		w.lastPeriod = period
+		return
+	}
+	if period <= w.lastPeriod {
+		return
+	}
+	steps := period - w.lastPeriod
+	if steps > int64(len(w.shards)) {
+		steps = int64(len(w.shards))
+	}
+	for s := int64(1); s <= steps; s++ {
+		w.shards[(w.lastPeriod+s)%int64(len(w.shards))].Reset()
+	}
+	w.lastPeriod = period
+}
+
+// N returns the number of observations currently inside the window.
+func (w *WindowQuantiles) N() uint64 {
+	var n uint64
+	for i := range w.shards {
+		n += w.shards[i].n
+	}
+	return n
+}
+
+// Quantile returns the q-quantile over the window's live observations; 0
+// if the window is empty.
+func (w *WindowQuantiles) Quantile(q float64) float64 {
+	w.scratch.Reset()
+	for i := range w.shards {
+		w.scratch.Merge(&w.shards[i])
+	}
+	return w.scratch.Quantile(q)
+}

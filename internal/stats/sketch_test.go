@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestLogHistogramExactSmall(t *testing.T) {
+	var h LogHistogram
+	for v := 0; v < 16; v++ {
+		h.Add(v)
+	}
+	if h.N() != 16 {
+		t.Fatalf("n = %d", h.N())
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := h.Quantile(1); q != 15 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := h.Quantile(0.5); q < 7 || q > 8 {
+		t.Fatalf("median = %v", q)
+	}
+}
+
+// TestLogHistogramRelativeError: every reported quantile must be within
+// the sketch's 1/16 relative-error bound of the true sample quantile.
+func TestLogHistogramRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h LogHistogram
+	xs := make([]int, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		v := rng.Intn(1 << uint(1+rng.Intn(20)))
+		xs = append(xs, v)
+		h.Add(v)
+	}
+	sort.Ints(xs)
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+		truth := float64(xs[int(q*float64(len(xs)-1))])
+		got := h.Quantile(q)
+		tol := truth/16 + 1
+		if got < truth-tol || got > truth+tol {
+			t.Fatalf("q=%.3f: sketch %v, truth %v (tol %v)", q, got, truth, tol)
+		}
+	}
+}
+
+func TestLogHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var a, b, all LogHistogram
+	for i := 0; i < 2000; i++ {
+		v := rng.Intn(100000)
+		all.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged n %d != %d", a.N(), all.N())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q=%.1f: merged %v != combined %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}
+
+func TestLogHistogramNegativeAndReset(t *testing.T) {
+	var h LogHistogram
+	h.Add(-5)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("negative value not clamped to 0")
+	}
+	h.Reset()
+	if h.N() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset left observations behind")
+	}
+}
+
+// TestWindowQuantilesExpiry: observations older than the window must stop
+// influencing quantiles once the round advances past them.
+func TestWindowQuantilesExpiry(t *testing.T) {
+	w := NewWindowQuantiles(64, 8)
+	for r := 0; r < 10; r++ {
+		w.Observe(r, 1000)
+	}
+	if q := w.Quantile(0.5); q < 900 {
+		t.Fatalf("fresh observations missing: median %v", q)
+	}
+	for r := 500; r < 510; r++ {
+		w.Observe(r, 1)
+	}
+	if q := w.Quantile(0.99); q > 16 {
+		t.Fatalf("expired observations still visible: p99 %v", q)
+	}
+	if w.N() != 10 {
+		t.Fatalf("window n = %d, want 10", w.N())
+	}
+}
+
+// TestWindowQuantilesRotation: shards covering rounds inside the window
+// must all contribute.
+func TestWindowQuantilesRotation(t *testing.T) {
+	w := NewWindowQuantiles(80, 8) // 10 rounds per shard
+	for r := 0; r < 40; r++ {
+		w.Observe(r, r)
+	}
+	if n := w.N(); n != 40 {
+		t.Fatalf("n = %d, want 40 (all shards live)", n)
+	}
+	if q := w.Quantile(1); q < 32 {
+		t.Fatalf("max quantile %v lost the newest shard", q)
+	}
+}
+
+func TestWindowQuantilesClamping(t *testing.T) {
+	w := NewWindowQuantiles(0, 0)
+	w.Observe(0, 5)
+	if w.N() != 1 {
+		t.Fatal("degenerate window dropped its observation")
+	}
+}
+
+// TestWindowQuantilesAdvanceExpiresStale: querying after a long quiet gap
+// must not report observations that slid out of the window, even though no
+// new Observe ran.
+func TestWindowQuantilesAdvanceExpiresStale(t *testing.T) {
+	w := NewWindowQuantiles(64, 8)
+	for r := 0; r < 10; r++ {
+		w.Observe(r, 1000)
+	}
+	w.Advance(10000)
+	if n := w.N(); n != 0 {
+		t.Fatalf("stale window still holds %d observations", n)
+	}
+	if q := w.Quantile(0.99); q != 0 {
+		t.Fatalf("stale quantile %v visible after advance", q)
+	}
+}

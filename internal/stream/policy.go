@@ -1,0 +1,128 @@
+package stream
+
+import (
+	"flowsched/internal/sim"
+	"flowsched/internal/switchnet"
+)
+
+// FIFO takes pending flows oldest-first (admission order), first-fit. A
+// round costs O(pending) — bounded by Config.MaxPending — so it is the
+// streaming analogue of the heuristics package's FIFO baseline, not an
+// incremental policy; prefer RoundRobin when the pending set is large.
+type FIFO struct{}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "StreamFIFO" }
+
+// Pick implements Policy.
+func (FIFO) Pick(v *View) {
+	v.Each(func(id ID, _ int64, _ switchnet.Flow) bool {
+		v.Take(id)
+		return true
+	})
+}
+
+// RoundRobin is the runtime's native incremental policy: per-(input,
+// output) virtual output queues served oldest-first, with a rotating
+// per-input pointer over the input's active VOQs (iSLIP-style
+// desynchronization). Within a VOQ a blocked head blocks the queue —
+// strict FIFO, so no flow is ever overtaken by a younger flow on the same
+// port pair. A round costs O(active ports + scheduled), independent of how
+// many flows are pending or were ever seen.
+type RoundRobin struct {
+	rr []int
+}
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "RoundRobin" }
+
+// Reset implements Resetter.
+func (p *RoundRobin) Reset(sw switchnet.Switch) { p.rr = make([]int, sw.NumIn()) }
+
+// Pick implements Policy.
+func (p *RoundRobin) Pick(v *View) {
+	for a := 0; a < v.NumActiveInputs(); a++ {
+		in := v.ActiveInput(a)
+		free := v.InputFree(in)
+		k := v.NumActiveVOQs(in)
+		if k == 0 || free <= 0 {
+			continue
+		}
+		start := p.rr[in] % k
+		for j := 0; j < k && free > 0; j++ {
+			pos := (start + j) % k
+			out := v.ActiveVOQ(in, pos)
+			for id := v.VOQHead(in, out); id != NoID && free > 0; id = v.VOQNext(id) {
+				f := v.Flow(id)
+				if f.Demand > free || v.OutputFree(out) < f.Demand {
+					break // FIFO within the VOQ: a blocked head blocks the queue
+				}
+				if !v.Take(id) {
+					break
+				}
+				free -= f.Demand
+				p.rr[in] = pos + 1
+			}
+		}
+	}
+}
+
+// Bridge adapts a sim.Policy — the paper's MaxCard / MinRTime / MaxWeight
+// heuristics and the ablation baselines — to the streaming runtime by
+// materializing the bounded pending set as a sim.State each round. The
+// materialization costs O(pending) per round (bounded by
+// Config.MaxPending) on top of the policy's own matching cost; the
+// pending list is presented in admission order with seq as the flow
+// identifier, which reproduces internal/sim.Run's ordering exactly on a
+// replayed finite instance.
+type Bridge struct {
+	// P is the simulator policy to run on the stream.
+	P sim.Policy
+
+	st  sim.State
+	ids []ID
+}
+
+// Name implements Policy.
+func (b *Bridge) Name() string { return b.P.Name() }
+
+// Pick implements Policy.
+func (b *Bridge) Pick(v *View) {
+	b.st.Round = v.Round()
+	b.st.Switch = v.Switch()
+	b.st.QueueIn = v.rt.queueIn
+	b.st.QueueOut = v.rt.queueOut
+	b.st.Pending = b.st.Pending[:0]
+	b.ids = b.ids[:0]
+	v.Each(func(id ID, seq int64, f switchnet.Flow) bool {
+		b.st.Pending = append(b.st.Pending, sim.Pending{
+			Flow: int(seq), In: f.In, Out: f.Out, Demand: f.Demand, Release: f.Release,
+		})
+		b.ids = append(b.ids, id)
+		return true
+	})
+	for _, pi := range b.P.Pick(&b.st) {
+		if pi < 0 || pi >= len(b.ids) {
+			v.Fail("stream: policy %q picked out-of-range index %d", b.P.Name(), pi)
+			return
+		}
+		if !v.Take(b.ids[pi]) {
+			v.Fail("stream: policy %q picked an infeasible or duplicate flow (pending index %d) in round %d",
+				b.P.Name(), pi, b.st.Round)
+			return
+		}
+	}
+}
+
+// ByName resolves the native streaming policies ("RoundRobin",
+// "StreamFIFO"); nil if unknown. Simulator policies run on streams via
+// Bridge.
+func ByName(name string) Policy {
+	switch name {
+	case "RoundRobin":
+		return &RoundRobin{}
+	case "StreamFIFO":
+		return FIFO{}
+	}
+	return nil
+}

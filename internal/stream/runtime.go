@@ -1,0 +1,599 @@
+// Package stream is the event-driven streaming scheduler runtime: the
+// unbounded-arrival counterpart of internal/sim. A Source yields flows in
+// non-decreasing release order (generator-driven or trace replay, see
+// internal/workload); the Runtime admits them into a bounded pending set,
+// asks a Policy for a capacity-feasible selection each round, and retires
+// scheduled flows into streaming metrics — running totals plus
+// sliding-window response-time quantiles — without ever holding more than
+// the admission limit of flows in memory.
+//
+// Incrementality is the point: the runtime maintains per-port pending
+// state — virtual output queues (one FIFO per (input, output) pair) with
+// active-port indexes, per-port queue depths, and per-round load tallies
+// reset via touched lists — updated in O(1) per arrival and departure. A
+// round therefore costs O(arrived + scheduled + policy), never a rescan of
+// every flow seen so far; with the native RoundRobin policy the policy
+// term is O(active ports), independent of the pending count.
+//
+// Backpressure: when the pending set reaches Config.MaxPending the runtime
+// stops draining the source, so arrivals wait inside the source until a
+// departure frees a slot. Admission is lossless and order-preserving, and
+// response times are always charged from the flow's original release
+// round, so queueing delay under overload is visible in the metrics rather
+// than hidden by the admission control.
+//
+// Verification: with Config.VerifyEvery > 0 the runtime feeds each
+// completed window of rounds — every flow scheduled in those rounds, with
+// original releases — through the internal/verify oracle, aborting the run
+// on the first infeasible window. Spot-checking costs O(flows per window)
+// and keeps the unbounded run honest without retaining history.
+package stream
+
+import (
+	"fmt"
+	"sync"
+
+	"flowsched/internal/stats"
+	"flowsched/internal/switchnet"
+	"flowsched/internal/verify"
+)
+
+// Source yields flows in non-decreasing release order. Next returns
+// ok=false when the stream is exhausted or failed; Err reports the failure
+// (nil for a clean end). The sources in internal/workload (ArrivalSource,
+// TraceSource, InstanceSource) satisfy it.
+type Source interface {
+	Next() (f switchnet.Flow, ok bool)
+	Err() error
+}
+
+// ID identifies an admitted flow in the runtime's pending set. IDs are
+// reused after departure: they are stable only while the flow is pending.
+type ID = int
+
+// NoID marks the absence of a pending flow.
+const NoID ID = -1
+
+// noID is NoID as the runtime's internal int32 link type.
+const noID int32 = -1
+
+// Policy selects a capacity-feasible set of pending flows each round by
+// calling View.Take. The runtime enforces port capacities inside Take, so
+// a policy cannot overload a port; it can only fail to make progress.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick selects flows for the current round. The pending set and all
+	// View indexes are frozen during Pick; departures apply afterwards.
+	Pick(v *View)
+}
+
+// Resetter is implemented by policies that carry per-run state (e.g.
+// RoundRobin's rotation pointers); the runtime calls Reset once at
+// construction.
+type Resetter interface {
+	Reset(sw switchnet.Switch)
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultMaxPending   = 1 << 17
+	DefaultWindowRounds = 1024
+	defaultWindowShards = 8
+	DefaultStallRounds  = 4096
+)
+
+// Config tunes a Runtime.
+type Config struct {
+	// Switch describes the port structure; all source flows must fit it.
+	Switch switchnet.Switch
+	// Policy selects flows each round.
+	Policy Policy
+	// MaxPending bounds the resident pending set (admission control);
+	// <= 0 selects DefaultMaxPending. When the limit is reached the
+	// runtime exerts backpressure on the source instead of dropping.
+	MaxPending int
+	// VerifyEvery > 0 spot-checks each completed window of that many
+	// rounds through the verify oracle.
+	VerifyEvery int
+	// WindowRounds is the sliding metrics window in rounds (<= 0 selects
+	// DefaultWindowRounds); WindowShards its ring granularity (<= 0
+	// selects 8).
+	WindowRounds int
+	WindowShards int
+	// StallRounds aborts the run if the policy schedules nothing for that
+	// many consecutive rounds with a non-empty pending set (<= 0 selects
+	// DefaultStallRounds).
+	StallRounds int
+	// OnSchedule, when non-nil, observes every departure: seq is the
+	// flow's admission sequence number (its position in source order).
+	OnSchedule func(seq int64, f switchnet.Flow, round int)
+}
+
+// slot is one pending flow in the runtime's arena.
+type slot struct {
+	flow switchnet.Flow
+	seq  int64
+	// prev/next link the admission-order list; vprev/vnext the flow's
+	// virtual output queue. noID terminates.
+	prev, next   int32
+	vprev, vnext int32
+	live         bool
+	taken        bool
+}
+
+// metrics is the Snapshot-visible state, guarded by Runtime.mu.
+type metrics struct {
+	admitted      int64
+	completed     int64
+	totalResp     int64
+	maxResp       int
+	peakPending   int
+	backpressured int64
+	windows       int64
+	rounds        int64
+	round         int
+}
+
+// Summary is a point-in-time view of the runtime's streaming metrics.
+type Summary struct {
+	// Round is the current round (one past the last scheduled round after
+	// a completed Run).
+	Round int
+	// Rounds counts scheduling rounds actually processed (idle gaps are
+	// skipped, not iterated).
+	Rounds int64
+	// Admitted and Completed count flows in and out of the pending set;
+	// Pending is the current resident count and PeakPending its high
+	// water mark (never above MaxPending).
+	Admitted    int64
+	Completed   int64
+	Pending     int
+	PeakPending int
+	// Backpressured counts flows admitted after their release round
+	// because the pending set was full.
+	Backpressured int64
+	// TotalResponse, AvgResponse, MaxResponse are the paper's metrics
+	// over completed flows (C_e = round+1 convention).
+	TotalResponse int64
+	AvgResponse   float64
+	MaxResponse   int
+	// WindowsVerified counts spot-check windows the verify oracle
+	// accepted.
+	WindowsVerified int64
+	// P50, P90, P99 are response-time quantiles over the sliding metrics
+	// window (sketched; see stats.LogHistogram for the error bound).
+	P50, P90, P99 float64
+}
+
+// Runtime is the streaming scheduler. It is driven by one goroutine (Run);
+// Snapshot may be called concurrently from others.
+type Runtime struct {
+	cfg  Config
+	src  Source
+	sw   switchnet.Switch
+	caps []int
+
+	round int
+
+	slots []slot
+	freed []int32
+	head  int32
+	tail  int32
+	count int
+
+	look     switchnet.Flow
+	haveLook bool
+	srcDone  bool
+	lastRel  int
+
+	queueIn, queueOut []int
+	loadIn, loadOut   []int
+	touchIn, touchOut []int32
+
+	// Virtual output queues, indexed in*NumOut+out.
+	voqHead, voqTail []int32
+	// activeOut[in] lists the output ports with a non-empty VOQ at input
+	// in; activeOutPos is each VOQ's index there (noID if inactive).
+	activeOut    [][]int32
+	activeOutPos []int32
+	// activeIn lists input ports with any pending flow; activeInPos is
+	// each input's index there.
+	activeIn    []int32
+	activeInPos []int32
+
+	takes []int32
+	resps []int
+	view  View
+	err   error
+
+	vflows  []switchnet.Flow
+	vrounds []int
+	vstart  int
+
+	mu  sync.Mutex
+	m   metrics
+	win *stats.WindowQuantiles
+}
+
+// New builds a Runtime over src. The configuration is validated eagerly:
+// an empty switch, non-positive capacities, or a missing policy are
+// construction errors, not run-time surprises.
+func New(src Source, cfg Config) (*Runtime, error) {
+	if src == nil {
+		return nil, fmt.Errorf("stream: nil source")
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("stream: nil policy")
+	}
+	mIn, mOut := cfg.Switch.NumIn(), cfg.Switch.NumOut()
+	if mIn == 0 || mOut == 0 {
+		return nil, fmt.Errorf("stream: switch has no ports (%d x %d)", mIn, mOut)
+	}
+	for i, c := range cfg.Switch.InCaps {
+		if c <= 0 {
+			return nil, fmt.Errorf("stream: input port %d capacity %d is not positive", i, c)
+		}
+	}
+	for j, c := range cfg.Switch.OutCaps {
+		if c <= 0 {
+			return nil, fmt.Errorf("stream: output port %d capacity %d is not positive", j, c)
+		}
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = DefaultMaxPending
+	}
+	if cfg.WindowRounds <= 0 {
+		cfg.WindowRounds = DefaultWindowRounds
+	}
+	if cfg.WindowShards <= 0 {
+		cfg.WindowShards = defaultWindowShards
+	}
+	if cfg.StallRounds <= 0 {
+		cfg.StallRounds = DefaultStallRounds
+	}
+	if r, ok := cfg.Policy.(Resetter); ok {
+		r.Reset(cfg.Switch)
+	}
+	rt := &Runtime{
+		cfg:          cfg,
+		src:          src,
+		sw:           cfg.Switch,
+		caps:         cfg.Switch.Caps(),
+		head:         noID,
+		tail:         noID,
+		queueIn:      make([]int, mIn),
+		queueOut:     make([]int, mOut),
+		loadIn:       make([]int, mIn),
+		loadOut:      make([]int, mOut),
+		voqHead:      make([]int32, mIn*mOut),
+		voqTail:      make([]int32, mIn*mOut),
+		activeOut:    make([][]int32, mIn),
+		activeOutPos: make([]int32, mIn*mOut),
+		activeIn:     make([]int32, 0, mIn),
+		activeInPos:  make([]int32, mIn),
+		win:          stats.NewWindowQuantiles(cfg.WindowRounds, cfg.WindowShards),
+	}
+	for i := range rt.voqHead {
+		rt.voqHead[i] = noID
+		rt.voqTail[i] = noID
+		rt.activeOutPos[i] = noID
+	}
+	for i := range rt.activeInPos {
+		rt.activeInPos[i] = noID
+	}
+	rt.view.rt = rt
+	return rt, nil
+}
+
+// voq returns the VOQ index of (in, out).
+func (rt *Runtime) voq(in, out int) int { return in*rt.sw.NumOut() + out }
+
+// pull refreshes the one-flow lookahead from the source.
+func (rt *Runtime) pull() {
+	if rt.haveLook || rt.srcDone {
+		return
+	}
+	f, ok := rt.src.Next()
+	if !ok {
+		rt.srcDone = true
+		return
+	}
+	rt.look, rt.haveLook = f, true
+}
+
+// alloc takes a slot from the free list or grows the arena.
+func (rt *Runtime) alloc() int32 {
+	if n := len(rt.freed); n > 0 {
+		id := rt.freed[n-1]
+		rt.freed = rt.freed[:n-1]
+		return id
+	}
+	rt.slots = append(rt.slots, slot{})
+	return int32(len(rt.slots) - 1)
+}
+
+// admit validates f and threads it into the pending structures.
+func (rt *Runtime) admit(f switchnet.Flow) error {
+	if f.Release < rt.lastRel {
+		return fmt.Errorf("stream: source yielded release %d after %d (must be non-decreasing)", f.Release, rt.lastRel)
+	}
+	rt.lastRel = f.Release
+	if err := rt.sw.ValidateFlow(f); err != nil {
+		return fmt.Errorf("stream: inadmissible flow: %w", err)
+	}
+
+	id := rt.alloc()
+	s := &rt.slots[id]
+	seq := rt.m.admitted
+	*s = slot{flow: f, seq: seq, prev: rt.tail, next: noID, vprev: noID, vnext: noID, live: true}
+	if rt.tail != noID {
+		rt.slots[rt.tail].next = id
+	} else {
+		rt.head = id
+	}
+	rt.tail = id
+
+	vi := rt.voq(f.In, f.Out)
+	if rt.voqTail[vi] != noID {
+		rt.slots[rt.voqTail[vi]].vnext = id
+		s.vprev = rt.voqTail[vi]
+	} else {
+		rt.voqHead[vi] = id
+		rt.activeOutPos[vi] = int32(len(rt.activeOut[f.In]))
+		rt.activeOut[f.In] = append(rt.activeOut[f.In], int32(f.Out))
+	}
+	rt.voqTail[vi] = id
+
+	if rt.queueIn[f.In] == 0 {
+		rt.activeInPos[f.In] = int32(len(rt.activeIn))
+		rt.activeIn = append(rt.activeIn, int32(f.In))
+	}
+	rt.queueIn[f.In]++
+	rt.queueOut[f.Out]++
+	rt.count++
+
+	rt.mu.Lock()
+	rt.m.admitted++
+	if rt.count > rt.m.peakPending {
+		rt.m.peakPending = rt.count
+	}
+	if f.Release < rt.round {
+		rt.m.backpressured++
+	}
+	rt.mu.Unlock()
+	return nil
+}
+
+// depart unthreads a scheduled flow from every pending structure.
+func (rt *Runtime) depart(id int32) {
+	s := &rt.slots[id]
+	f := s.flow
+
+	if s.prev != noID {
+		rt.slots[s.prev].next = s.next
+	} else {
+		rt.head = s.next
+	}
+	if s.next != noID {
+		rt.slots[s.next].prev = s.prev
+	} else {
+		rt.tail = s.prev
+	}
+
+	vi := rt.voq(f.In, f.Out)
+	if s.vprev != noID {
+		rt.slots[s.vprev].vnext = s.vnext
+	} else {
+		rt.voqHead[vi] = s.vnext
+	}
+	if s.vnext != noID {
+		rt.slots[s.vnext].vprev = s.vprev
+	} else {
+		rt.voqTail[vi] = s.vprev
+	}
+	if rt.voqHead[vi] == noID {
+		// Swap-delete the VOQ from the input's active list.
+		pos := rt.activeOutPos[vi]
+		list := rt.activeOut[f.In]
+		last := len(list) - 1
+		moved := list[last]
+		list[pos] = moved
+		rt.activeOut[f.In] = list[:last]
+		rt.activeOutPos[rt.voq(f.In, int(moved))] = pos
+		rt.activeOutPos[vi] = noID
+	}
+
+	rt.queueIn[f.In]--
+	rt.queueOut[f.Out]--
+	if rt.queueIn[f.In] == 0 {
+		pos := rt.activeInPos[f.In]
+		last := len(rt.activeIn) - 1
+		moved := rt.activeIn[last]
+		rt.activeIn[pos] = moved
+		rt.activeIn = rt.activeIn[:last]
+		rt.activeInPos[moved] = pos
+		rt.activeInPos[f.In] = noID
+	}
+	rt.count--
+
+	s.live = false
+	s.taken = false
+	rt.freed = append(rt.freed, id)
+}
+
+// fail records the first runtime error (policy contract violations land
+// here via View.Fail).
+func (rt *Runtime) fail(format string, args ...any) {
+	if rt.err == nil {
+		rt.err = fmt.Errorf(format, args...)
+	}
+}
+
+// setRound advances time to t, flushing any verification windows the jump
+// completes.
+func (rt *Runtime) setRound(t int) error {
+	if w := rt.cfg.VerifyEvery; w > 0 && t >= rt.vstart+w {
+		// Rounds only move forward, so the buffer never holds flows beyond
+		// the current window: one flush empties it, and the remaining
+		// boundaries an idle jump crosses advance in a single step.
+		if err := rt.flushWindow(rt.vstart + w); err != nil {
+			return err
+		}
+		rt.vstart += (t - rt.vstart) / w * w
+	}
+	rt.round = t
+	rt.mu.Lock()
+	rt.m.round = t
+	rt.mu.Unlock()
+	return nil
+}
+
+// flushWindow spot-checks every flow scheduled in rounds [vstart, end)
+// through the verify oracle. All loads in those rounds are fully
+// represented — flows are buffered at departure and rounds only move
+// forward — so the oracle's per-(port, round) capacity check is exact.
+func (rt *Runtime) flushWindow(end int) error {
+	if len(rt.vflows) == 0 {
+		return nil
+	}
+	inst := &switchnet.Instance{Switch: rt.sw, Flows: rt.vflows}
+	sched := &switchnet.Schedule{Round: rt.vrounds}
+	if _, err := verify.CheckSchedule(inst, sched, rt.caps); err != nil {
+		return fmt.Errorf("stream: window [%d,%d) failed verification: %w", rt.vstart, end, err)
+	}
+	rt.vflows = rt.vflows[:0]
+	rt.vrounds = rt.vrounds[:0]
+	rt.mu.Lock()
+	rt.m.windows++
+	rt.mu.Unlock()
+	return nil
+}
+
+// applyRound retires this round's taken flows: callbacks, verification
+// buffering, metric updates, structure unlinking, and load reset.
+func (rt *Runtime) applyRound() {
+	t := rt.round
+	rt.resps = rt.resps[:0]
+	for _, id := range rt.takes {
+		s := &rt.slots[id]
+		rt.resps = append(rt.resps, t+1-s.flow.Release)
+		if rt.cfg.OnSchedule != nil {
+			rt.cfg.OnSchedule(s.seq, s.flow, t)
+		}
+		if rt.cfg.VerifyEvery > 0 {
+			rt.vflows = append(rt.vflows, s.flow)
+			rt.vrounds = append(rt.vrounds, t)
+		}
+	}
+
+	rt.mu.Lock()
+	rt.m.rounds++
+	for _, resp := range rt.resps {
+		rt.m.completed++
+		rt.m.totalResp += int64(resp)
+		if resp > rt.m.maxResp {
+			rt.m.maxResp = resp
+		}
+		rt.win.Observe(t, resp)
+	}
+	rt.mu.Unlock()
+
+	for _, id := range rt.takes {
+		rt.depart(id)
+	}
+	rt.takes = rt.takes[:0]
+	for _, p := range rt.touchIn {
+		rt.loadIn[p] = 0
+	}
+	for _, p := range rt.touchOut {
+		rt.loadOut[p] = 0
+	}
+	rt.touchIn = rt.touchIn[:0]
+	rt.touchOut = rt.touchOut[:0]
+}
+
+// Run drains the source: it advances round by round until the source is
+// exhausted and the pending set is empty, then returns the final summary.
+// It is not restartable.
+func (rt *Runtime) Run() (*Summary, error) {
+	if rt.err != nil {
+		return nil, rt.err
+	}
+	stalled := 0
+	for {
+		rt.pull()
+		for rt.count < rt.cfg.MaxPending && rt.haveLook && rt.look.Release <= rt.round {
+			if err := rt.admit(rt.look); err != nil {
+				return nil, err
+			}
+			rt.haveLook = false
+			rt.pull()
+		}
+		if rt.count == 0 {
+			if !rt.haveLook {
+				if err := rt.src.Err(); err != nil {
+					return nil, err
+				}
+				break
+			}
+			// Idle gap: jump straight to the next arrival.
+			if err := rt.setRound(rt.look.Release); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		rt.cfg.Policy.Pick(&rt.view)
+		if rt.err != nil {
+			return nil, rt.err
+		}
+		if len(rt.takes) == 0 {
+			stalled++
+			if stalled > rt.cfg.StallRounds {
+				return nil, fmt.Errorf("stream: policy %q scheduled nothing for %d consecutive rounds with %d flows pending",
+					rt.cfg.Policy.Name(), stalled, rt.count)
+			}
+		} else {
+			stalled = 0
+		}
+		rt.applyRound()
+		if err := rt.setRound(rt.round + 1); err != nil {
+			return nil, err
+		}
+	}
+	if rt.cfg.VerifyEvery > 0 {
+		if err := rt.flushWindow(rt.vstart + rt.cfg.VerifyEvery); err != nil {
+			return nil, err
+		}
+	}
+	s := rt.Snapshot()
+	return &s, nil
+}
+
+// Snapshot returns the current streaming metrics. It is safe to call
+// concurrently with Run.
+func (rt *Runtime) Snapshot() Summary {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.win.Advance(rt.m.round)
+	s := Summary{
+		Round:           rt.m.round,
+		Rounds:          rt.m.rounds,
+		Admitted:        rt.m.admitted,
+		Completed:       rt.m.completed,
+		Pending:         int(rt.m.admitted - rt.m.completed),
+		PeakPending:     rt.m.peakPending,
+		Backpressured:   rt.m.backpressured,
+		TotalResponse:   rt.m.totalResp,
+		MaxResponse:     rt.m.maxResp,
+		WindowsVerified: rt.m.windows,
+		P50:             rt.win.Quantile(0.50),
+		P90:             rt.win.Quantile(0.90),
+		P99:             rt.win.Quantile(0.99),
+	}
+	if rt.m.completed > 0 {
+		s.AvgResponse = float64(rt.m.totalResp) / float64(rt.m.completed)
+	}
+	return s
+}

@@ -1,0 +1,327 @@
+package stream_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"flowsched/internal/heuristics"
+	"flowsched/internal/sim"
+	"flowsched/internal/stream"
+	"flowsched/internal/switchnet"
+	"flowsched/internal/verify"
+	"flowsched/internal/workload"
+)
+
+// The workload sources must satisfy the runtime's Source contract.
+var (
+	_ stream.Source = (*workload.ArrivalSource)(nil)
+	_ stream.Source = (*workload.TraceSource)(nil)
+	_ stream.Source = (*workload.InstanceSource)(nil)
+)
+
+// sliceSource yields a fixed flow sequence, for adversarial inputs.
+type sliceSource struct {
+	flows []switchnet.Flow
+	pos   int
+}
+
+func (s *sliceSource) Next() (switchnet.Flow, bool) {
+	if s.pos >= len(s.flows) {
+		return switchnet.Flow{}, false
+	}
+	f := s.flows[s.pos]
+	s.pos++
+	return f, true
+}
+
+func (s *sliceSource) Err() error { return nil }
+
+// runStreamed replays inst through the runtime under pol and returns the
+// reconstructed per-flow schedule and the final summary.
+func runStreamed(t *testing.T, inst *switchnet.Instance, pol stream.Policy, cfg stream.Config) (*switchnet.Schedule, *stream.Summary) {
+	t.Helper()
+	src := workload.NewInstanceSource(inst)
+	sched := switchnet.NewSchedule(inst.N())
+	cfg.Switch = inst.Switch
+	cfg.Policy = pol
+	cfg.OnSchedule = func(seq int64, f switchnet.Flow, round int) {
+		sched.Round[src.Order()[seq]] = round
+	}
+	rt, err := stream.New(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched, sum
+}
+
+// TestStreamMatchesSim is the subsystem's core property: replaying a
+// finite instance through the streaming runtime with a bridged simulator
+// policy must reproduce internal/sim.Run flow for flow — same rounds, same
+// metrics — whenever admission control never binds.
+func TestStreamMatchesSim(t *testing.T) {
+	configs := []workload.PoissonConfig{
+		{M: 6, T: 8, Ports: 5},
+		{M: 3, T: 5, Ports: 3},
+		{M: 4, T: 6, Ports: 4, Cap: 3, MaxDemand: 3}, // general demands: first-fit paths
+	}
+	for _, cfg := range configs {
+		for seed := int64(1); seed <= 4; seed++ {
+			inst := cfg.Generate(rand.New(rand.NewSource(seed)))
+			if inst.N() == 0 {
+				continue
+			}
+			for _, pol := range heuristics.WithAblations() {
+				simRes, err := sim.Run(inst, pol)
+				if err != nil {
+					t.Fatalf("sim.Run(%s, seed %d): %v", pol.Name(), seed, err)
+				}
+				sched, sum := runStreamed(t, inst, &stream.Bridge{P: pol},
+					stream.Config{MaxPending: inst.N() + 1, VerifyEvery: 4})
+				for f := range sched.Round {
+					if sched.Round[f] != simRes.Schedule.Round[f] {
+						t.Fatalf("%s seed %d: flow %d streamed to round %d, sim to %d",
+							pol.Name(), seed, f, sched.Round[f], simRes.Schedule.Round[f])
+					}
+				}
+				if int(sum.TotalResponse) != simRes.TotalResponse || sum.MaxResponse != simRes.MaxResponse {
+					t.Fatalf("%s seed %d: streamed metrics (%d,%d) != sim (%d,%d)",
+						pol.Name(), seed, sum.TotalResponse, sum.MaxResponse,
+						simRes.TotalResponse, simRes.MaxResponse)
+				}
+				if sum.Round != simRes.Rounds {
+					t.Fatalf("%s seed %d: streamed final round %d != sim rounds %d",
+						pol.Name(), seed, sum.Round, simRes.Rounds)
+				}
+				if _, err := verify.CheckSchedule(inst, sched, inst.Switch.Caps()); err != nil {
+					t.Fatalf("%s seed %d: streamed schedule rejected by oracle: %v", pol.Name(), seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestNativePoliciesFeasible drains random streams under the native
+// policies with spot-check verification on every window.
+func TestNativePoliciesFeasible(t *testing.T) {
+	for _, pol := range []stream.Policy{&stream.RoundRobin{}, stream.FIFO{}} {
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := workload.PoissonConfig{M: 7, T: 12, Ports: 5, Cap: 2, MaxDemand: 2}
+			inst := cfg.Generate(rand.New(rand.NewSource(seed)))
+			if inst.N() == 0 {
+				continue
+			}
+			sched, sum := runStreamed(t, inst, pol, stream.Config{VerifyEvery: 3})
+			if !sched.Complete() {
+				t.Fatalf("%s seed %d: incomplete schedule", pol.Name(), seed)
+			}
+			if _, err := verify.CheckSchedule(inst, sched, inst.Switch.Caps()); err != nil {
+				t.Fatalf("%s seed %d: %v", pol.Name(), seed, err)
+			}
+			if sum.Completed != int64(inst.N()) {
+				t.Fatalf("%s seed %d: completed %d of %d", pol.Name(), seed, sum.Completed, inst.N())
+			}
+			if sum.WindowsVerified == 0 {
+				t.Fatalf("%s seed %d: no verification windows ran", pol.Name(), seed)
+			}
+		}
+	}
+}
+
+// TestStreamBackpressure drives an overloaded switch through a tiny
+// admission limit: the pending set must never exceed it, nothing may be
+// dropped, and the stall is charged to response time, not hidden.
+func TestStreamBackpressure(t *testing.T) {
+	const maxPending = 16
+	const flows = 500
+	src := workload.NewArrivalSource(workload.ArrivalConfig{
+		Ports: 2, M: 8, MaxFlows: flows,
+	}, rand.New(rand.NewSource(7)))
+	rt, err := stream.New(src, stream.Config{
+		Switch:      src.Switch(),
+		Policy:      &stream.RoundRobin{},
+		MaxPending:  maxPending,
+		VerifyEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != flows {
+		t.Fatalf("completed %d of %d", sum.Completed, flows)
+	}
+	if sum.PeakPending > maxPending {
+		t.Fatalf("peak pending %d exceeds admission limit %d", sum.PeakPending, maxPending)
+	}
+	if sum.Backpressured == 0 {
+		t.Fatal("overloaded stream saw no backpressure")
+	}
+	if sum.MaxResponse <= 1 {
+		t.Fatalf("overload must inflate response times, got max %d", sum.MaxResponse)
+	}
+}
+
+// TestStreamSnapshotRace exercises concurrent Snapshot calls against a
+// running drain (meaningful under -race).
+func TestStreamSnapshotRace(t *testing.T) {
+	src := workload.NewArrivalSource(workload.ArrivalConfig{
+		Ports: 8, M: 8, MaxFlows: 20000,
+	}, rand.New(rand.NewSource(3)))
+	rt, err := stream.New(src, stream.Config{
+		Switch: src.Switch(),
+		Policy: &stream.RoundRobin{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					s := rt.Snapshot()
+					if s.Completed > s.Admitted {
+						t.Error("completed exceeds admitted")
+						return
+					}
+				}
+			}
+		}()
+	}
+	sum, err := rt.Run()
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != 20000 {
+		t.Fatalf("completed %d of 20000", sum.Completed)
+	}
+}
+
+// noopPolicy never schedules anything.
+type noopPolicy struct{}
+
+func (noopPolicy) Name() string      { return "noop" }
+func (noopPolicy) Pick(*stream.View) {}
+
+// TestStreamStallGuard aborts a policy that makes no progress.
+func TestStreamStallGuard(t *testing.T) {
+	src := &sliceSource{flows: []switchnet.Flow{{In: 0, Out: 0, Demand: 1, Release: 0}}}
+	rt, err := stream.New(src, stream.Config{
+		Switch:      switchnet.UnitSwitch(2),
+		Policy:      noopPolicy{},
+		StallRounds: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err == nil {
+		t.Fatal("stalled run did not fail")
+	}
+}
+
+// badIDPolicy takes a pending id that does not exist.
+type badIDPolicy struct{}
+
+func (badIDPolicy) Name() string { return "badID" }
+func (badIDPolicy) Pick(v *stream.View) {
+	v.Take(1 << 20)
+}
+
+// TestStreamRejectsBadPolicies covers the policy-contract failure paths.
+func TestStreamRejectsBadPolicies(t *testing.T) {
+	src := &sliceSource{flows: []switchnet.Flow{{In: 0, Out: 0, Demand: 1, Release: 0}}}
+	rt, err := stream.New(src, stream.Config{Switch: switchnet.UnitSwitch(2), Policy: badIDPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err == nil {
+		t.Fatal("taking an invalid id did not fail the run")
+	}
+}
+
+// TestStreamRejectsBadSources covers the admission validation paths.
+func TestStreamRejectsBadSources(t *testing.T) {
+	cases := []struct {
+		name  string
+		flows []switchnet.Flow
+	}{
+		{"decreasing release", []switchnet.Flow{
+			{In: 0, Out: 0, Demand: 1, Release: 5},
+			{In: 0, Out: 1, Demand: 1, Release: 2},
+		}},
+		{"zero demand", []switchnet.Flow{{In: 0, Out: 0, Demand: 0, Release: 0}}},
+		{"demand above kappa", []switchnet.Flow{{In: 0, Out: 0, Demand: 2, Release: 0}}},
+		{"port out of range", []switchnet.Flow{{In: 9, Out: 0, Demand: 1, Release: 0}}},
+	}
+	for _, tc := range cases {
+		rt, err := stream.New(&sliceSource{flows: tc.flows}, stream.Config{
+			Switch: switchnet.UnitSwitch(2),
+			Policy: &stream.RoundRobin{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(); err == nil {
+			t.Errorf("%s: run did not fail", tc.name)
+		}
+	}
+}
+
+// TestStreamIdleGapJump: a sparse stream must jump over idle rounds, not
+// iterate them — and with verification enabled, the jump must skip the
+// empty windows in between in O(1), not flush them one by one (a release
+// this large would otherwise hang the run).
+func TestStreamIdleGapJump(t *testing.T) {
+	src := &sliceSource{flows: []switchnet.Flow{
+		{In: 0, Out: 0, Demand: 1, Release: 0},
+		{In: 0, Out: 0, Demand: 1, Release: 1 << 40},
+	}}
+	_, sum := func() (*switchnet.Schedule, *stream.Summary) {
+		rt, err := stream.New(src, stream.Config{Switch: switchnet.UnitSwitch(1), Policy: stream.FIFO{}, VerifyEvery: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := rt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nil, sum
+	}()
+	if sum.Rounds != 2 {
+		t.Fatalf("processed %d rounds, want 2 (idle gap must be skipped)", sum.Rounds)
+	}
+	if sum.Round != 1<<40+1 {
+		t.Fatalf("final round %d, want %d", sum.Round, 1<<40+1)
+	}
+	if sum.MaxResponse != 1 {
+		t.Fatalf("max response %d, want 1", sum.MaxResponse)
+	}
+}
+
+// TestStreamByName pins the native policy registry.
+func TestStreamByName(t *testing.T) {
+	if p := stream.ByName("RoundRobin"); p == nil || p.Name() != "RoundRobin" {
+		t.Fatal("RoundRobin not resolvable")
+	}
+	if p := stream.ByName("StreamFIFO"); p == nil || p.Name() != "StreamFIFO" {
+		t.Fatal("StreamFIFO not resolvable")
+	}
+	if p := stream.ByName("nope"); p != nil {
+		t.Fatal("unknown name resolved")
+	}
+}

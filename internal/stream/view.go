@@ -1,0 +1,104 @@
+package stream
+
+import "flowsched/internal/switchnet"
+
+// View is a Policy's window onto the runtime's incremental per-port state.
+// It is valid only inside Pick: the pending set, the admission order, and
+// the VOQ indexes are frozen for the duration (Take marks flows but
+// departures apply after Pick returns), so iteration is always safe.
+type View struct {
+	rt *Runtime
+}
+
+// Round returns the current round t.
+func (v *View) Round() int { return v.rt.round }
+
+// Switch describes port counts and capacities.
+func (v *View) Switch() switchnet.Switch { return v.rt.sw }
+
+// NumPending returns the resident pending-set size.
+func (v *View) NumPending() int { return v.rt.count }
+
+// Each calls fn for every pending flow in admission order (oldest first)
+// until fn returns false. seq is the flow's global admission sequence
+// number; id its (reusable) pending identifier.
+func (v *View) Each(fn func(id ID, seq int64, f switchnet.Flow) bool) {
+	for id := v.rt.head; id != noID; id = v.rt.slots[id].next {
+		s := &v.rt.slots[id]
+		if !fn(ID(id), s.seq, s.flow) {
+			return
+		}
+	}
+}
+
+// Flow returns the flow data of a pending id.
+func (v *View) Flow(id ID) switchnet.Flow { return v.rt.slots[id].flow }
+
+// QueueIn returns the number of pending flows at input port i (the queue
+// depth the MaxWeight heuristic weighs by); QueueOut likewise for output
+// port j.
+func (v *View) QueueIn(i int) int  { return v.rt.queueIn[i] }
+func (v *View) QueueOut(j int) int { return v.rt.queueOut[j] }
+
+// InputFree returns input port i's remaining capacity this round;
+// OutputFree likewise for output port j.
+func (v *View) InputFree(i int) int  { return v.rt.sw.InCaps[i] - v.rt.loadIn[i] }
+func (v *View) OutputFree(j int) int { return v.rt.sw.OutCaps[j] - v.rt.loadOut[j] }
+
+// NumActiveInputs returns how many input ports have pending flows;
+// ActiveInput returns the k-th of them. The order is arbitrary but fixed
+// during Pick.
+func (v *View) NumActiveInputs() int  { return len(v.rt.activeIn) }
+func (v *View) ActiveInput(k int) int { return int(v.rt.activeIn[k]) }
+
+// NumActiveVOQs returns how many output ports have a non-empty virtual
+// output queue at input in; ActiveVOQ returns the k-th such output port.
+func (v *View) NumActiveVOQs(in int) int { return len(v.rt.activeOut[in]) }
+func (v *View) ActiveVOQ(in, k int) int  { return int(v.rt.activeOut[in][k]) }
+
+// VOQHead returns the oldest pending flow on the (in, out) virtual output
+// queue, or NoID if it is empty; VOQNext walks the queue toward younger
+// flows.
+func (v *View) VOQHead(in, out int) ID {
+	return ID(v.rt.voqHead[v.rt.voq(in, out)])
+}
+func (v *View) VOQNext(id ID) ID { return ID(v.rt.slots[id].vnext) }
+
+// Taken reports whether id was already selected this round.
+func (v *View) Taken(id ID) bool { return v.rt.slots[id].taken }
+
+// Take schedules pending flow id in the current round if both its ports
+// have remaining capacity, and reports whether it did. Taking an id twice
+// is a no-op returning false; taking a dead id fails the run.
+func (v *View) Take(id ID) bool {
+	rt := v.rt
+	if id < 0 || id >= len(rt.slots) || !rt.slots[id].live {
+		rt.fail("stream: policy %q took invalid pending id %d", rt.cfg.Policy.Name(), id)
+		return false
+	}
+	s := &rt.slots[id]
+	if s.taken {
+		return false
+	}
+	f := s.flow
+	if rt.loadIn[f.In]+f.Demand > rt.sw.InCaps[f.In] || rt.loadOut[f.Out]+f.Demand > rt.sw.OutCaps[f.Out] {
+		return false
+	}
+	if rt.loadIn[f.In] == 0 {
+		rt.touchIn = append(rt.touchIn, int32(f.In))
+	}
+	if rt.loadOut[f.Out] == 0 {
+		rt.touchOut = append(rt.touchOut, int32(f.Out))
+	}
+	rt.loadIn[f.In] += f.Demand
+	rt.loadOut[f.Out] += f.Demand
+	s.taken = true
+	rt.takes = append(rt.takes, int32(id))
+	return true
+}
+
+// Fail aborts the run with a policy-contract error (e.g. a bridged
+// sim.Policy returned an infeasible or duplicate pick).
+func (v *View) Fail(format string, args ...any) {
+	v.rt.fail(format, args...)
+}

@@ -101,6 +101,34 @@ func (s Switch) Clone() Switch {
 	return Switch{InCaps: append([]int(nil), s.InCaps...), OutCaps: append([]int(nil), s.OutCaps...)}
 }
 
+// ValidateFlow checks one flow against the switch: ports in range,
+// positive demand, non-negative release, and the standing assumption
+// d_e <= kappa_e = min(cap(In), cap(Out)) from Section 2. It is the single
+// per-flow admissibility rule shared by Instance.Validate, the streaming
+// runtime's admission control, and the streaming trace reader.
+func (s Switch) ValidateFlow(e Flow) error {
+	if e.In < 0 || e.In >= s.NumIn() {
+		return fmt.Errorf("input port %d out of range [0,%d)", e.In, s.NumIn())
+	}
+	if e.Out < 0 || e.Out >= s.NumOut() {
+		return fmt.Errorf("output port %d out of range [0,%d)", e.Out, s.NumOut())
+	}
+	if e.Demand <= 0 {
+		return fmt.Errorf("demand %d is not positive", e.Demand)
+	}
+	if e.Release < 0 {
+		return fmt.Errorf("release %d is negative", e.Release)
+	}
+	kappa := s.InCaps[e.In]
+	if c := s.OutCaps[e.Out]; c < kappa {
+		kappa = c
+	}
+	if e.Demand > kappa {
+		return fmt.Errorf("demand %d exceeds kappa=%d (min port capacity)", e.Demand, kappa)
+	}
+	return nil
+}
+
 // Flow is a single flow request: an edge from input port In to output port
 // Out with integer demand Demand, released at round Release (it may be
 // scheduled in any round t >= Release).
@@ -213,20 +241,8 @@ func (in *Instance) Validate() error {
 		}
 	}
 	for f, e := range in.Flows {
-		if e.In < 0 || e.In >= in.Switch.NumIn() {
-			return fmt.Errorf("flow %d: input port %d out of range [0,%d)", f, e.In, in.Switch.NumIn())
-		}
-		if e.Out < 0 || e.Out >= in.Switch.NumOut() {
-			return fmt.Errorf("flow %d: output port %d out of range [0,%d)", f, e.Out, in.Switch.NumOut())
-		}
-		if e.Demand <= 0 {
-			return fmt.Errorf("flow %d: demand %d is not positive", f, e.Demand)
-		}
-		if e.Release < 0 {
-			return fmt.Errorf("flow %d: release %d is negative", f, e.Release)
-		}
-		if k := in.Kappa(f); e.Demand > k {
-			return fmt.Errorf("flow %d: demand %d exceeds kappa=%d (min port capacity)", f, e.Demand, k)
+		if err := in.Switch.ValidateFlow(e); err != nil {
+			return fmt.Errorf("flow %d: %w", f, err)
 		}
 	}
 	return nil

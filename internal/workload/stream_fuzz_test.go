@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"flowsched/internal/switchnet"
+)
+
+// FuzzTraceSource fuzzes the streaming arrival-trace reader. It must never
+// panic, must surface an Err whenever it stops before end of input, and is
+// held differentially against the batch reader: any trace the streaming
+// reader fully accepts must also be accepted by ReadTrace with the same
+// flows in the same order, and the streamed releases must be
+// non-decreasing (the streaming contract ReadTrace does not require).
+func FuzzTraceSource(f *testing.F) {
+	f.Add("release,in,out,demand\n0,0,0,1\n1,1,2,1\n")
+	f.Add("0,0,0,1\n2,3,3,1")
+	f.Add("3,0,0,1\n1,0,0,1\n") // sorted for ReadTrace, not for streaming
+	f.Add("release,in,out,demand\n")
+	f.Add("")
+	f.Add("0,0,0,2\n")
+	f.Add("0,0,0,1,5\n")
+	f.Add("-1,0,0,1\n")
+	f.Add("release\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > 1<<16 {
+			return
+		}
+		sw := switchnet.NewSwitch(4, 4, 2)
+		src := NewTraceSource(strings.NewReader(data), sw)
+		var flows []switchnet.Flow
+		lastRel := 0
+		for {
+			fl, ok := src.Next()
+			if !ok {
+				break
+			}
+			if fl.Release < lastRel {
+				t.Fatalf("streamed release %d after %d", fl.Release, lastRel)
+			}
+			lastRel = fl.Release
+			flows = append(flows, fl)
+			if len(flows) > 1<<16 {
+				t.Fatal("unbounded flows from bounded input")
+			}
+		}
+		if _, ok := src.Next(); ok {
+			t.Fatal("Next yielded after reporting exhaustion")
+		}
+		if src.Err() != nil {
+			return
+		}
+		inst, err := ReadTrace(strings.NewReader(data), sw)
+		if err != nil {
+			t.Fatalf("streaming accepted what batch reader rejects: %v", err)
+		}
+		if len(inst.Flows) != len(flows) {
+			t.Fatalf("streaming yielded %d flows, batch %d", len(flows), len(inst.Flows))
+		}
+		for i := range flows {
+			if flows[i] != inst.Flows[i] {
+				t.Fatalf("flow %d: streamed %+v, batch %+v", i, flows[i], inst.Flows[i])
+			}
+		}
+	})
+}

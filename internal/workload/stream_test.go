@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flowsched/internal/switchnet"
+)
+
+func TestArrivalSourceBasics(t *testing.T) {
+	const n = 5000
+	src := NewArrivalSource(ArrivalConfig{
+		Ports: 8, Cap: 4, M: 3, MaxFlows: n, Alpha: 1.2, MinDemand: 1, MaxDemand: 4,
+	}, rand.New(rand.NewSource(1)))
+	lastRel := 0
+	count := 0
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		count++
+		if f.Release < lastRel {
+			t.Fatalf("release %d after %d", f.Release, lastRel)
+		}
+		lastRel = f.Release
+		if f.In < 0 || f.In >= 8 || f.Out < 0 || f.Out >= 8 {
+			t.Fatalf("port out of range: %+v", f)
+		}
+		if f.Demand < 1 || f.Demand > 4 {
+			t.Fatalf("demand %d outside [1,4]", f.Demand)
+		}
+	}
+	if src.Err() != nil {
+		t.Fatal(src.Err())
+	}
+	if count != n {
+		t.Fatalf("yielded %d flows, want %d", count, n)
+	}
+}
+
+func TestArrivalSourceRejectsBadConfig(t *testing.T) {
+	src := NewArrivalSource(ArrivalConfig{Ports: 0, M: 1}, rand.New(rand.NewSource(1)))
+	if _, ok := src.Next(); ok {
+		t.Fatal("bad config yielded a flow")
+	}
+	if src.Err() == nil {
+		t.Fatal("bad config reported no error")
+	}
+}
+
+func TestBoundedParetoBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		v := BoundedPareto(rng, 1.5, 2, 64)
+		if v < 2 || v > 64 {
+			t.Fatalf("sample %d outside [2,64]", v)
+		}
+	}
+	if v := BoundedPareto(rng, 1.5, 5, 5); v != 5 {
+		t.Fatalf("degenerate range returned %d", v)
+	}
+	if v := BoundedPareto(rng, 1.5, 5, 3); v != 5 {
+		t.Fatalf("inverted range returned %d", v)
+	}
+}
+
+// TestBoundedParetoTail: a heavier tail (smaller alpha) must raise the
+// sample mean.
+func TestBoundedParetoTail(t *testing.T) {
+	mean := func(alpha float64) float64 {
+		rng := rand.New(rand.NewSource(3))
+		s := 0
+		for i := 0; i < 20000; i++ {
+			s += BoundedPareto(rng, alpha, 1, 1<<16)
+		}
+		return float64(s) / 20000
+	}
+	light, heavy := mean(3), mean(0.8)
+	if heavy <= light {
+		t.Fatalf("alpha=0.8 mean %.2f not heavier than alpha=3 mean %.2f", heavy, light)
+	}
+}
+
+func TestParetoConfigGenerate(t *testing.T) {
+	cfg := ParetoConfig{M: 4, T: 6, Ports: 5, Alpha: 1.1, MinDemand: 1, MaxDemand: 8}
+	inst := cfg.Generate(rand.New(rand.NewSource(4)))
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Switch.InCaps[0] < 8 {
+		t.Fatalf("capacity %d below max demand 8", inst.Switch.InCaps[0])
+	}
+	varied := false
+	for _, f := range inst.Flows {
+		if f.Demand > 1 {
+			varied = true
+		}
+	}
+	if !varied && inst.N() > 20 {
+		t.Fatal("pareto demands all unit")
+	}
+}
+
+// TestTraceSourceMatchesReadTrace: streaming a sorted trace must yield
+// exactly what the batch reader loads.
+func TestTraceSourceMatchesReadTrace(t *testing.T) {
+	cfg := PoissonConfig{M: 5, T: 6, Ports: 4}
+	inst := cfg.Generate(rand.New(rand.NewSource(5))) // release-sorted by construction
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	batch, err := ReadTrace(bytes.NewReader(data), inst.Switch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := NewTraceSource(bytes.NewReader(data), inst.Switch)
+	var streamed []switchnet.Flow
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		streamed = append(streamed, f)
+	}
+	if src.Err() != nil {
+		t.Fatal(src.Err())
+	}
+	if len(streamed) != batch.N() {
+		t.Fatalf("streamed %d flows, batch read %d", len(streamed), batch.N())
+	}
+	for i, f := range streamed {
+		if f != batch.Flows[i] {
+			t.Fatalf("flow %d: streamed %+v, batch %+v", i, f, batch.Flows[i])
+		}
+	}
+}
+
+func TestTraceSourceRejects(t *testing.T) {
+	cases := []struct{ name, trace string }{
+		{"unsorted", "release,in,out,demand\n3,0,0,1\n1,0,1,1\n"},
+		{"bad port", "0,9,0,1\n"},
+		{"bad demand", "0,0,0,7\n"},
+		{"bad field", "0,0,zero,1\n"},
+		{"wrong arity", "0,0,1\n"},
+	}
+	for _, tc := range cases {
+		src := NewTraceSource(strings.NewReader(tc.trace), switchnet.UnitSwitch(2))
+		for {
+			if _, ok := src.Next(); !ok {
+				break
+			}
+		}
+		if src.Err() == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+func TestInstanceSourceOrder(t *testing.T) {
+	inst := &switchnet.Instance{
+		Switch: switchnet.UnitSwitch(2),
+		Flows: []switchnet.Flow{
+			{In: 0, Out: 0, Demand: 1, Release: 4},
+			{In: 1, Out: 1, Demand: 1, Release: 0},
+			{In: 0, Out: 1, Demand: 1, Release: 4},
+		},
+	}
+	src := NewInstanceSource(inst)
+	want := []int{1, 0, 2} // sorted by (release, index)
+	for k, idx := range src.Order() {
+		if idx != want[k] {
+			t.Fatalf("order[%d] = %d, want %d", k, idx, want[k])
+		}
+	}
+	lastRel := 0
+	n := 0
+	for {
+		f, ok := src.Next()
+		if !ok {
+			break
+		}
+		if f.Release < lastRel {
+			t.Fatalf("release %d after %d", f.Release, lastRel)
+		}
+		lastRel = f.Release
+		n++
+	}
+	if n != inst.N() {
+		t.Fatalf("yielded %d flows, want %d", n, inst.N())
+	}
+}

@@ -15,12 +15,33 @@ import (
 // through the simulator and the offline algorithms. Port capacities are
 // supplied separately since traces carry only flows.
 
-// ReadTrace parses a CSV flow trace onto the given switch and validates
-// the resulting instance.
-func ReadTrace(r io.Reader, sw switchnet.Switch) (*switchnet.Instance, error) {
+// traceReader returns a CSV reader configured for the trace format.
+func traceReader(r io.Reader) *csv.Reader {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 4
 	cr.TrimLeadingSpace = true
+	return cr
+}
+
+// parseTraceRecord decodes one CSV record (release,in,out,demand) into a
+// flow; line is 1-based for error messages. Both the batch and the
+// streaming trace readers go through here so the format cannot diverge.
+func parseTraceRecord(rec []string, line int) (switchnet.Flow, error) {
+	var vals [4]int
+	for i, s := range rec {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return switchnet.Flow{}, fmt.Errorf("workload: trace line %d field %d: %w", line, i+1, err)
+		}
+		vals[i] = v
+	}
+	return switchnet.Flow{Release: vals[0], In: vals[1], Out: vals[2], Demand: vals[3]}, nil
+}
+
+// ReadTrace parses a CSV flow trace onto the given switch and validates
+// the resulting instance.
+func ReadTrace(r io.Reader, sw switchnet.Switch) (*switchnet.Instance, error) {
+	cr := traceReader(r)
 	inst := &switchnet.Instance{Switch: sw}
 	line := 0
 	for {
@@ -35,17 +56,11 @@ func ReadTrace(r io.Reader, sw switchnet.Switch) (*switchnet.Instance, error) {
 		if line == 1 && rec[0] == "release" {
 			continue // header
 		}
-		vals := make([]int, 4)
-		for i, s := range rec {
-			v, err := strconv.Atoi(s)
-			if err != nil {
-				return nil, fmt.Errorf("workload: trace line %d field %d: %w", line, i+1, err)
-			}
-			vals[i] = v
+		f, err := parseTraceRecord(rec, line)
+		if err != nil {
+			return nil, err
 		}
-		inst.Flows = append(inst.Flows, switchnet.Flow{
-			Release: vals[0], In: vals[1], Out: vals[2], Demand: vals[3],
-		})
+		inst.Flows = append(inst.Flows, f)
 	}
 	if err := inst.Validate(); err != nil {
 		return nil, fmt.Errorf("workload: invalid trace: %w", err)
