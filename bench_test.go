@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -541,71 +542,143 @@ func BenchmarkExtendedWorkloads(b *testing.B) {
 	}
 }
 
+// streamBenchResult is one row of the BENCH_stream.json baseline.
+type streamBenchResult struct {
+	Shards      int     `json:"shards,omitempty"`
+	Flows       int64   `json:"flows"`
+	Rounds      int64   `json:"rounds"`
+	NsPerRound  float64 `json:"ns_per_round"`
+	FlowsPerSec float64 `json:"flows_per_sec"`
+	SpeedupVsK1 float64 `json:"speedup_vs_k1,omitempty"`
+}
+
+// streamBaseline accumulates both stream benchmarks' rows; the file is
+// rewritten after every sub-benchmark so partial runs still leave a valid
+// baseline. Failure to write is not a benchmark failure.
+var streamBaseline = struct {
+	Results []streamBenchResult `json:"results"`
+	Sharded []streamBenchResult `json:"sharded"`
+}{}
+
+// setStreamRow writes a row at a fixed index: the benchmark harness may
+// invoke a sub-benchmark closure several times (growing b.N), and keyed
+// writes keep the baseline at one row per sub-benchmark instead of
+// appending a duplicate per invocation.
+func setStreamRow(rows *[]streamBenchResult, i int, r streamBenchResult) {
+	for len(*rows) <= i {
+		*rows = append(*rows, streamBenchResult{})
+	}
+	(*rows)[i] = r
+}
+
+func writeStreamBaseline(b *testing.B) {
+	b.Helper()
+	if data, err := json.MarshalIndent(map[string]any{
+		"benchmark":  "BenchmarkStreamRuntime",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"results":    streamBaseline.Results,
+		"sharded":    streamBaseline.Sharded,
+	}, "", "  "); err == nil {
+		if err := os.WriteFile("BENCH_stream.json", append(data, '\n'), 0o644); err != nil {
+			b.Logf("baseline not written: %v", err)
+		}
+	}
+}
+
+// drainStream runs one seeded 150-port Pareto arrival drain through the
+// streaming runtime and returns its throughput row.
+func drainStream(b *testing.B, totalFlows int64, shards, verifyEvery int) streamBenchResult {
+	b.Helper()
+	src := workload.NewArrivalSource(workload.ArrivalConfig{
+		Ports: 150, M: 300, MaxFlows: totalFlows,
+		Alpha: 1.3, MinDemand: 1, MaxDemand: 1,
+	}, rand.New(rand.NewSource(17)))
+	rt, err := stream.New(src, stream.Config{
+		Switch:      switchnet.UnitSwitch(150),
+		Policy:      &stream.RoundRobin{},
+		Shards:      shards,
+		MaxPending:  1 << 16,
+		VerifyEvery: verifyEvery,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	start := time.Now()
+	sum, err := rt.Run()
+	elapsed := time.Since(start)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if sum.Completed != totalFlows {
+		b.Fatalf("drained %d of %d flows", sum.Completed, totalFlows)
+	}
+	if sum.PeakPending > 1<<16 {
+		b.Fatalf("peak pending %d exceeded the admission limit", sum.PeakPending)
+	}
+	if verifyEvery > 0 && sum.WindowsVerified == 0 {
+		b.Fatal("no verification windows ran")
+	}
+	return streamBenchResult{
+		Shards:      sum.Shards,
+		Flows:       sum.Completed,
+		Rounds:      sum.Rounds,
+		NsPerRound:  float64(elapsed.Nanoseconds()) / float64(sum.Rounds),
+		FlowsPerSec: float64(sum.Completed) / elapsed.Seconds(),
+	}
+}
+
 // BenchmarkStreamRuntime seeds the streaming-subsystem perf trajectory: it
 // drains overloaded Poisson/Pareto arrival streams of growing total size
 // through the incremental RoundRobin policy at a fixed admission limit and
 // reports throughput and per-round cost. Because the runtime's state is
 // incremental (VOQs plus touched-list resets, never a rescan of all flows
 // seen), ns/round must stay flat as the total flow count grows — that is
-// the property this benchmark guards. Results are also written to
-// BENCH_stream.json as a machine-readable baseline.
+// the property this benchmark guards. It pins Shards to 1: it is the
+// single-core baseline the sharded benchmark is judged against. Results
+// are written to BENCH_stream.json as a machine-readable baseline.
 func BenchmarkStreamRuntime(b *testing.B) {
-	type result struct {
-		Flows       int64   `json:"flows"`
-		Rounds      int64   `json:"rounds"`
-		NsPerRound  float64 `json:"ns_per_round"`
-		FlowsPerSec float64 `json:"flows_per_sec"`
-	}
-	var results []result
-	for _, totalFlows := range []int64{1 << 16, 1 << 18, 1 << 20} {
+	for fi, totalFlows := range []int64{1 << 16, 1 << 18, 1 << 20} {
 		b.Run(fmt.Sprintf("flows=%d", totalFlows), func(b *testing.B) {
-			var last result
+			var last streamBenchResult
 			for i := 0; i < b.N; i++ {
-				src := workload.NewArrivalSource(workload.ArrivalConfig{
-					Ports: 150, M: 300, MaxFlows: totalFlows,
-					Alpha: 1.3, MinDemand: 1, MaxDemand: 1,
-				}, rand.New(rand.NewSource(17)))
-				rt, err := stream.New(src, stream.Config{
-					Switch:     switchnet.UnitSwitch(150),
-					Policy:     &stream.RoundRobin{},
-					MaxPending: 1 << 16,
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				start := time.Now()
-				sum, err := rt.Run()
-				elapsed := time.Since(start)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if sum.Completed != totalFlows {
-					b.Fatalf("drained %d of %d flows", sum.Completed, totalFlows)
-				}
-				if sum.PeakPending > 1<<16 {
-					b.Fatalf("peak pending %d exceeded the admission limit", sum.PeakPending)
-				}
-				last = result{
-					Flows:       sum.Completed,
-					Rounds:      sum.Rounds,
-					NsPerRound:  float64(elapsed.Nanoseconds()) / float64(sum.Rounds),
-					FlowsPerSec: float64(sum.Completed) / elapsed.Seconds(),
-				}
+				last = drainStream(b, totalFlows, 1, 0)
 			}
 			b.ReportMetric(last.NsPerRound, "ns/round")
 			b.ReportMetric(last.FlowsPerSec, "flows/s")
-			results = append(results, last)
-			// Rewrite the baseline after every sub-benchmark so partial runs
-			// still leave a valid file; failure to write is not a benchmark
-			// failure.
-			if data, err := json.MarshalIndent(map[string]any{
-				"benchmark": "BenchmarkStreamRuntime",
-				"results":   results,
-			}, "", "  "); err == nil {
-				if err := os.WriteFile("BENCH_stream.json", append(data, '\n'), 0o644); err != nil {
-					b.Logf("baseline not written: %v", err)
-				}
+			last.Shards = 0 // unsharded series: omit the shard column
+			setStreamRow(&streamBaseline.Results, fi, last)
+			writeStreamBaseline(b)
+		})
+	}
+}
+
+// BenchmarkStreamRuntimeSharded sweeps the shard count on the paper-scale
+// 150-port, 1M-flow drain with windowed verification on — the multi-core
+// throughput trajectory of the sharded runtime. Every run is
+// verifier-spot-checked, and speedup_vs_k1 in BENCH_stream.json records
+// each K's throughput against the K=1 run of the same sweep; meaningful
+// speedups (>= 1.5x at K >= 4) require GOMAXPROCS >= K, so read the
+// recorded gomaxprocs alongside the sweep.
+func BenchmarkStreamRuntimeSharded(b *testing.B) {
+	const totalFlows = 1 << 20
+	var base float64
+	for ki, K := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", K), func(b *testing.B) {
+			var last streamBenchResult
+			for i := 0; i < b.N; i++ {
+				last = drainStream(b, totalFlows, K, 256)
 			}
+			if K == 1 {
+				base = last.FlowsPerSec
+			}
+			if base > 0 {
+				last.SpeedupVsK1 = last.FlowsPerSec / base
+				b.ReportMetric(last.SpeedupVsK1, "speedup_vs_k1")
+			}
+			b.ReportMetric(last.NsPerRound, "ns/round")
+			b.ReportMetric(last.FlowsPerSec, "flows/s")
+			setStreamRow(&streamBaseline.Sharded, ki, last)
+			writeStreamBaseline(b)
 		})
 	}
 }

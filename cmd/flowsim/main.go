@@ -15,7 +15,11 @@
 // through admission control, and drain under an incremental policy with
 // sliding-window metrics and optional spot-check verification:
 //
+// With -shards K the runtime partitions the input ports across K worker
+// shards (multi-core single-switch scheduling; native policies only):
+//
 //	flowsim -stream -flows 1000000 -ports 150 -M 300 -policy RoundRobin
+//	flowsim -stream -flows 1000000 -ports 150 -M 300 -policy RoundRobin -shards 4
 //	flowsim -stream -flows 200000 -alpha 1.3 -dmax 8 -policy MaxWeight -verifyevery 64
 package main
 
@@ -41,7 +45,7 @@ func main() {
 		ports   = flag.Int("ports", 150, "switch size m")
 		mFlag   = flag.Float64("M", 150, "mean flow arrivals per round")
 		tFlag   = flag.Int("T", 20, "arrival rounds")
-		policy  = flag.String("policy", "all", "MaxCard, MinRTime, MaxWeight, FIFO, GreedyAge, or all; with -stream also RoundRobin, StreamFIFO")
+		policy  = flag.String("policy", "all", "MaxCard, MinRTime, MaxWeight, FIFO, GreedyAge, or all; with -stream also RoundRobin, StreamFIFO (streams drain one policy, so -stream maps all to RoundRobin)")
 		trials  = flag.Int("trials", 10, "number of random trials")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		inFile  = flag.String("in", "", "load instance JSON instead of generating")
@@ -51,6 +55,7 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 
 		streamMode  = flag.Bool("stream", false, "streaming mode: drain an unbounded arrival stream through internal/stream")
+		shards      = flag.Int("shards", 0, "stream: runtime shards the input ports are partitioned across (0 = GOMAXPROCS for shardable policies, capped at -ports; > 1 needs a native policy)")
 		flows       = flag.Int64("flows", 1_000_000, "stream: total flows to drain")
 		alpha       = flag.Float64("alpha", 0, "stream: bounded-Pareto size tail index (0 = unit/uniform sizes)")
 		maxPending  = flag.Int("maxpending", stream.DefaultMaxPending, "stream: admission limit on the resident pending set")
@@ -63,7 +68,7 @@ func main() {
 		runStream(streamOpts{
 			ports: *ports, m: *mFlag, policy: *policy, seed: *seed, trace: *trace,
 			dmax: *demands, flows: *flows, alpha: *alpha, maxPending: *maxPending,
-			window: *window, verifyEvery: *verifyEvery,
+			window: *window, verifyEvery: *verifyEvery, shards: *shards,
 		})
 		return
 	}
@@ -187,6 +192,7 @@ type streamOpts struct {
 	maxPending  int
 	window      int
 	verifyEvery int
+	shards      int
 }
 
 // streamPolicy resolves a native streaming policy or bridges a simulator
@@ -234,6 +240,7 @@ func runStream(o streamOpts) {
 	rt, err := stream.New(src, stream.Config{
 		Switch:       sw,
 		Policy:       pol,
+		Shards:       o.shards,
 		MaxPending:   o.maxPending,
 		WindowRounds: o.window,
 		VerifyEvery:  o.verifyEvery,
@@ -248,6 +255,7 @@ func runStream(o streamOpts) {
 		fatal(err)
 	}
 	fmt.Printf("policy          %s\n", pol.Name())
+	fmt.Printf("shards          %d\n", sum.Shards)
 	fmt.Printf("flows           %d (admitted %d)\n", sum.Completed, sum.Admitted)
 	fmt.Printf("rounds          %d (final round %d)\n", sum.Rounds, sum.Round)
 	fmt.Printf("wall time       %v (%.0f flows/s, %.0f ns/round)\n",

@@ -49,14 +49,19 @@
 //     delay stays visible in the metrics because response times are always
 //     charged from the original release round — and drain under a
 //     StreamPolicy. The native RoundRobin policy serves per-(input,output)
-//     virtual output queues with iSLIP-style rotating pointers in O(active
-//     ports) per round; StreamBridge runs any simulator heuristic on the
-//     stream unchanged, reproducing Simulate round for round on a replayed
-//     finite instance. Metrics are streaming (running totals plus
-//     sliding-window response-time quantiles from a mergeable log-histogram
-//     sketch), and VerifyEvery feeds each completed window of rounds
-//     through the verify oracle, so even unbounded runs are spot-checked
-//     for feasibility.
+//     virtual output queues with iSLIP-style per-input pointers rotating
+//     in output-port order; StreamBridge runs any simulator heuristic on
+//     the stream unchanged, reproducing Simulate round for round on a
+//     replayed finite instance. StreamConfig.Shards partitions the input
+//     ports across worker shards for multi-core single-switch scheduling:
+//     shards own their inputs' queues outright and settle output capacity
+//     by a deterministic two-phase propose/reconcile protocol, so a run
+//     is reproducible at any fixed shard count. Metrics are streaming
+//     (running totals plus sliding-window response-time quantiles from a
+//     mergeable log-histogram sketch, merged across shards), and
+//     VerifyEvery feeds each completed window of rounds through the
+//     verify oracle, so even unbounded runs are spot-checked for
+//     feasibility.
 //
 // The LP solver, matching algorithms, edge coloring, rounding theorem, and
 // simulator are all implemented in this repository with no external

@@ -266,9 +266,14 @@ type (
 	StreamPolicy = stream.Policy
 	// StreamView is a policy's window onto the runtime's per-port state.
 	StreamView = stream.View
-	// StreamConfig tunes admission control, metric windows, and
-	// verification cadence.
+	// StreamConfig tunes shard count, admission control, metric windows,
+	// and verification cadence.
 	StreamConfig = stream.Config
+	// StreamShardable marks streaming policies that can run one instance
+	// per runtime shard when StreamConfig.Shards > 1 partitions the input
+	// ports across shards (see internal/stream's package docs for the
+	// deterministic two-phase output-capacity protocol).
+	StreamShardable = stream.Shardable
 	// StreamRuntime drains a source round by round in bounded memory.
 	StreamRuntime = stream.Runtime
 	// StreamSummary is a point-in-time view of the streaming metrics.
@@ -284,8 +289,9 @@ func NewStreamRuntime(src StreamSource, cfg StreamConfig) (*StreamRuntime, error
 }
 
 // StreamRoundRobin returns the native incremental policy: virtual output
-// queues served oldest-first with iSLIP-style rotating pointers; a round
-// costs O(active ports), independent of the pending count.
+// queues served oldest-first with iSLIP-style per-input pointers rotating
+// in output-port order, independent of the pending count. It is shardable
+// (StreamShardable), so it drives multi-core sharded runtimes.
 func StreamRoundRobin() StreamPolicy { return &stream.RoundRobin{} }
 
 // StreamFIFO returns the oldest-first first-fit streaming baseline.

@@ -186,8 +186,17 @@ func (w *WindowQuantiles) N() uint64 {
 // if the window is empty.
 func (w *WindowQuantiles) Quantile(q float64) float64 {
 	w.scratch.Reset()
-	for i := range w.shards {
-		w.scratch.Merge(&w.shards[i])
-	}
+	w.MergeInto(&w.scratch)
 	return w.scratch.Quantile(q)
+}
+
+// MergeInto merges the window's live observations into dst. It is the
+// cross-window merge path for sharded runtimes that keep one
+// WindowQuantiles per shard over the same rounds and combine them at
+// snapshot time: merging every shard's window into one LogHistogram
+// yields the same quantiles as a single window observing all values.
+func (w *WindowQuantiles) MergeInto(dst *LogHistogram) {
+	for i := range w.shards {
+		dst.Merge(&w.shards[i])
+	}
 }

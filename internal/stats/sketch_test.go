@@ -142,3 +142,36 @@ func TestWindowQuantilesAdvanceExpiresStale(t *testing.T) {
 		t.Fatalf("stale quantile %v visible after advance", q)
 	}
 }
+
+// TestWindowQuantilesMergeInto: merging several per-shard windows over the
+// same rounds into one histogram must yield exactly the quantiles of a
+// single window that observed every value.
+func TestWindowQuantilesMergeInto(t *testing.T) {
+	const parts = 4
+	shards := make([]*WindowQuantiles, parts)
+	for i := range shards {
+		shards[i] = NewWindowQuantiles(64, 8)
+	}
+	whole := NewWindowQuantiles(64, 8)
+	rng := rand.New(rand.NewSource(9))
+	for round := 0; round < 200; round++ {
+		for k := 0; k < 6; k++ {
+			v := rng.Intn(5000)
+			shards[rng.Intn(parts)].Observe(round, v)
+			whole.Observe(round, v)
+		}
+	}
+	var merged LogHistogram
+	for _, w := range shards {
+		w.Advance(199)
+		w.MergeInto(&merged)
+	}
+	if got, want := merged.N(), whole.N(); got != want {
+		t.Fatalf("merged N %d, want %d", got, want)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got, want := merged.Quantile(q), whole.Quantile(q); got != want {
+			t.Fatalf("q=%.2f: merged %v, single-window %v", q, got, want)
+		}
+	}
+}

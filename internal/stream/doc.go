@@ -1,0 +1,87 @@
+// Package stream is the event-driven streaming scheduler runtime: the
+// unbounded-arrival counterpart of internal/sim. A Source yields flows in
+// non-decreasing release order (generator-driven or trace replay, see
+// internal/workload); the Runtime admits them into a bounded pending set,
+// asks a Policy for a capacity-feasible selection each round, and retires
+// scheduled flows into streaming metrics — running totals plus
+// sliding-window response-time quantiles — without ever holding more than
+// the admission limit of flows in memory.
+//
+// Incrementality is the point: the runtime maintains per-port pending
+// state — virtual output queues (one FIFO per (input, output) pair) with
+// active-port indexes, per-port queue depths, and per-round load tallies
+// reset via touched lists — updated in O(1) per arrival and departure. A
+// round therefore costs O(arrived + scheduled + policy), never a rescan of
+// every flow seen so far; with the native RoundRobin policy the policy
+// term is O(active ports + scheduled) bitmap-word probes per round,
+// independent of the pending count.
+//
+// # Sharding
+//
+// Config.Shards > 1 partitions the input ports across K shards: input i
+// belongs to shard i mod K. Each shard exclusively owns the pending slots
+// of flows arriving at its inputs — their admission-order sublist, their
+// virtual output queues and active-port indexes, their load tallies — plus
+// its own policy instance (Shardable.NewShard), its own sliding-window
+// metric sketches, and its own verification buffer. Input-queued-switch
+// state decomposes cleanly along this axis because every structure the
+// scheduler mutates per round is keyed by input port; only output capacity
+// couples the shards, and it is settled by a deterministic two-phase
+// protocol each round:
+//
+//  1. Propose (parallel). Every shard admits the arrivals the coordinator
+//     routed to it and runs its policy against a carved output budget:
+//     output j's capacity splits into floor(OutCaps[j]/K) units per shard,
+//     with the OutCaps[j] mod K spare units rotating across shards by
+//     round so no shard permanently owns them. Shards touch disjoint
+//     state, so the phase runs on all cores and its outcome is
+//     independent of goroutine interleaving.
+//  2. Reconcile (sequential in shard order). The coordinator computes
+//     each output's unused budget — OutCaps[j] minus the total phase-1
+//     usage — and offers every shard, in shard index order, a second Pick
+//     against that shared leftover pool. Any capacity one shard could not
+//     use is therefore visible to all shards, so sharding never idles a
+//     port that an unsharded run would have filled.
+//
+// Retirement then runs parallel again: each shard unthreads its departures,
+// updates its metric sketches, and buffers its scheduled flows for
+// verification; the coordinator merges the buffers at window flushes and
+// merges the metric sketches at Snapshot. For a fixed K the schedule is a
+// pure function of the source — replaying the same stream at the same
+// shard count reproduces it bit for bit.
+//
+// # Shard-scoped View contract
+//
+// Inside Pick a View exposes only the calling shard's slice of the
+// runtime. Each and NumPending cover the shard's pending flows (oldest
+// first in global admission order); QueueIn and QueueOut count the shard's
+// flows per port; NumActiveInputs, ActiveInput, NumActiveVOQs, ActiveVOQ,
+// and VOQHead are defined over the shard's own inputs; IDs are shard-local
+// and must not cross Views. InputFree is always exact, because inputs are
+// owned. OutputFree reports the shard's remaining carved budget during the
+// propose phase and the global leftover pool during the reconcile phase.
+// With Shards == 1 there is a single shard owning everything, OutputFree
+// is always exact, and the View is exactly the pre-sharding contract —
+// which is why bridged simulator policies (see Bridge), whose matchings
+// need the full pending set, require Shards == 1.
+//
+// Config.OnSchedule is always invoked from the coordinator goroutine, in
+// shard index order within a round, so callbacks need no locking.
+//
+// # Backpressure
+//
+// When the pending set reaches Config.MaxPending the runtime stops
+// draining the source, so arrivals wait inside the source until a
+// departure frees a slot. Admission is lossless and order-preserving, and
+// response times are always charged from the flow's original release
+// round, so queueing delay under overload is visible in the metrics rather
+// than hidden by the admission control.
+//
+// # Verification
+//
+// With Config.VerifyEvery > 0 the runtime feeds each completed window of
+// rounds — every flow scheduled in those rounds, with original releases,
+// merged across shards — through the internal/verify oracle, aborting the
+// run on the first infeasible window. Spot-checking costs O(flows per
+// window) and keeps the unbounded run honest without retaining history.
+package stream

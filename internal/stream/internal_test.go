@@ -1,0 +1,84 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"flowsched/internal/switchnet"
+)
+
+// emptySource yields nothing; for runtimes driven by hand in white-box
+// tests.
+type emptySource struct{}
+
+func (emptySource) Next() (switchnet.Flow, bool) { return switchnet.Flow{}, false }
+func (emptySource) Err() error                   { return nil }
+
+// TestFlushWindowLabelsTrueRounds pins the verification-failure label to
+// the true min/max buffered rounds. The old label was [vstart, vstart+w)
+// with a vstart that went stale when an idle jump crossed several window
+// boundaries before the flush; deriving it from the buffered rounds cannot
+// drift. An infeasible buffer can only be injected white-box — View.Take
+// never produces one — so this test writes the shard buffers directly.
+func TestFlushWindowLabelsTrueRounds(t *testing.T) {
+	rt, err := New(emptySource{}, Config{
+		Switch:      switchnet.UnitSwitch(2),
+		Policy:      FIFO{},
+		VerifyEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := rt.shards[0]
+	// A feasible flow at round 5, then two unit flows on the same port
+	// pair in round 9: load 2 on a unit-capacity port, infeasible.
+	sh.vflows = append(sh.vflows,
+		switchnet.Flow{In: 1, Out: 1, Demand: 1},
+		switchnet.Flow{In: 0, Out: 0, Demand: 1},
+		switchnet.Flow{In: 0, Out: 0, Demand: 1},
+	)
+	sh.vrounds = append(sh.vrounds, 5, 9, 9)
+
+	err = rt.flushWindow()
+	if err == nil {
+		t.Fatal("infeasible window passed verification")
+	}
+	if !strings.Contains(err.Error(), "[5, 9]") {
+		t.Fatalf("window label does not cover the true buffered rounds [5, 9]: %v", err)
+	}
+}
+
+// TestShardBudgetsPartitionCapacity: for every round offset the per-shard
+// carves of an output's capacity must sum to exactly the capacity, so
+// propose-phase picks can never overload a port and reconcile redistributes
+// precisely what was left.
+func TestShardBudgetsPartitionCapacity(t *testing.T) {
+	for _, caps := range []int{1, 2, 3, 5, 8} {
+		for _, k := range []int{1, 2, 3, 4} {
+			rt, err := New(emptySource{}, Config{
+				Switch: switchnet.NewSwitch(4, 4, caps),
+				Policy: &RoundRobin{},
+				Shards: k,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 6; round++ {
+				rt.round = round
+				for j := 0; j < 4; j++ {
+					sum := 0
+					for _, sh := range rt.shards {
+						b := sh.budget(j)
+						if b < 0 {
+							t.Fatalf("caps=%d k=%d round=%d out=%d shard=%d: negative budget %d", caps, k, round, j, sh.idx, b)
+						}
+						sum += b
+					}
+					if sum != caps {
+						t.Fatalf("caps=%d k=%d round=%d out=%d: budgets sum to %d", caps, k, round, j, sum)
+					}
+				}
+			}
+		}
+	}
+}

@@ -8,11 +8,15 @@ import (
 // FIFO takes pending flows oldest-first (admission order), first-fit. A
 // round costs O(pending) — bounded by Config.MaxPending — so it is the
 // streaming analogue of the heuristics package's FIFO baseline, not an
-// incremental policy; prefer RoundRobin when the pending set is large.
+// incremental policy; prefer RoundRobin when the pending set is large. It
+// is shardable: each shard serves its own flows oldest-first.
 type FIFO struct{}
 
 // Name implements Policy.
 func (FIFO) Name() string { return "StreamFIFO" }
+
+// NewShard implements Shardable.
+func (FIFO) NewShard() Policy { return FIFO{} }
 
 // Pick implements Policy.
 func (FIFO) Pick(v *View) {
@@ -24,63 +28,117 @@ func (FIFO) Pick(v *View) {
 
 // RoundRobin is the runtime's native incremental policy: per-(input,
 // output) virtual output queues served oldest-first, with a rotating
-// per-input pointer over the input's active VOQs (iSLIP-style
-// desynchronization). Within a VOQ a blocked head blocks the queue —
+// per-input pointer over the input's VOQs in output-port order
+// (iSLIP-style desynchronization: the pointer records the last output
+// port served and the next pass resumes at its successor, so every
+// persistently-active VOQ at an input is served within one full rotation
+// of the port space). Within a VOQ a blocked head blocks the queue —
 // strict FIFO, so no flow is ever overtaken by a younger flow on the same
-// port pair. A round costs O(active ports + scheduled), independent of how
-// many flows are pending or were ever seen.
+// port pair. A round costs O(active ports + scheduled) bitmap-word probes
+// (View.NextActiveVOQ), independent of how many flows are pending or were
+// ever seen.
 type RoundRobin struct {
+	// rr[in] is the last output port served at input in (-1 before any);
+	// a pass over in's VOQs starts at its successor in port order.
 	rr []int
 }
 
 // Name implements Policy.
 func (*RoundRobin) Name() string { return "RoundRobin" }
 
+// NewShard implements Shardable: per-input pointers carry no cross-input
+// state, so a fresh instance per shard preserves the rotation semantics.
+func (*RoundRobin) NewShard() Policy { return &RoundRobin{} }
+
 // Reset implements Resetter.
-func (p *RoundRobin) Reset(sw switchnet.Switch) { p.rr = make([]int, sw.NumIn()) }
+func (p *RoundRobin) Reset(sw switchnet.Switch) {
+	p.rr = make([]int, sw.NumIn())
+	for i := range p.rr {
+		p.rr[i] = -1
+	}
+}
 
 // Pick implements Policy.
 func (p *RoundRobin) Pick(v *View) {
+	m := v.Switch().NumOut()
 	for a := 0; a < v.NumActiveInputs(); a++ {
 		in := v.ActiveInput(a)
 		free := v.InputFree(in)
-		k := v.NumActiveVOQs(in)
-		if k == 0 || free <= 0 {
+		if free <= 0 {
 			continue
 		}
-		start := p.rr[in] % k
-		for j := 0; j < k && free > 0; j++ {
-			pos := (start + j) % k
-			out := v.ActiveVOQ(in, pos)
-			for id := v.VOQHead(in, out); id != NoID && free > 0; id = v.VOQNext(id) {
-				f := v.Flow(id)
-				if f.Demand > free || v.OutputFree(out) < f.Demand {
-					break // FIFO within the VOQ: a blocked head blocks the queue
-				}
-				if !v.Take(id) {
-					break
-				}
-				free -= f.Demand
-				p.rr[in] = pos + 1
+		start := (p.rr[in] + 1 + m) % m
+		// One circular sweep over the input's active VOQs in port order,
+		// starting at the pointer's successor: NextActiveVOQ probes are
+		// O(1) bitmap word operations, and strictly increasing circular
+		// distance detects the wrap-around.
+		cur, prev := start, -1
+		for free > 0 {
+			out := v.NextActiveVOQ(in, cur)
+			if out < 0 {
+				break
+			}
+			d := (out - start + m) % m
+			if d <= prev {
+				break // wrapped: every active VOQ has been visited
+			}
+			prev = d
+			free = p.serveVOQ(v, in, out, free)
+			if cur = out + 1; cur == m {
+				cur = 0
 			}
 		}
 	}
 }
 
+// serveVOQ drains (in, out) oldest-first while capacity lasts and returns
+// the input's remaining free capacity. The rotation pointer advances once
+// per VOQ served, however many flows drained, and records the output
+// *port* — immune to the active list's swap-delete reordering.
+func (p *RoundRobin) serveVOQ(v *View, in, out, free int) int {
+	served := false
+	for id := v.VOQHead(in, out); id != NoID && free > 0; id = v.VOQNext(id) {
+		if v.Taken(id) {
+			// Already scheduled by this round's propose pass: not a
+			// blocked head, so the reconcile pass may drain past it.
+			continue
+		}
+		f := v.Flow(id)
+		if f.Demand > free || v.OutputFree(out) < f.Demand {
+			break // FIFO within the VOQ: a blocked head blocks the queue
+		}
+		if !v.Take(id) {
+			break
+		}
+		free -= f.Demand
+		served = true
+	}
+	if served {
+		p.rr[in] = out
+	}
+	return free
+}
+
 // Bridge adapts a sim.Policy — the paper's MaxCard / MinRTime / MaxWeight
 // heuristics and the ablation baselines — to the streaming runtime by
 // materializing the bounded pending set as a sim.State each round. The
-// materialization costs O(pending) per round (bounded by
+// materialization costs O(pending + ports) per round (bounded by
 // Config.MaxPending) on top of the policy's own matching cost; the
 // pending list is presented in admission order with seq as the flow
 // identifier, which reproduces internal/sim.Run's ordering exactly on a
-// replayed finite instance.
+// replayed finite instance. Simulator matchings need the whole pending
+// set, so Bridge is not Shardable and pins the runtime to Shards == 1.
 type Bridge struct {
 	// P is the simulator policy to run on the stream.
 	P sim.Policy
 
 	st  sim.State
 	ids []ID
+	// qin/qout are Bridge-owned copies of the runtime's per-port queue
+	// depths (reused across rounds): sim policies receive them in
+	// sim.State and are free to scribble on them, which must never reach
+	// the runtime's live counters.
+	qin, qout []int
 }
 
 // Name implements Policy.
@@ -88,10 +146,25 @@ func (b *Bridge) Name() string { return b.P.Name() }
 
 // Pick implements Policy.
 func (b *Bridge) Pick(v *View) {
+	sw := v.Switch()
 	b.st.Round = v.Round()
-	b.st.Switch = v.Switch()
-	b.st.QueueIn = v.rt.queueIn
-	b.st.QueueOut = v.rt.queueOut
+	b.st.Switch = sw
+	if cap(b.qin) < sw.NumIn() {
+		b.qin = make([]int, sw.NumIn())
+	}
+	if cap(b.qout) < sw.NumOut() {
+		b.qout = make([]int, sw.NumOut())
+	}
+	b.qin = b.qin[:sw.NumIn()]
+	b.qout = b.qout[:sw.NumOut()]
+	for i := range b.qin {
+		b.qin[i] = v.QueueIn(i)
+	}
+	for j := range b.qout {
+		b.qout[j] = v.QueueOut(j)
+	}
+	b.st.QueueIn = b.qin
+	b.st.QueueOut = b.qout
 	b.st.Pending = b.st.Pending[:0]
 	b.ids = b.ids[:0]
 	v.Each(func(id ID, seq int64, f switchnet.Flow) bool {

@@ -1,36 +1,8 @@
-// Package stream is the event-driven streaming scheduler runtime: the
-// unbounded-arrival counterpart of internal/sim. A Source yields flows in
-// non-decreasing release order (generator-driven or trace replay, see
-// internal/workload); the Runtime admits them into a bounded pending set,
-// asks a Policy for a capacity-feasible selection each round, and retires
-// scheduled flows into streaming metrics — running totals plus
-// sliding-window response-time quantiles — without ever holding more than
-// the admission limit of flows in memory.
-//
-// Incrementality is the point: the runtime maintains per-port pending
-// state — virtual output queues (one FIFO per (input, output) pair) with
-// active-port indexes, per-port queue depths, and per-round load tallies
-// reset via touched lists — updated in O(1) per arrival and departure. A
-// round therefore costs O(arrived + scheduled + policy), never a rescan of
-// every flow seen so far; with the native RoundRobin policy the policy
-// term is O(active ports), independent of the pending count.
-//
-// Backpressure: when the pending set reaches Config.MaxPending the runtime
-// stops draining the source, so arrivals wait inside the source until a
-// departure frees a slot. Admission is lossless and order-preserving, and
-// response times are always charged from the flow's original release
-// round, so queueing delay under overload is visible in the metrics rather
-// than hidden by the admission control.
-//
-// Verification: with Config.VerifyEvery > 0 the runtime feeds each
-// completed window of rounds — every flow scheduled in those rounds, with
-// original releases — through the internal/verify oracle, aborting the run
-// on the first infeasible window. Spot-checking costs O(flows per window)
-// and keeps the unbounded run honest without retaining history.
 package stream
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"flowsched/internal/stats"
@@ -47,8 +19,10 @@ type Source interface {
 	Err() error
 }
 
-// ID identifies an admitted flow in the runtime's pending set. IDs are
-// reused after departure: they are stable only while the flow is pending.
+// ID identifies an admitted flow in a shard's pending set. IDs are
+// shard-local and reused after departure: they are stable only while the
+// flow is pending, and only meaningful against the View that produced
+// them.
 type ID = int
 
 // NoID marks the absence of a pending flow.
@@ -60,6 +34,11 @@ const noID int32 = -1
 // Policy selects a capacity-feasible set of pending flows each round by
 // calling View.Take. The runtime enforces port capacities inside Take, so
 // a policy cannot overload a port; it can only fail to make progress.
+//
+// In a sharded runtime (Config.Shards > 1) each shard runs its own policy
+// instance and Pick may be invoked twice per round — once against the
+// shard's carved output budgets and once against the reconciled leftover
+// pool (see the package docs); the View is shard-scoped either way.
 type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
@@ -69,10 +48,21 @@ type Policy interface {
 }
 
 // Resetter is implemented by policies that carry per-run state (e.g.
-// RoundRobin's rotation pointers); the runtime calls Reset once at
-// construction.
+// RoundRobin's rotation pointers); the runtime calls Reset on every policy
+// instance once at construction.
 type Resetter interface {
 	Reset(sw switchnet.Switch)
+}
+
+// Shardable is implemented by policies that can run as independent
+// per-shard instances when the runtime partitions input ports across
+// shards. NewShard returns a fresh policy instance for one shard; each
+// instance only ever sees the shard-scoped View of its own inputs.
+// Policies that need the whole pending set each round (e.g. Bridge) must
+// not implement it, which pins them to Shards == 1.
+type Shardable interface {
+	Policy
+	NewShard() Policy
 }
 
 // Defaults for Config fields left zero.
@@ -87,8 +77,15 @@ const (
 type Config struct {
 	// Switch describes the port structure; all source flows must fit it.
 	Switch switchnet.Switch
-	// Policy selects flows each round.
+	// Policy selects flows each round. With Shards > 1 it must implement
+	// Shardable; each shard then runs its own NewShard instance.
 	Policy Policy
+	// Shards partitions the input ports across that many runtime shards
+	// (input i belongs to shard i mod Shards), scheduled by the
+	// deterministic two-phase output-capacity protocol described in the
+	// package docs. <= 0 selects GOMAXPROCS for Shardable policies and 1
+	// otherwise; the value is always capped at NumIn.
+	Shards int
 	// MaxPending bounds the resident pending set (admission control);
 	// <= 0 selects DefaultMaxPending. When the limit is reached the
 	// runtime exerts backpressure on the source instead of dropping.
@@ -101,33 +98,21 @@ type Config struct {
 	// selects 8).
 	WindowRounds int
 	WindowShards int
-	// StallRounds aborts the run if the policy schedules nothing for that
-	// many consecutive rounds with a non-empty pending set (<= 0 selects
-	// DefaultStallRounds).
+	// StallRounds aborts the run after the policy has scheduled nothing
+	// for that many consecutive rounds with a non-empty pending set
+	// (<= 0 selects DefaultStallRounds).
 	StallRounds int
 	// OnSchedule, when non-nil, observes every departure: seq is the
-	// flow's admission sequence number (its position in source order).
+	// flow's admission sequence number (its position in source order). It
+	// is always invoked from the goroutine driving Run, in shard index
+	// order within a round.
 	OnSchedule func(seq int64, f switchnet.Flow, round int)
 }
 
-// slot is one pending flow in the runtime's arena.
-type slot struct {
-	flow switchnet.Flow
-	seq  int64
-	// prev/next link the admission-order list; vprev/vnext the flow's
-	// virtual output queue. noID terminates.
-	prev, next   int32
-	vprev, vnext int32
-	live         bool
-	taken        bool
-}
-
-// metrics is the Snapshot-visible state, guarded by Runtime.mu.
+// metrics is the coordinator's share of the Snapshot-visible state,
+// guarded by Runtime.mu; completion counters live in the shards.
 type metrics struct {
 	admitted      int64
-	completed     int64
-	totalResp     int64
-	maxResp       int
 	peakPending   int
 	backpressured int64
 	windows       int64
@@ -143,6 +128,9 @@ type Summary struct {
 	// Rounds counts scheduling rounds actually processed (idle gaps are
 	// skipped, not iterated).
 	Rounds int64
+	// Shards is the number of runtime shards the input ports are
+	// partitioned across (1 = unsharded).
+	Shards int
 	// Admitted and Completed count flows in and out of the pending set;
 	// Pending is the current resident count and PeakPending its high
 	// water mark (never above MaxPending).
@@ -162,63 +150,59 @@ type Summary struct {
 	// accepted.
 	WindowsVerified int64
 	// P50, P90, P99 are response-time quantiles over the sliding metrics
-	// window (sketched; see stats.LogHistogram for the error bound).
+	// window, merged across shards (sketched; see stats.LogHistogram for
+	// the error bound).
 	P50, P90, P99 float64
 }
 
-// Runtime is the streaming scheduler. It is driven by one goroutine (Run);
-// Snapshot may be called concurrently from others.
+// Runtime is the streaming scheduler. Run drives it from one goroutine —
+// the coordinator — which pulls the source, routes arrivals to shards,
+// and sequences the per-round phases; with Config.Shards > 1 the propose
+// and apply phases execute on a pool of shard worker goroutines. Snapshot
+// may be called concurrently from other goroutines.
 type Runtime struct {
 	cfg  Config
 	src  Source
 	sw   switchnet.Switch
 	caps []int
 
-	round int
+	nshards int
+	shards  []*shard
 
-	slots []slot
-	freed []int32
-	head  int32
-	tail  int32
+	round int
 	count int
+	seq   int64
 
 	look     switchnet.Flow
 	haveLook bool
 	srcDone  bool
 	lastRel  int
 
-	queueIn, queueOut []int
-	loadIn, loadOut   []int
-	touchIn, touchOut []int32
+	// leftover is the reconcile-phase output budget pool, rebuilt each
+	// round from OutCaps minus the propose-phase usage (nshards > 1);
+	// totalOutCap is sum(OutCaps), the pool's upper bound.
+	leftover    []int
+	totalOutCap int
 
-	// Virtual output queues, indexed in*NumOut+out.
-	voqHead, voqTail []int32
-	// activeOut[in] lists the output ports with a non-empty VOQ at input
-	// in; activeOutPos is each VOQ's index there (noID if inactive).
-	activeOut    [][]int32
-	activeOutPos []int32
-	// activeIn lists input ports with any pending flow; activeInPos is
-	// each input's index there.
-	activeIn    []int32
-	activeInPos []int32
+	err error
 
-	takes []int32
-	resps []int
-	view  View
-	err   error
-
+	// Verification window state: vstart is the active window's first
+	// round; vflows/vrounds are the flush-time merge scratch.
+	vstart  int
 	vflows  []switchnet.Flow
 	vrounds []int
-	vstart  int
 
-	mu  sync.Mutex
-	m   metrics
-	win *stats.WindowQuantiles
+	wg sync.WaitGroup
+
+	mu      sync.Mutex
+	m       metrics
+	scratch stats.LogHistogram
 }
 
 // New builds a Runtime over src. The configuration is validated eagerly:
-// an empty switch, non-positive capacities, or a missing policy are
-// construction errors, not run-time surprises.
+// an empty switch, non-positive capacities, a missing policy, or a shard
+// count the policy cannot support are construction errors, not run-time
+// surprises.
 func New(src Source, cfg Config) (*Runtime, error) {
 	if src == nil {
 		return nil, fmt.Errorf("stream: nil source")
@@ -252,42 +236,46 @@ func New(src Source, cfg Config) (*Runtime, error) {
 	if cfg.StallRounds <= 0 {
 		cfg.StallRounds = DefaultStallRounds
 	}
-	if r, ok := cfg.Policy.(Resetter); ok {
-		r.Reset(cfg.Switch)
+	sharder, shardable := cfg.Policy.(Shardable)
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+		if shardable {
+			cfg.Shards = runtime.GOMAXPROCS(0)
+		}
+	}
+	if cfg.Shards > mIn {
+		cfg.Shards = mIn
+	}
+	if cfg.Shards > 1 && !shardable {
+		return nil, fmt.Errorf("stream: policy %q cannot run sharded (it does not implement Shardable); set Config.Shards to 1",
+			cfg.Policy.Name())
 	}
 	rt := &Runtime{
-		cfg:          cfg,
-		src:          src,
-		sw:           cfg.Switch,
-		caps:         cfg.Switch.Caps(),
-		head:         noID,
-		tail:         noID,
-		queueIn:      make([]int, mIn),
-		queueOut:     make([]int, mOut),
-		loadIn:       make([]int, mIn),
-		loadOut:      make([]int, mOut),
-		voqHead:      make([]int32, mIn*mOut),
-		voqTail:      make([]int32, mIn*mOut),
-		activeOut:    make([][]int32, mIn),
-		activeOutPos: make([]int32, mIn*mOut),
-		activeIn:     make([]int32, 0, mIn),
-		activeInPos:  make([]int32, mIn),
-		win:          stats.NewWindowQuantiles(cfg.WindowRounds, cfg.WindowShards),
+		cfg:     cfg,
+		src:     src,
+		sw:      cfg.Switch,
+		caps:    cfg.Switch.Caps(),
+		nshards: cfg.Shards,
+		shards:  make([]*shard, cfg.Shards),
 	}
-	for i := range rt.voqHead {
-		rt.voqHead[i] = noID
-		rt.voqTail[i] = noID
-		rt.activeOutPos[i] = noID
+	if rt.nshards > 1 {
+		rt.leftover = make([]int, mOut)
+		for _, c := range cfg.Switch.OutCaps {
+			rt.totalOutCap += c
+		}
 	}
-	for i := range rt.activeInPos {
-		rt.activeInPos[i] = noID
+	for s := range rt.shards {
+		pol := cfg.Policy
+		if rt.nshards > 1 {
+			pol = sharder.NewShard()
+		}
+		if r, ok := pol.(Resetter); ok {
+			r.Reset(cfg.Switch)
+		}
+		rt.shards[s] = newShard(rt, s, pol)
 	}
-	rt.view.rt = rt
 	return rt, nil
 }
-
-// voq returns the VOQ index of (in, out).
-func (rt *Runtime) voq(in, out int) int { return in*rt.sw.NumOut() + out }
 
 // pull refreshes the one-flow lookahead from the source.
 func (rt *Runtime) pull() {
@@ -302,142 +290,86 @@ func (rt *Runtime) pull() {
 	rt.look, rt.haveLook = f, true
 }
 
-// alloc takes a slot from the free list or grows the arena.
-func (rt *Runtime) alloc() int32 {
-	if n := len(rt.freed); n > 0 {
-		id := rt.freed[n-1]
-		rt.freed = rt.freed[:n-1]
-		return id
-	}
-	rt.slots = append(rt.slots, slot{})
-	return int32(len(rt.slots) - 1)
-}
-
-// admit validates f and threads it into the pending structures.
-func (rt *Runtime) admit(f switchnet.Flow) error {
+// route validates f, assigns its admission sequence number, and queues it
+// on its input port's shard; the shard threads it during the next propose
+// phase. Returns the number backpressured (0 or 1) for metric batching.
+func (rt *Runtime) route(f switchnet.Flow) (int, error) {
 	if f.Release < rt.lastRel {
-		return fmt.Errorf("stream: source yielded release %d after %d (must be non-decreasing)", f.Release, rt.lastRel)
+		return 0, fmt.Errorf("stream: source yielded release %d after %d (must be non-decreasing)", f.Release, rt.lastRel)
 	}
 	rt.lastRel = f.Release
 	if err := rt.sw.ValidateFlow(f); err != nil {
-		return fmt.Errorf("stream: inadmissible flow: %w", err)
+		return 0, fmt.Errorf("stream: inadmissible flow: %w", err)
 	}
-
-	id := rt.alloc()
-	s := &rt.slots[id]
-	seq := rt.m.admitted
-	*s = slot{flow: f, seq: seq, prev: rt.tail, next: noID, vprev: noID, vnext: noID, live: true}
-	if rt.tail != noID {
-		rt.slots[rt.tail].next = id
-	} else {
-		rt.head = id
-	}
-	rt.tail = id
-
-	vi := rt.voq(f.In, f.Out)
-	if rt.voqTail[vi] != noID {
-		rt.slots[rt.voqTail[vi]].vnext = id
-		s.vprev = rt.voqTail[vi]
-	} else {
-		rt.voqHead[vi] = id
-		rt.activeOutPos[vi] = int32(len(rt.activeOut[f.In]))
-		rt.activeOut[f.In] = append(rt.activeOut[f.In], int32(f.Out))
-	}
-	rt.voqTail[vi] = id
-
-	if rt.queueIn[f.In] == 0 {
-		rt.activeInPos[f.In] = int32(len(rt.activeIn))
-		rt.activeIn = append(rt.activeIn, int32(f.In))
-	}
-	rt.queueIn[f.In]++
-	rt.queueOut[f.Out]++
+	sh := rt.shards[f.In%rt.nshards]
+	sh.inbox = append(sh.inbox, arrival{flow: f, seq: rt.seq})
+	rt.seq++
 	rt.count++
-
-	rt.mu.Lock()
-	rt.m.admitted++
-	if rt.count > rt.m.peakPending {
-		rt.m.peakPending = rt.count
-	}
 	if f.Release < rt.round {
-		rt.m.backpressured++
+		return 1, nil
 	}
-	rt.mu.Unlock()
+	return 0, nil
+}
+
+// runPhase executes ph on every shard: inline for a single shard, on the
+// worker pool otherwise.
+func (rt *Runtime) runPhase(ph int) {
+	if rt.nshards == 1 {
+		rt.shards[0].do(ph)
+		return
+	}
+	rt.wg.Add(rt.nshards)
+	for _, sh := range rt.shards {
+		sh.work <- ph
+	}
+	rt.wg.Wait()
+}
+
+// reconcile redistributes output capacity no shard used in the propose
+// phase: leftover[j] = OutCaps[j] - total phase-1 usage, then each shard
+// gets a second Pick against the shared pool, sequentially in shard order
+// so the outcome is deterministic.
+func (rt *Runtime) reconcile() {
+	copy(rt.leftover, rt.sw.OutCaps)
+	used := 0
+	for _, sh := range rt.shards {
+		for _, j := range sh.touchOut {
+			rt.leftover[j] -= sh.loadOut[j]
+			used += sh.loadOut[j]
+		}
+	}
+	if used == rt.totalOutCap {
+		// Saturated round: nothing to redistribute, so skip the serial
+		// reconcile sweeps entirely.
+		return
+	}
+	for _, sh := range rt.shards {
+		sh.pickShared()
+	}
+}
+
+// firstErr surfaces the first error in deterministic order: the runtime's
+// own, then each shard's in shard order.
+func (rt *Runtime) firstErr() error {
+	if rt.err != nil {
+		return rt.err
+	}
+	for _, sh := range rt.shards {
+		if sh.err != nil {
+			return sh.err
+		}
+	}
 	return nil
 }
 
-// depart unthreads a scheduled flow from every pending structure.
-func (rt *Runtime) depart(id int32) {
-	s := &rt.slots[id]
-	f := s.flow
-
-	if s.prev != noID {
-		rt.slots[s.prev].next = s.next
-	} else {
-		rt.head = s.next
-	}
-	if s.next != noID {
-		rt.slots[s.next].prev = s.prev
-	} else {
-		rt.tail = s.prev
-	}
-
-	vi := rt.voq(f.In, f.Out)
-	if s.vprev != noID {
-		rt.slots[s.vprev].vnext = s.vnext
-	} else {
-		rt.voqHead[vi] = s.vnext
-	}
-	if s.vnext != noID {
-		rt.slots[s.vnext].vprev = s.vprev
-	} else {
-		rt.voqTail[vi] = s.vprev
-	}
-	if rt.voqHead[vi] == noID {
-		// Swap-delete the VOQ from the input's active list.
-		pos := rt.activeOutPos[vi]
-		list := rt.activeOut[f.In]
-		last := len(list) - 1
-		moved := list[last]
-		list[pos] = moved
-		rt.activeOut[f.In] = list[:last]
-		rt.activeOutPos[rt.voq(f.In, int(moved))] = pos
-		rt.activeOutPos[vi] = noID
-	}
-
-	rt.queueIn[f.In]--
-	rt.queueOut[f.Out]--
-	if rt.queueIn[f.In] == 0 {
-		pos := rt.activeInPos[f.In]
-		last := len(rt.activeIn) - 1
-		moved := rt.activeIn[last]
-		rt.activeIn[pos] = moved
-		rt.activeIn = rt.activeIn[:last]
-		rt.activeInPos[moved] = pos
-		rt.activeInPos[f.In] = noID
-	}
-	rt.count--
-
-	s.live = false
-	s.taken = false
-	rt.freed = append(rt.freed, id)
-}
-
-// fail records the first runtime error (policy contract violations land
-// here via View.Fail).
-func (rt *Runtime) fail(format string, args ...any) {
-	if rt.err == nil {
-		rt.err = fmt.Errorf(format, args...)
-	}
-}
-
-// setRound advances time to t, flushing any verification windows the jump
+// setRound advances time to t, flushing any verification window the jump
 // completes.
 func (rt *Runtime) setRound(t int) error {
 	if w := rt.cfg.VerifyEvery; w > 0 && t >= rt.vstart+w {
-		// Rounds only move forward, so the buffer never holds flows beyond
-		// the current window: one flush empties it, and the remaining
+		// Rounds only move forward, so the buffers never hold flows beyond
+		// the current window: one flush empties them, and the remaining
 		// boundaries an idle jump crosses advance in a single step.
-		if err := rt.flushWindow(rt.vstart + w); err != nil {
+		if err := rt.flushWindow(); err != nil {
 			return err
 		}
 		rt.vstart += (t - rt.vstart) / w * w
@@ -449,86 +381,85 @@ func (rt *Runtime) setRound(t int) error {
 	return nil
 }
 
-// flushWindow spot-checks every flow scheduled in rounds [vstart, end)
-// through the verify oracle. All loads in those rounds are fully
-// represented — flows are buffered at departure and rounds only move
-// forward — so the oracle's per-(port, round) capacity check is exact.
-func (rt *Runtime) flushWindow(end int) error {
+// flushWindow spot-checks every buffered scheduled flow through the verify
+// oracle. All loads in the buffered rounds are fully represented — flows
+// are buffered at departure across all shards and rounds only move forward
+// — so the oracle's per-(port, round) capacity check is exact. Failures
+// are labelled with the true min/max buffered rounds, not the window
+// boundaries, so an idle jump across several window starts cannot skew the
+// report.
+func (rt *Runtime) flushWindow() error {
+	rt.vflows = rt.vflows[:0]
+	rt.vrounds = rt.vrounds[:0]
+	lo, hi := 0, 0
+	for _, sh := range rt.shards {
+		rt.vflows = append(rt.vflows, sh.vflows...)
+		for _, r := range sh.vrounds {
+			if len(rt.vrounds) == 0 || r < lo {
+				lo = r
+			}
+			if len(rt.vrounds) == 0 || r > hi {
+				hi = r
+			}
+			rt.vrounds = append(rt.vrounds, r)
+		}
+		sh.vflows = sh.vflows[:0]
+		sh.vrounds = sh.vrounds[:0]
+	}
 	if len(rt.vflows) == 0 {
 		return nil
 	}
 	inst := &switchnet.Instance{Switch: rt.sw, Flows: rt.vflows}
 	sched := &switchnet.Schedule{Round: rt.vrounds}
 	if _, err := verify.CheckSchedule(inst, sched, rt.caps); err != nil {
-		return fmt.Errorf("stream: window [%d,%d) failed verification: %w", rt.vstart, end, err)
+		return fmt.Errorf("stream: verification window over rounds [%d, %d] infeasible: %w", lo, hi, err)
 	}
-	rt.vflows = rt.vflows[:0]
-	rt.vrounds = rt.vrounds[:0]
 	rt.mu.Lock()
 	rt.m.windows++
 	rt.mu.Unlock()
 	return nil
 }
 
-// applyRound retires this round's taken flows: callbacks, verification
-// buffering, metric updates, structure unlinking, and load reset.
-func (rt *Runtime) applyRound() {
-	t := rt.round
-	rt.resps = rt.resps[:0]
-	for _, id := range rt.takes {
-		s := &rt.slots[id]
-		rt.resps = append(rt.resps, t+1-s.flow.Release)
-		if rt.cfg.OnSchedule != nil {
-			rt.cfg.OnSchedule(s.seq, s.flow, t)
-		}
-		if rt.cfg.VerifyEvery > 0 {
-			rt.vflows = append(rt.vflows, s.flow)
-			rt.vrounds = append(rt.vrounds, t)
-		}
-	}
-
-	rt.mu.Lock()
-	rt.m.rounds++
-	for _, resp := range rt.resps {
-		rt.m.completed++
-		rt.m.totalResp += int64(resp)
-		if resp > rt.m.maxResp {
-			rt.m.maxResp = resp
-		}
-		rt.win.Observe(t, resp)
-	}
-	rt.mu.Unlock()
-
-	for _, id := range rt.takes {
-		rt.depart(id)
-	}
-	rt.takes = rt.takes[:0]
-	for _, p := range rt.touchIn {
-		rt.loadIn[p] = 0
-	}
-	for _, p := range rt.touchOut {
-		rt.loadOut[p] = 0
-	}
-	rt.touchIn = rt.touchIn[:0]
-	rt.touchOut = rt.touchOut[:0]
-}
-
 // Run drains the source: it advances round by round until the source is
 // exhausted and the pending set is empty, then returns the final summary.
 // It is not restartable.
 func (rt *Runtime) Run() (*Summary, error) {
-	if rt.err != nil {
-		return nil, rt.err
+	if err := rt.firstErr(); err != nil {
+		return nil, err
+	}
+	if rt.nshards > 1 {
+		for _, sh := range rt.shards {
+			sh.work = make(chan int, 1)
+			go sh.serve()
+		}
+		defer func() {
+			for _, sh := range rt.shards {
+				close(sh.work)
+			}
+		}()
 	}
 	stalled := 0
 	for {
 		rt.pull()
+		arrived, backpressured := 0, 0
 		for rt.count < rt.cfg.MaxPending && rt.haveLook && rt.look.Release <= rt.round {
-			if err := rt.admit(rt.look); err != nil {
+			bp, err := rt.route(rt.look)
+			if err != nil {
 				return nil, err
 			}
+			arrived++
+			backpressured += bp
 			rt.haveLook = false
 			rt.pull()
+		}
+		if arrived > 0 {
+			rt.mu.Lock()
+			rt.m.admitted += int64(arrived)
+			rt.m.backpressured += int64(backpressured)
+			if rt.count > rt.m.peakPending {
+				rt.m.peakPending = rt.count
+			}
+			rt.mu.Unlock()
 		}
 		if rt.count == 0 {
 			if !rt.haveLook {
@@ -544,26 +475,52 @@ func (rt *Runtime) Run() (*Summary, error) {
 			continue
 		}
 
-		rt.cfg.Policy.Pick(&rt.view)
-		if rt.err != nil {
-			return nil, rt.err
+		// Propose in parallel, then reconcile unused output budget.
+		rt.runPhase(phasePick)
+		if rt.nshards > 1 {
+			rt.reconcile()
 		}
-		if len(rt.takes) == 0 {
+		if err := rt.firstErr(); err != nil {
+			rt.err = err
+			return nil, err
+		}
+
+		total := 0
+		for _, sh := range rt.shards {
+			total += len(sh.takes)
+		}
+		rt.mu.Lock()
+		rt.m.rounds++
+		rt.mu.Unlock()
+		if total == 0 {
 			stalled++
-			if stalled > rt.cfg.StallRounds {
+			if stalled >= rt.cfg.StallRounds {
 				return nil, fmt.Errorf("stream: policy %q scheduled nothing for %d consecutive rounds with %d flows pending",
 					rt.cfg.Policy.Name(), stalled, rt.count)
 			}
 		} else {
 			stalled = 0
 		}
-		rt.applyRound()
+
+		if cb := rt.cfg.OnSchedule; cb != nil {
+			// Shard workers are quiescent between phases, so reading their
+			// takes here is safe; shard order keeps the callback sequence
+			// deterministic.
+			for _, sh := range rt.shards {
+				for _, id := range sh.takes {
+					s := &sh.slots[id]
+					cb(s.seq, s.flow, rt.round)
+				}
+			}
+		}
+		rt.count -= total
+		rt.runPhase(phaseApply)
 		if err := rt.setRound(rt.round + 1); err != nil {
 			return nil, err
 		}
 	}
 	if rt.cfg.VerifyEvery > 0 {
-		if err := rt.flushWindow(rt.vstart + rt.cfg.VerifyEvery); err != nil {
+		if err := rt.flushWindow(); err != nil {
 			return nil, err
 		}
 	}
@@ -571,29 +528,44 @@ func (rt *Runtime) Run() (*Summary, error) {
 	return &s, nil
 }
 
-// Snapshot returns the current streaming metrics. It is safe to call
-// concurrently with Run.
+// Snapshot returns the current streaming metrics, merging the per-shard
+// completion counters and window sketches. It is safe to call concurrently
+// with Run.
 func (rt *Runtime) Snapshot() Summary {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	rt.win.Advance(rt.m.round)
+	rt.scratch.Reset()
+	var completed, totalResp int64
+	maxResp := 0
+	for _, sh := range rt.shards {
+		sh.mu.Lock()
+		sh.win.Advance(rt.m.round)
+		sh.win.MergeInto(&rt.scratch)
+		completed += sh.sm.completed
+		totalResp += sh.sm.totalResp
+		if sh.sm.maxResp > maxResp {
+			maxResp = sh.sm.maxResp
+		}
+		sh.mu.Unlock()
+	}
 	s := Summary{
 		Round:           rt.m.round,
 		Rounds:          rt.m.rounds,
+		Shards:          rt.nshards,
 		Admitted:        rt.m.admitted,
-		Completed:       rt.m.completed,
-		Pending:         int(rt.m.admitted - rt.m.completed),
+		Completed:       completed,
+		Pending:         int(rt.m.admitted - completed),
 		PeakPending:     rt.m.peakPending,
 		Backpressured:   rt.m.backpressured,
-		TotalResponse:   rt.m.totalResp,
-		MaxResponse:     rt.m.maxResp,
+		TotalResponse:   totalResp,
+		MaxResponse:     maxResp,
 		WindowsVerified: rt.m.windows,
-		P50:             rt.win.Quantile(0.50),
-		P90:             rt.win.Quantile(0.90),
-		P99:             rt.win.Quantile(0.99),
+		P50:             rt.scratch.Quantile(0.50),
+		P90:             rt.scratch.Quantile(0.90),
+		P99:             rt.scratch.Quantile(0.99),
 	}
-	if rt.m.completed > 0 {
-		s.AvgResponse = float64(rt.m.totalResp) / float64(rt.m.completed)
+	if completed > 0 {
+		s.AvgResponse = float64(totalResp) / float64(completed)
 	}
 	return s
 }

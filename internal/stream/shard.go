@@ -1,0 +1,413 @@
+package stream
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"flowsched/internal/stats"
+	"flowsched/internal/switchnet"
+)
+
+// Coordinator-to-shard phase requests (see Runtime.runPhase).
+const (
+	// phasePick admits routed arrivals and proposes picks against the
+	// shard's carved output budgets.
+	phasePick = iota + 1
+	// phaseApply retires the round's takes: departures, metrics, and
+	// verification buffering.
+	phaseApply
+)
+
+// View.OutputFree semantics, per pick pass (see shard.phase).
+const (
+	// pickBudget: OutputFree is the shard's remaining carved budget.
+	pickBudget = iota + 1
+	// pickShared: OutputFree is the reconciled global leftover pool.
+	pickShared
+)
+
+// slot is one pending flow in a shard's arena.
+type slot struct {
+	flow switchnet.Flow
+	seq  int64
+	// prev/next link the shard's admission-order list; vprev/vnext the
+	// flow's virtual output queue. noID terminates.
+	prev, next   int32
+	vprev, vnext int32
+	live         bool
+	taken        bool
+}
+
+// arrival is one admitted flow routed to a shard by the coordinator, with
+// its global admission sequence number.
+type arrival struct {
+	flow switchnet.Flow
+	seq  int64
+}
+
+// shardMetrics is the shard's slice of the Snapshot-visible completion
+// metrics, guarded by shard.mu.
+type shardMetrics struct {
+	completed int64
+	totalResp int64
+	maxResp   int
+}
+
+// shard owns the pending state of the input ports congruent to idx modulo
+// Runtime.nshards: their arena slots, admission-order sublist, virtual
+// output queues, load tallies, policy instance, metric sketches, and
+// verification buffer. During the propose and apply phases shards touch
+// only their own state (plus read-only Runtime config), so the phases run
+// concurrently without locks; the reconcile pass runs sequentially in
+// shard order on the coordinator goroutine.
+type shard struct {
+	rt  *Runtime
+	idx int
+	pol Policy
+
+	// Pending arena with free list; head/tail delimit the shard's
+	// admission-order sublist.
+	slots []slot
+	freed []int32
+	head  int32
+	tail  int32
+	count int
+
+	// inbox holds arrivals routed by the coordinator since the last
+	// propose phase, in source order.
+	inbox []arrival
+
+	// Per-port tallies. queueIn/queueOut count the shard's pending flows;
+	// loadIn tracks the round's scheduled demand at owned inputs; loadOut
+	// tracks propose-phase usage against the shard's carved budgets.
+	queueIn, queueOut []int
+	loadIn, loadOut   []int
+	touchIn, touchOut []int32
+
+	// Cached partition geometry: shard count, output-port count, and
+	// bitmap words per input (hot in the VOQ index math), plus the port
+	// capacities (read-only views of the switch's slices).
+	nsh, mOut, nw   int
+	inCaps, outCaps []int
+
+	// Virtual output queues over owned inputs, indexed by
+	// (in/nsh)*mOut + out (see shard.voq).
+	voqHead, voqTail []int32
+	// activeOut[in/nsh] lists the output ports with a non-empty VOQ at
+	// owned input in; activeOutPos is each VOQ's index there (noID if
+	// inactive). actBits mirrors the same membership as a per-input
+	// bitmap (nw words per input), which gives rotation policies
+	// next-active-VOQ-in-port-order probes in O(1) word operations.
+	activeOut    [][]int32
+	activeOutPos []int32
+	actBits      []uint64
+	// activeIn lists owned input ports with any pending flow (global port
+	// numbers); activeInPos is each input's index there.
+	activeIn    []int32
+	activeInPos []int32
+
+	takes []int32
+	resps []int
+	view  View
+	phase int
+	err   error
+
+	// Verification buffer: flows the shard scheduled since the last
+	// window flush, with their rounds.
+	vflows  []switchnet.Flow
+	vrounds []int
+
+	// work carries phase requests from the coordinator when the runtime
+	// runs a worker pool (nshards > 1).
+	work chan int
+
+	mu  sync.Mutex
+	sm  shardMetrics
+	win *stats.WindowQuantiles
+}
+
+// newShard builds the shard owning inputs congruent to idx mod rt.nshards.
+func newShard(rt *Runtime, idx int, pol Policy) *shard {
+	mIn, mOut := rt.sw.NumIn(), rt.sw.NumOut()
+	nLocal := (mIn - idx + rt.nshards - 1) / rt.nshards
+	nw := (mOut + 63) / 64
+	sh := &shard{
+		rt:           rt,
+		idx:          idx,
+		pol:          pol,
+		head:         noID,
+		tail:         noID,
+		nsh:          rt.nshards,
+		mOut:         mOut,
+		nw:           nw,
+		inCaps:       rt.sw.InCaps,
+		outCaps:      rt.sw.OutCaps,
+		queueIn:      make([]int, mIn),
+		queueOut:     make([]int, mOut),
+		loadIn:       make([]int, mIn),
+		loadOut:      make([]int, mOut),
+		voqHead:      make([]int32, nLocal*mOut),
+		voqTail:      make([]int32, nLocal*mOut),
+		activeOut:    make([][]int32, nLocal),
+		activeOutPos: make([]int32, nLocal*mOut),
+		actBits:      make([]uint64, nLocal*nw),
+		activeIn:     make([]int32, 0, nLocal),
+		activeInPos:  make([]int32, mIn),
+		win:          stats.NewWindowQuantiles(rt.cfg.WindowRounds, rt.cfg.WindowShards),
+	}
+	for i := range sh.voqHead {
+		sh.voqHead[i] = noID
+		sh.voqTail[i] = noID
+		sh.activeOutPos[i] = noID
+	}
+	for i := range sh.activeInPos {
+		sh.activeInPos[i] = noID
+	}
+	sh.view.sh = sh
+	return sh
+}
+
+// voq returns the shard-local VOQ index of (in, out); in must be owned.
+func (sh *shard) voq(in, out int) int {
+	return in/sh.nsh*sh.mOut + out
+}
+
+// nextActive returns the output port of the next non-empty VOQ at owned
+// input in, at or after port from in circular port order; -1 if the input
+// has none. Cost is O(mOut/64) word probes.
+func (sh *shard) nextActive(in, from int) int {
+	words := sh.actBits[in/sh.nsh*sh.nw : in/sh.nsh*sh.nw+sh.nw]
+	w := from >> 6
+	if masked := words[w] &^ (1<<uint(from&63) - 1); masked != 0 {
+		return w<<6 + bits.TrailingZeros64(masked)
+	}
+	for i := w + 1; i < len(words); i++ {
+		if words[i] != 0 {
+			return i<<6 + bits.TrailingZeros64(words[i])
+		}
+	}
+	for i := 0; i <= w; i++ {
+		if words[i] != 0 {
+			return i<<6 + bits.TrailingZeros64(words[i])
+		}
+	}
+	return -1
+}
+
+// budget is the shard's carve of output j's capacity this round: an equal
+// split of OutCaps[j] across the shards, with the remainder rotating by
+// round so no shard permanently owns the spare units.
+func (sh *shard) budget(j int) int {
+	c := sh.outCaps[j]
+	k := sh.nsh
+	if k == 1 {
+		return c
+	}
+	b := c / k
+	if r := c % k; r != 0 {
+		rot := sh.idx - (j+sh.rt.round)%k
+		if rot < 0 {
+			rot += k
+		}
+		if rot < r {
+			b++
+		}
+	}
+	return b
+}
+
+// fail records the shard's first error (policy contract violations land
+// here via View.Fail); the coordinator surfaces it in shard order.
+func (sh *shard) fail(format string, args ...any) {
+	if sh.err == nil {
+		sh.err = fmt.Errorf(format, args...)
+	}
+}
+
+// serve is the shard's worker loop (nshards > 1): it executes phase
+// requests until the coordinator closes the channel.
+func (sh *shard) serve() {
+	for ph := range sh.work {
+		sh.do(ph)
+		sh.rt.wg.Done()
+	}
+}
+
+// do executes one phase on the shard's own state.
+func (sh *shard) do(ph int) {
+	switch ph {
+	case phasePick:
+		sh.admitAll()
+		if sh.count > 0 {
+			sh.phase = pickBudget
+			sh.pol.Pick(&sh.view)
+		}
+	case phaseApply:
+		sh.apply()
+	}
+}
+
+// pickShared runs the reconcile pass: a second Pick against the global
+// leftover pool. Called sequentially in shard order by the coordinator.
+func (sh *shard) pickShared() {
+	if sh.count > len(sh.takes) {
+		sh.phase = pickShared
+		sh.pol.Pick(&sh.view)
+	}
+}
+
+// alloc takes a slot from the free list or grows the arena.
+func (sh *shard) alloc() int32 {
+	if n := len(sh.freed); n > 0 {
+		id := sh.freed[n-1]
+		sh.freed = sh.freed[:n-1]
+		return id
+	}
+	sh.slots = append(sh.slots, slot{})
+	return int32(len(sh.slots) - 1)
+}
+
+// admitAll threads the inbox into the shard's pending structures.
+func (sh *shard) admitAll() {
+	for _, ar := range sh.inbox {
+		sh.admit(ar)
+	}
+	sh.inbox = sh.inbox[:0]
+}
+
+// admit threads one arrival into the pending structures.
+func (sh *shard) admit(ar arrival) {
+	f := ar.flow
+	id := sh.alloc()
+	s := &sh.slots[id]
+	*s = slot{flow: f, seq: ar.seq, prev: sh.tail, next: noID, vprev: noID, vnext: noID, live: true}
+	if sh.tail != noID {
+		sh.slots[sh.tail].next = id
+	} else {
+		sh.head = id
+	}
+	sh.tail = id
+
+	vi := sh.voq(f.In, f.Out)
+	if sh.voqTail[vi] != noID {
+		sh.slots[sh.voqTail[vi]].vnext = id
+		s.vprev = sh.voqTail[vi]
+	} else {
+		sh.voqHead[vi] = id
+		li := f.In / sh.nsh
+		sh.activeOutPos[vi] = int32(len(sh.activeOut[li]))
+		sh.activeOut[li] = append(sh.activeOut[li], int32(f.Out))
+		sh.actBits[li*sh.nw+f.Out>>6] |= 1 << uint(f.Out&63)
+	}
+	sh.voqTail[vi] = id
+
+	if sh.queueIn[f.In] == 0 {
+		sh.activeInPos[f.In] = int32(len(sh.activeIn))
+		sh.activeIn = append(sh.activeIn, int32(f.In))
+	}
+	sh.queueIn[f.In]++
+	sh.queueOut[f.Out]++
+	sh.count++
+}
+
+// depart unthreads a scheduled flow from every pending structure.
+func (sh *shard) depart(id int32) {
+	s := &sh.slots[id]
+	f := s.flow
+
+	if s.prev != noID {
+		sh.slots[s.prev].next = s.next
+	} else {
+		sh.head = s.next
+	}
+	if s.next != noID {
+		sh.slots[s.next].prev = s.prev
+	} else {
+		sh.tail = s.prev
+	}
+
+	vi := sh.voq(f.In, f.Out)
+	if s.vprev != noID {
+		sh.slots[s.vprev].vnext = s.vnext
+	} else {
+		sh.voqHead[vi] = s.vnext
+	}
+	if s.vnext != noID {
+		sh.slots[s.vnext].vprev = s.vprev
+	} else {
+		sh.voqTail[vi] = s.vprev
+	}
+	if sh.voqHead[vi] == noID {
+		// Swap-delete the VOQ from the input's active list.
+		li := f.In / sh.nsh
+		pos := sh.activeOutPos[vi]
+		list := sh.activeOut[li]
+		last := len(list) - 1
+		moved := list[last]
+		list[pos] = moved
+		sh.activeOut[li] = list[:last]
+		sh.activeOutPos[sh.voq(f.In, int(moved))] = pos
+		sh.activeOutPos[vi] = noID
+		sh.actBits[li*sh.nw+f.Out>>6] &^= 1 << uint(f.Out&63)
+	}
+
+	sh.queueIn[f.In]--
+	sh.queueOut[f.Out]--
+	if sh.queueIn[f.In] == 0 {
+		pos := sh.activeInPos[f.In]
+		last := len(sh.activeIn) - 1
+		moved := sh.activeIn[last]
+		sh.activeIn[pos] = moved
+		sh.activeIn = sh.activeIn[:last]
+		sh.activeInPos[moved] = pos
+		sh.activeInPos[f.In] = noID
+	}
+	sh.count--
+
+	s.live = false
+	s.taken = false
+	sh.freed = append(sh.freed, id)
+}
+
+// apply retires this round's taken flows: verification buffering, metric
+// updates, structure unlinking, and load reset. OnSchedule callbacks run
+// on the coordinator before this phase.
+func (sh *shard) apply() {
+	t := sh.rt.round
+	sh.resps = sh.resps[:0]
+	for _, id := range sh.takes {
+		s := &sh.slots[id]
+		sh.resps = append(sh.resps, t+1-s.flow.Release)
+		if sh.rt.cfg.VerifyEvery > 0 {
+			sh.vflows = append(sh.vflows, s.flow)
+			sh.vrounds = append(sh.vrounds, t)
+		}
+	}
+
+	if len(sh.resps) > 0 {
+		sh.mu.Lock()
+		for _, resp := range sh.resps {
+			sh.sm.completed++
+			sh.sm.totalResp += int64(resp)
+			if resp > sh.sm.maxResp {
+				sh.sm.maxResp = resp
+			}
+			sh.win.Observe(t, resp)
+		}
+		sh.mu.Unlock()
+	}
+
+	for _, id := range sh.takes {
+		sh.depart(id)
+	}
+	sh.takes = sh.takes[:0]
+	for _, p := range sh.touchIn {
+		sh.loadIn[p] = 0
+	}
+	for _, p := range sh.touchOut {
+		sh.loadOut[p] = 0
+	}
+	sh.touchIn = sh.touchIn[:0]
+	sh.touchOut = sh.touchOut[:0]
+}

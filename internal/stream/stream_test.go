@@ -2,8 +2,10 @@ package stream_test
 
 import (
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"flowsched/internal/heuristics"
 	"flowsched/internal/sim"
@@ -323,5 +325,411 @@ func TestStreamByName(t *testing.T) {
 	}
 	if p := stream.ByName("nope"); p != nil {
 		t.Fatal("unknown name resolved")
+	}
+}
+
+// TestRoundRobinExactRotation pins the fixed pointer semantics: the
+// pointer stores the last-served output *port* and resumes at its
+// successor in port order, so with three persistently-active VOQs at one
+// input the service sequence is a perfect port-order rotation. (The old
+// pointer stored a *position* in the swap-delete-reordered active list,
+// which drifts off port order as soon as the list churns.)
+func TestRoundRobinExactRotation(t *testing.T) {
+	var flows []switchnet.Flow
+	for i := 0; i < 3; i++ {
+		for _, out := range []int{1, 4, 7} {
+			flows = append(flows, switchnet.Flow{In: 0, Out: out, Demand: 1, Release: 0})
+		}
+	}
+	var got []int
+	rt, err := stream.New(&sliceSource{flows: flows}, stream.Config{
+		Switch: switchnet.NewSwitch(1, 8, 1),
+		Policy: &stream.RoundRobin{},
+		OnSchedule: func(_ int64, f switchnet.Flow, round int) {
+			if round != len(got) {
+				t.Fatalf("round %d served out of order (have %d serves)", round, len(got))
+			}
+			got = append(got, f.Out)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 4, 7, 1, 4, 7, 1, 4, 7}
+	if len(got) != len(want) {
+		t.Fatalf("served %d flows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("service sequence %v, want perfect rotation %v", got, want)
+		}
+	}
+}
+
+// TestRoundRobinFairUnderChurn is the fairness regression test for the
+// rotation-pointer fix: under random VOQ churn (queues emptying and
+// refilling, so the active list swap-deletes constantly) no VOQ may be
+// overtaken — between two consecutive serves of the same output, every
+// other output whose VOQ stayed non-empty throughout must be served at
+// least once. Port-order rotation guarantees it; the old position-based
+// pointer does not survive the list reordering.
+func TestRoundRobinFairUnderChurn(t *testing.T) {
+	const (
+		outs  = 6
+		total = 240
+	)
+	rng := rand.New(rand.NewSource(11))
+	var flows []switchnet.Flow
+	for i := 0; i < total; i++ {
+		flows = append(flows, switchnet.Flow{In: 0, Out: rng.Intn(outs), Demand: 1, Release: i / 2})
+	}
+
+	type serve struct{ round, out int }
+	var serves []serve
+	rt, err := stream.New(&sliceSource{flows: flows}, stream.Config{
+		Switch: switchnet.NewSwitch(1, outs, 1),
+		Policy: &stream.RoundRobin{},
+		OnSchedule: func(_ int64, f switchnet.Flow, round int) {
+			serves = append(serves, serve{round, f.Out})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(serves) != total {
+		t.Fatalf("served %d of %d flows", len(serves), total)
+	}
+
+	// Replay queue depths: depthAtPick[r][o] is VOQ (0, o)'s depth when
+	// the policy ran in round r (after that round's arrivals).
+	maxRound := serves[len(serves)-1].round
+	depthAtPick := make([][outs]int, maxRound+1)
+	var depth [outs]int
+	servedAt := make(map[int]int, len(serves)) // round -> out
+	for _, s := range serves {
+		servedAt[s.round] = s.out
+	}
+	next := 0
+	for r := 0; r <= maxRound; r++ {
+		for next < len(flows) && flows[next].Release <= r {
+			depth[flows[next].Out]++
+			next++
+		}
+		depthAtPick[r] = depth
+		if o, ok := servedAt[r]; ok {
+			depth[o]--
+		} else {
+			t.Fatalf("round %d served nothing with flows pending", r)
+		}
+	}
+
+	// The no-overtake invariant, per output.
+	for o := 0; o < outs; o++ {
+		prev := -1
+		for _, s := range serves {
+			if s.out != o {
+				continue
+			}
+			if prev >= 0 {
+				for other := 0; other < outs; other++ {
+					if other == o {
+						continue
+					}
+					active := true
+					served := false
+					for r := prev + 1; r <= s.round; r++ {
+						if depthAtPick[r][other] == 0 {
+							active = false
+							break
+						}
+						if servedAt[r] == other {
+							served = true
+						}
+					}
+					if active && !served {
+						t.Fatalf("output %d served twice (rounds %d and %d) while output %d stayed active unserved",
+							o, prev, s.round, other)
+					}
+				}
+			}
+			prev = s.round
+		}
+	}
+}
+
+// TestStreamStallAbortsExactly pins the stall guard to the documented
+// count: with StallRounds = N the run aborts after exactly N consecutive
+// empty rounds, not N+1.
+func TestStreamStallAbortsExactly(t *testing.T) {
+	const stallRounds = 7
+	src := &sliceSource{flows: []switchnet.Flow{{In: 0, Out: 0, Demand: 1, Release: 0}}}
+	rt, err := stream.New(src, stream.Config{
+		Switch:      switchnet.UnitSwitch(2),
+		Policy:      noopPolicy{},
+		StallRounds: stallRounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rt.Run()
+	if err == nil {
+		t.Fatal("stalled run did not fail")
+	}
+	if !strings.Contains(err.Error(), "for 7 consecutive rounds") {
+		t.Fatalf("stall error does not report the exact round count: %v", err)
+	}
+	if got := rt.Snapshot().Rounds; got != stallRounds {
+		t.Fatalf("aborted after %d processed rounds, want exactly %d", got, stallRounds)
+	}
+}
+
+// scribblePolicy wraps a sim.Policy and vandalizes the QueueIn/QueueOut
+// slices it was handed after computing its picks. A correct Bridge hands
+// the policy private copies, so the vandalism must never reach the
+// runtime's live port counters.
+type scribblePolicy struct{ p sim.Policy }
+
+func (s scribblePolicy) Name() string { return s.p.Name() }
+func (s scribblePolicy) Pick(st *sim.State) []int {
+	picks := s.p.Pick(st)
+	for i := range st.QueueIn {
+		st.QueueIn[i] = -1 << 20
+	}
+	for j := range st.QueueOut {
+		st.QueueOut[j] = 1 << 20
+	}
+	return picks
+}
+
+// TestBridgeOwnsQueueScratch: a bridged policy that mutates its sim.State
+// queue slices must not corrupt the runtime — the streamed schedule must
+// still match sim.Run of the unwrapped policy flow for flow. MaxWeight
+// weighs by queue depth, so any leak of the scribbled values changes its
+// matchings immediately.
+func TestBridgeOwnsQueueScratch(t *testing.T) {
+	cfg := workload.PoissonConfig{M: 6, T: 8, Ports: 5}
+	for seed := int64(1); seed <= 3; seed++ {
+		inst := cfg.Generate(rand.New(rand.NewSource(seed)))
+		if inst.N() == 0 {
+			continue
+		}
+		simRes, err := sim.Run(inst, heuristics.MaxWeight{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, sum := runStreamed(t, inst, &stream.Bridge{P: scribblePolicy{heuristics.MaxWeight{}}},
+			stream.Config{VerifyEvery: 4})
+		for f := range sched.Round {
+			if sched.Round[f] != simRes.Schedule.Round[f] {
+				t.Fatalf("seed %d: flow %d streamed to round %d, sim to %d (scribbled queues leaked into the runtime)",
+					seed, f, sched.Round[f], simRes.Schedule.Round[f])
+			}
+		}
+		if int(sum.TotalResponse) != simRes.TotalResponse {
+			t.Fatalf("seed %d: streamed total response %d != sim %d", seed, sum.TotalResponse, simRes.TotalResponse)
+		}
+	}
+}
+
+// TestStreamShardedCrossK is the sharding equivalence property: replaying
+// the same finite instances at K in {1, 2, 4} must stay verifier-clean
+// with identical Admitted/Completed totals, and every (policy, K) run
+// must be deterministic — two runs produce bit-identical schedules.
+func TestStreamShardedCrossK(t *testing.T) {
+	cfg := workload.PoissonConfig{M: 8, T: 12, Ports: 6, Cap: 2, MaxDemand: 2}
+	policies := []func() stream.Policy{
+		func() stream.Policy { return &stream.RoundRobin{} },
+		func() stream.Policy { return stream.FIFO{} },
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		inst := cfg.Generate(rand.New(rand.NewSource(seed)))
+		if inst.N() == 0 {
+			continue
+		}
+		for _, mk := range policies {
+			name := mk().Name()
+			for _, K := range []int{1, 2, 4} {
+				first, sum := runStreamed(t, inst, mk(), stream.Config{Shards: K, VerifyEvery: 5})
+				if sum.Shards != K {
+					t.Fatalf("%s seed %d: ran with %d shards, want %d", name, seed, sum.Shards, K)
+				}
+				if sum.Admitted != int64(inst.N()) || sum.Completed != int64(inst.N()) {
+					t.Fatalf("%s seed %d K=%d: admitted %d / completed %d of %d",
+						name, seed, K, sum.Admitted, sum.Completed, inst.N())
+				}
+				if !first.Complete() {
+					t.Fatalf("%s seed %d K=%d: incomplete schedule", name, seed, K)
+				}
+				if _, err := verify.CheckSchedule(inst, first, inst.Switch.Caps()); err != nil {
+					t.Fatalf("%s seed %d K=%d: schedule rejected by oracle: %v", name, seed, K, err)
+				}
+				if sum.WindowsVerified == 0 {
+					t.Fatalf("%s seed %d K=%d: no verification windows ran", name, seed, K)
+				}
+				again, _ := runStreamed(t, inst, mk(), stream.Config{Shards: K, VerifyEvery: 5})
+				for f := range first.Round {
+					if first.Round[f] != again.Round[f] {
+						t.Fatalf("%s seed %d K=%d: nondeterministic — flow %d at round %d then %d",
+							name, seed, K, f, first.Round[f], again.Round[f])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamShardedBackpressure drives an overloaded switch through a tiny
+// admission limit with a sharded runtime: the global pending bound must
+// hold across shards and nothing may be dropped.
+func TestStreamShardedBackpressure(t *testing.T) {
+	const maxPending = 32
+	const flows = 2000
+	src := workload.NewArrivalSource(workload.ArrivalConfig{
+		Ports: 8, M: 12, MaxFlows: flows,
+	}, rand.New(rand.NewSource(5)))
+	rt, err := stream.New(src, stream.Config{
+		Switch:      src.Switch(),
+		Policy:      &stream.RoundRobin{},
+		Shards:      4,
+		MaxPending:  maxPending,
+		VerifyEvery: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != flows {
+		t.Fatalf("completed %d of %d", sum.Completed, flows)
+	}
+	if sum.PeakPending > maxPending {
+		t.Fatalf("peak pending %d exceeds admission limit %d", sum.PeakPending, maxPending)
+	}
+	if sum.Backpressured == 0 {
+		t.Fatal("overloaded stream saw no backpressure")
+	}
+	if sum.WindowsVerified == 0 {
+		t.Fatal("no verification windows ran")
+	}
+}
+
+// TestStreamShardedSnapshotRace exercises concurrent Snapshot calls
+// against a sharded drain: the worker pool, the per-shard metric merges,
+// and the coordinator counters all run under the race detector.
+func TestStreamShardedSnapshotRace(t *testing.T) {
+	src := workload.NewArrivalSource(workload.ArrivalConfig{
+		Ports: 8, M: 8, MaxFlows: 20000,
+	}, rand.New(rand.NewSource(3)))
+	rt, err := stream.New(src, stream.Config{
+		Switch: src.Switch(),
+		Policy: &stream.RoundRobin{},
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Poll rather than busy-spin: on a single-core box a hot
+			// Snapshot loop starves the coordinator's worker handoffs.
+			tick := time.NewTicker(200 * time.Microsecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					s := rt.Snapshot()
+					if s.Completed > s.Admitted {
+						t.Error("completed exceeds admitted")
+						return
+					}
+				}
+			}
+		}()
+	}
+	sum, err := rt.Run()
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Completed != 20000 {
+		t.Fatalf("completed %d of 20000", sum.Completed)
+	}
+}
+
+// TestShardedRejectsUnshardablePolicy: bridged simulator policies need the
+// whole pending set, so explicitly requesting shards with one must be a
+// construction error, and defaulted shard counts must quietly stay at 1.
+func TestShardedRejectsUnshardablePolicy(t *testing.T) {
+	src := &sliceSource{}
+	if _, err := stream.New(src, stream.Config{
+		Switch: switchnet.UnitSwitch(4),
+		Policy: &stream.Bridge{P: heuristics.MaxWeight{}},
+		Shards: 2,
+	}); err == nil {
+		t.Fatal("sharded Bridge construction did not fail")
+	}
+	rt, err := stream.New(src, stream.Config{
+		Switch: switchnet.UnitSwitch(4),
+		Policy: &stream.Bridge{P: heuristics.MaxWeight{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Snapshot().Shards; got != 1 {
+		t.Fatalf("defaulted Bridge runtime has %d shards, want 1", got)
+	}
+	for _, name := range []string{"RoundRobin", "StreamFIFO"} {
+		if _, ok := stream.ByName(name).(stream.Shardable); !ok {
+			t.Fatalf("native policy %s is not Shardable", name)
+		}
+	}
+}
+
+// TestShardedReconcileDrainsPastTakenHead: a VOQ head scheduled in the
+// propose pass is not a blocked head — the reconcile pass must drain the
+// leftover output capacity behind it. Two unit flows on the same port
+// pair of a capacity-2 switch must both go in round 0 at any shard count,
+// exactly as an unsharded run schedules them.
+func TestShardedReconcileDrainsPastTakenHead(t *testing.T) {
+	for _, K := range []int{1, 2} {
+		flows := []switchnet.Flow{
+			{In: 0, Out: 0, Demand: 1, Release: 0},
+			{In: 0, Out: 0, Demand: 1, Release: 0},
+		}
+		rounds := make([]int, 0, 2)
+		rt, err := stream.New(&sliceSource{flows: flows}, stream.Config{
+			Switch: switchnet.NewSwitch(2, 2, 2),
+			Policy: &stream.RoundRobin{},
+			Shards: K,
+			OnSchedule: func(_ int64, _ switchnet.Flow, round int) {
+				rounds = append(rounds, round)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rounds {
+			if r != 0 {
+				t.Fatalf("K=%d: scheduled rounds %v, want both in round 0 (reconcile idled capacity)", K, rounds)
+			}
+		}
 	}
 }

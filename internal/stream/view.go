@@ -2,29 +2,32 @@ package stream
 
 import "flowsched/internal/switchnet"
 
-// View is a Policy's window onto the runtime's incremental per-port state.
-// It is valid only inside Pick: the pending set, the admission order, and
-// the VOQ indexes are frozen for the duration (Take marks flows but
-// departures apply after Pick returns), so iteration is always safe.
+// View is a Policy's window onto one shard's slice of the runtime's
+// incremental per-port state (the whole runtime when Config.Shards == 1;
+// see the package docs for the shard-scoped contract). It is valid only
+// inside Pick: the pending set, the admission order, and the VOQ indexes
+// are frozen for the duration (Take marks flows but departures apply after
+// the round's picks complete), so iteration is always safe.
 type View struct {
-	rt *Runtime
+	sh *shard
 }
 
 // Round returns the current round t.
-func (v *View) Round() int { return v.rt.round }
+func (v *View) Round() int { return v.sh.rt.round }
 
 // Switch describes port counts and capacities.
-func (v *View) Switch() switchnet.Switch { return v.rt.sw }
+func (v *View) Switch() switchnet.Switch { return v.sh.rt.sw }
 
-// NumPending returns the resident pending-set size.
-func (v *View) NumPending() int { return v.rt.count }
+// NumPending returns the shard's resident pending-set size.
+func (v *View) NumPending() int { return v.sh.count }
 
-// Each calls fn for every pending flow in admission order (oldest first)
-// until fn returns false. seq is the flow's global admission sequence
-// number; id its (reusable) pending identifier.
+// Each calls fn for every pending flow on the shard in admission order
+// (oldest first) until fn returns false. seq is the flow's global
+// admission sequence number; id its (reusable, shard-local) pending
+// identifier.
 func (v *View) Each(fn func(id ID, seq int64, f switchnet.Flow) bool) {
-	for id := v.rt.head; id != noID; id = v.rt.slots[id].next {
-		s := &v.rt.slots[id]
+	for id := v.sh.head; id != noID; id = v.sh.slots[id].next {
+		s := &v.sh.slots[id]
 		if !fn(ID(id), s.seq, s.flow) {
 			return
 		}
@@ -32,73 +35,99 @@ func (v *View) Each(fn func(id ID, seq int64, f switchnet.Flow) bool) {
 }
 
 // Flow returns the flow data of a pending id.
-func (v *View) Flow(id ID) switchnet.Flow { return v.rt.slots[id].flow }
+func (v *View) Flow(id ID) switchnet.Flow { return v.sh.slots[id].flow }
 
-// QueueIn returns the number of pending flows at input port i (the queue
-// depth the MaxWeight heuristic weighs by); QueueOut likewise for output
-// port j.
-func (v *View) QueueIn(i int) int  { return v.rt.queueIn[i] }
-func (v *View) QueueOut(j int) int { return v.rt.queueOut[j] }
+// QueueIn returns the number of the shard's pending flows at input port i
+// (the queue depth the MaxWeight heuristic weighs by); QueueOut likewise
+// for output port j. With a single shard these are the global depths.
+func (v *View) QueueIn(i int) int  { return v.sh.queueIn[i] }
+func (v *View) QueueOut(j int) int { return v.sh.queueOut[j] }
 
-// InputFree returns input port i's remaining capacity this round;
-// OutputFree likewise for output port j.
-func (v *View) InputFree(i int) int  { return v.rt.sw.InCaps[i] - v.rt.loadIn[i] }
-func (v *View) OutputFree(j int) int { return v.rt.sw.OutCaps[j] - v.rt.loadOut[j] }
+// InputFree returns input port i's remaining capacity this round; it is
+// exact, because every input belongs to exactly one shard.
+func (v *View) InputFree(i int) int { return v.sh.inCaps[i] - v.sh.loadIn[i] }
 
-// NumActiveInputs returns how many input ports have pending flows;
-// ActiveInput returns the k-th of them. The order is arbitrary but fixed
-// during Pick.
-func (v *View) NumActiveInputs() int  { return len(v.rt.activeIn) }
-func (v *View) ActiveInput(k int) int { return int(v.rt.activeIn[k]) }
+// OutputFree returns output port j's remaining capacity as visible to the
+// shard this pass: its remaining carved budget during the propose phase,
+// the global reconciled leftover during the reconcile phase (and simply
+// the port's remaining capacity when Config.Shards == 1).
+func (v *View) OutputFree(j int) int {
+	sh := v.sh
+	if sh.nsh == 1 {
+		return sh.outCaps[j] - sh.loadOut[j]
+	}
+	if sh.phase == pickShared {
+		return sh.rt.leftover[j]
+	}
+	return sh.budget(j) - sh.loadOut[j]
+}
+
+// NumActiveInputs returns how many of the shard's input ports have pending
+// flows; ActiveInput returns the k-th of them. The order is arbitrary but
+// fixed during Pick.
+func (v *View) NumActiveInputs() int  { return len(v.sh.activeIn) }
+func (v *View) ActiveInput(k int) int { return int(v.sh.activeIn[k]) }
 
 // NumActiveVOQs returns how many output ports have a non-empty virtual
 // output queue at input in; ActiveVOQ returns the k-th such output port.
-func (v *View) NumActiveVOQs(in int) int { return len(v.rt.activeOut[in]) }
-func (v *View) ActiveVOQ(in, k int) int  { return int(v.rt.activeOut[in][k]) }
+// in must be one of the shard's inputs (any input when Shards == 1).
+func (v *View) NumActiveVOQs(in int) int { return len(v.sh.activeOut[in/v.sh.nsh]) }
+func (v *View) ActiveVOQ(in, k int) int  { return int(v.sh.activeOut[in/v.sh.nsh][k]) }
+
+// NextActiveVOQ returns the output port of the next non-empty VOQ at input
+// in, at or after port from (0 <= from < NumOut) in circular port order,
+// or -1 if the input has none. It is the O(1)-probe primitive behind
+// port-order rotation policies. in must be one of the shard's inputs.
+func (v *View) NextActiveVOQ(in, from int) int { return v.sh.nextActive(in, from) }
 
 // VOQHead returns the oldest pending flow on the (in, out) virtual output
 // queue, or NoID if it is empty; VOQNext walks the queue toward younger
-// flows.
+// flows. in must be one of the shard's inputs.
 func (v *View) VOQHead(in, out int) ID {
-	return ID(v.rt.voqHead[v.rt.voq(in, out)])
+	return ID(v.sh.voqHead[v.sh.voq(in, out)])
 }
-func (v *View) VOQNext(id ID) ID { return ID(v.rt.slots[id].vnext) }
+func (v *View) VOQNext(id ID) ID { return ID(v.sh.slots[id].vnext) }
 
 // Taken reports whether id was already selected this round.
-func (v *View) Taken(id ID) bool { return v.rt.slots[id].taken }
+func (v *View) Taken(id ID) bool { return v.sh.slots[id].taken }
 
-// Take schedules pending flow id in the current round if both its ports
-// have remaining capacity, and reports whether it did. Taking an id twice
-// is a no-op returning false; taking a dead id fails the run.
+// Take schedules pending flow id in the current round if its input port
+// and the visible output capacity (see OutputFree) both have room, and
+// reports whether it did. Taking an id twice is a no-op returning false;
+// taking a dead id fails the run.
 func (v *View) Take(id ID) bool {
-	rt := v.rt
-	if id < 0 || id >= len(rt.slots) || !rt.slots[id].live {
-		rt.fail("stream: policy %q took invalid pending id %d", rt.cfg.Policy.Name(), id)
+	sh := v.sh
+	if id < 0 || id >= len(sh.slots) || !sh.slots[id].live {
+		sh.fail("stream: policy %q took invalid pending id %d", sh.pol.Name(), id)
 		return false
 	}
-	s := &rt.slots[id]
+	s := &sh.slots[id]
 	if s.taken {
 		return false
 	}
 	f := s.flow
-	if rt.loadIn[f.In]+f.Demand > rt.sw.InCaps[f.In] || rt.loadOut[f.Out]+f.Demand > rt.sw.OutCaps[f.Out] {
+	if sh.loadIn[f.In]+f.Demand > sh.inCaps[f.In] || v.OutputFree(f.Out) < f.Demand {
 		return false
 	}
-	if rt.loadIn[f.In] == 0 {
-		rt.touchIn = append(rt.touchIn, int32(f.In))
+	if sh.loadIn[f.In] == 0 {
+		sh.touchIn = append(sh.touchIn, int32(f.In))
 	}
-	if rt.loadOut[f.Out] == 0 {
-		rt.touchOut = append(rt.touchOut, int32(f.Out))
+	sh.loadIn[f.In] += f.Demand
+	if sh.nsh > 1 && sh.phase == pickShared {
+		sh.rt.leftover[f.Out] -= f.Demand
+	} else {
+		if sh.loadOut[f.Out] == 0 {
+			sh.touchOut = append(sh.touchOut, int32(f.Out))
+		}
+		sh.loadOut[f.Out] += f.Demand
 	}
-	rt.loadIn[f.In] += f.Demand
-	rt.loadOut[f.Out] += f.Demand
 	s.taken = true
-	rt.takes = append(rt.takes, int32(id))
+	sh.takes = append(sh.takes, int32(id))
 	return true
 }
 
 // Fail aborts the run with a policy-contract error (e.g. a bridged
 // sim.Policy returned an infeasible or duplicate pick).
 func (v *View) Fail(format string, args ...any) {
-	v.rt.fail(format, args...)
+	v.sh.fail(format, args...)
 }
