@@ -543,13 +543,20 @@ func BenchmarkExtendedWorkloads(b *testing.B) {
 }
 
 // streamBenchResult is one row of the BENCH_stream.json baseline.
+// AllocsPerRound/BytesPerRound are run-phase totals amortized over the
+// processed rounds (warm-up arena/pool growth and per-window verification
+// included), so the perf trajectory tracks allocation alongside time; the
+// steady-state-zero property itself is asserted exactly by the
+// TestSteadyStateZeroAlloc tests in internal/stream.
 type streamBenchResult struct {
-	Shards      int     `json:"shards,omitempty"`
-	Flows       int64   `json:"flows"`
-	Rounds      int64   `json:"rounds"`
-	NsPerRound  float64 `json:"ns_per_round"`
-	FlowsPerSec float64 `json:"flows_per_sec"`
-	SpeedupVsK1 float64 `json:"speedup_vs_k1,omitempty"`
+	Shards         int     `json:"shards,omitempty"`
+	Flows          int64   `json:"flows"`
+	Rounds         int64   `json:"rounds"`
+	NsPerRound     float64 `json:"ns_per_round"`
+	FlowsPerSec    float64 `json:"flows_per_sec"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	BytesPerRound  float64 `json:"bytes_per_round"`
+	SpeedupVsK1    float64 `json:"speedup_vs_k1,omitempty"`
 }
 
 // streamBaseline accumulates both stream benchmarks' rows; the file is
@@ -603,9 +610,13 @@ func drainStream(b *testing.B, totalFlows int64, shards, verifyEvery int) stream
 	if err != nil {
 		b.Fatal(err)
 	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	sum, err := rt.Run()
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -619,11 +630,13 @@ func drainStream(b *testing.B, totalFlows int64, shards, verifyEvery int) stream
 		b.Fatal("no verification windows ran")
 	}
 	return streamBenchResult{
-		Shards:      sum.Shards,
-		Flows:       sum.Completed,
-		Rounds:      sum.Rounds,
-		NsPerRound:  float64(elapsed.Nanoseconds()) / float64(sum.Rounds),
-		FlowsPerSec: float64(sum.Completed) / elapsed.Seconds(),
+		Shards:         sum.Shards,
+		Flows:          sum.Completed,
+		Rounds:         sum.Rounds,
+		NsPerRound:     float64(elapsed.Nanoseconds()) / float64(sum.Rounds),
+		FlowsPerSec:    float64(sum.Completed) / elapsed.Seconds(),
+		AllocsPerRound: float64(ms1.Mallocs-ms0.Mallocs) / float64(sum.Rounds),
+		BytesPerRound:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(sum.Rounds),
 	}
 }
 
@@ -645,6 +658,7 @@ func BenchmarkStreamRuntime(b *testing.B) {
 			}
 			b.ReportMetric(last.NsPerRound, "ns/round")
 			b.ReportMetric(last.FlowsPerSec, "flows/s")
+			b.ReportMetric(last.AllocsPerRound, "allocs/round")
 			last.Shards = 0 // unsharded series: omit the shard column
 			setStreamRow(&streamBaseline.Results, fi, last)
 			writeStreamBaseline(b)
@@ -677,6 +691,7 @@ func BenchmarkStreamRuntimeSharded(b *testing.B) {
 			}
 			b.ReportMetric(last.NsPerRound, "ns/round")
 			b.ReportMetric(last.FlowsPerSec, "flows/s")
+			b.ReportMetric(last.AllocsPerRound, "allocs/round")
 			setStreamRow(&streamBaseline.Sharded, ki, last)
 			writeStreamBaseline(b)
 		})

@@ -1,0 +1,135 @@
+// Command benchgate compares a freshly generated BENCH_stream.json
+// against a committed baseline and fails (exit 1) on a perf regression,
+// so CI can gate merges on the streaming runtime's perf trajectory:
+//
+//	benchgate -old BENCH_stream.base.json -new BENCH_stream.json
+//
+// Gates:
+//
+//   - ns/round: a row (matched by flows and shard count) may not regress
+//     by more than -maxregress (default 1.25, i.e. +25%) against the
+//     baseline row.
+//   - speedup_vs_k1: the K=2 row of the sharded sweep must reach at least
+//     1.0 — with the fused single-barrier protocol, two shards must never
+//     be slower than one. Higher K rows get a softer 0.9 floor (their
+//     ideal speedup depends on the serial verification fraction). Any
+//     row with K greater than the run's gomaxprocs is skipped: a sweep
+//     on fewer cores than shards measures barrier overhead, not speedup.
+//
+// Steady-state allocations are gated separately and exactly by the
+// TestSteadyStateZeroAlloc tests in internal/stream; the allocs_per_round
+// column here is a drain-total amortization (warm-up and verification
+// included) recorded for the trajectory, not a zero-check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type row struct {
+	Shards         int     `json:"shards"`
+	Flows          int64   `json:"flows"`
+	Rounds         int64   `json:"rounds"`
+	NsPerRound     float64 `json:"ns_per_round"`
+	FlowsPerSec    float64 `json:"flows_per_sec"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
+	SpeedupVsK1    float64 `json:"speedup_vs_k1"`
+}
+
+type baseline struct {
+	Benchmark  string `json:"benchmark"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Results    []row  `json:"results"`
+	Sharded    []row  `json:"sharded"`
+}
+
+func load(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func main() {
+	oldPath := flag.String("old", "", "committed baseline JSON")
+	newPath := flag.String("new", "BENCH_stream.json", "freshly generated JSON")
+	maxRegress := flag.Float64("maxregress", 1.25, "max allowed ns/round ratio new/old per matched row")
+	flag.Parse()
+	if *oldPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -old is required")
+		os.Exit(2)
+	}
+	oldB, err := load(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	newB, err := load(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	failures := 0
+	check := func(kind string, oldRows, newRows []row, key func(r row) int64) {
+		idx := make(map[int64]row, len(oldRows))
+		for _, r := range oldRows {
+			idx[key(r)] = r
+		}
+		for _, n := range newRows {
+			o, ok := idx[key(n)]
+			if !ok || o.NsPerRound <= 0 {
+				fmt.Printf("%-9s %-14d  %10.0f ns/round  (no baseline row)\n", kind, key(n), n.NsPerRound)
+				continue
+			}
+			ratio := n.NsPerRound / o.NsPerRound
+			verdict := "ok"
+			if ratio > *maxRegress {
+				verdict = "REGRESSED"
+				failures++
+			}
+			fmt.Printf("%-9s %-14d  %10.0f -> %10.0f ns/round  (x%.3f, %.2f allocs/round)  %s\n",
+				kind, key(n), o.NsPerRound, n.NsPerRound, ratio, n.AllocsPerRound, verdict)
+		}
+	}
+	check("flows", oldB.Results, newB.Results, func(r row) int64 { return r.Flows })
+	check("shards", oldB.Sharded, newB.Sharded, func(r row) int64 { return int64(r.Shards) })
+
+	for _, n := range newB.Sharded {
+		if n.Shards <= 1 || n.SpeedupVsK1 == 0 {
+			continue
+		}
+		if newB.GoMaxProcs < n.Shards {
+			fmt.Printf("speedup   K=%-2d  %.3f  (skipped: gomaxprocs %d < K)\n", n.Shards, n.SpeedupVsK1, newB.GoMaxProcs)
+			continue
+		}
+		floor := 0.9
+		if n.Shards == 2 {
+			floor = 1.0
+		}
+		verdict := "ok"
+		if n.SpeedupVsK1 < floor {
+			verdict = "BELOW FLOOR"
+			failures++
+		}
+		fmt.Printf("speedup   K=%-2d  %.3f  (floor %.2f, gomaxprocs %d)  %s\n",
+			n.Shards, n.SpeedupVsK1, floor, newB.GoMaxProcs, verdict)
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d gate(s) failed\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all gates passed")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(1)
+}

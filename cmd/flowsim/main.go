@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"flowsched/internal/core"
@@ -55,6 +57,8 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 
 		streamMode  = flag.Bool("stream", false, "streaming mode: drain an unbounded arrival stream through internal/stream")
+		cpuProfile  = flag.String("cpuprofile", "", "stream: write a CPU profile of the drain to this file")
+		memProfile  = flag.String("memprofile", "", "stream: write a post-drain heap profile to this file")
 		shards      = flag.Int("shards", 0, "stream: runtime shards the input ports are partitioned across (0 = GOMAXPROCS for shardable policies, capped at -ports; > 1 needs a native policy)")
 		flows       = flag.Int64("flows", 1_000_000, "stream: total flows to drain")
 		alpha       = flag.Float64("alpha", 0, "stream: bounded-Pareto size tail index (0 = unit/uniform sizes)")
@@ -69,6 +73,7 @@ func main() {
 			ports: *ports, m: *mFlag, policy: *policy, seed: *seed, trace: *trace,
 			dmax: *demands, flows: *flows, alpha: *alpha, maxPending: *maxPending,
 			window: *window, verifyEvery: *verifyEvery, shards: *shards,
+			cpuProfile: *cpuProfile, memProfile: *memProfile,
 		})
 		return
 	}
@@ -193,6 +198,8 @@ type streamOpts struct {
 	window      int
 	verifyEvery int
 	shards      int
+	cpuProfile  string
+	memProfile  string
 }
 
 // streamPolicy resolves a native streaming policy or bridges a simulator
@@ -248,20 +255,50 @@ func runStream(o streamOpts) {
 	if err != nil {
 		fatal(err)
 	}
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
 	start := time.Now()
 	sum, err := rt.Run()
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
 	if err != nil {
 		fatal(err)
 	}
+	if o.memProfile != "" {
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	rounds := max(sum.Rounds, 1)
 	fmt.Printf("policy          %s\n", pol.Name())
 	fmt.Printf("shards          %d\n", sum.Shards)
 	fmt.Printf("flows           %d (admitted %d)\n", sum.Completed, sum.Admitted)
 	fmt.Printf("rounds          %d (final round %d)\n", sum.Rounds, sum.Round)
-	fmt.Printf("wall time       %v (%.0f flows/s, %.0f ns/round)\n",
+	fmt.Printf("wall time       %v (%.0f flows/s)\n",
 		elapsed.Round(time.Millisecond),
-		float64(sum.Completed)/elapsed.Seconds(),
-		float64(elapsed.Nanoseconds())/float64(max(sum.Rounds, 1)))
+		float64(sum.Completed)/elapsed.Seconds())
+	fmt.Printf("round cost      %.0f ns/round, %.3f allocs/round, %.1f B/round (drain total amortized)\n",
+		float64(elapsed.Nanoseconds())/float64(rounds),
+		float64(ms1.Mallocs-ms0.Mallocs)/float64(rounds),
+		float64(ms1.TotalAlloc-ms0.TotalAlloc)/float64(rounds))
 	fmt.Printf("avg response    %.3f rounds\n", sum.AvgResponse)
 	fmt.Printf("max response    %d rounds\n", sum.MaxResponse)
 	fmt.Printf("window p50/p90/p99  %.0f / %.0f / %.0f rounds (last %d rounds)\n",

@@ -55,8 +55,10 @@
 //     replayed finite instance. StreamConfig.Shards partitions the input
 //     ports across worker shards for multi-core single-switch scheduling:
 //     shards own their inputs' queues outright and settle output capacity
-//     by a deterministic two-phase propose/reconcile protocol, so a run
-//     is reproducible at any fixed shard count. Metrics are streaming
+//     by a deterministic fused-barrier propose/reconcile protocol (one
+//     synchronization point per round), so a run is reproducible at any
+//     fixed shard count; the round loop is allocation-free at steady
+//     state. Metrics are streaming
 //     (running totals plus sliding-window response-time quantiles from a
 //     mergeable log-histogram sketch, merged across shards), and
 //     VerifyEvery feeds each completed window of rounds through the

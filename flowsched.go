@@ -262,6 +262,10 @@ type (
 type (
 	// StreamSource yields flows in non-decreasing release order.
 	StreamSource = stream.Source
+	// StreamBatchSource is a StreamSource that can also drain arrivals in
+	// batches (PullBatch); the runtime detects it and amortizes one call
+	// over a round's arrivals. All workload sources implement it.
+	StreamBatchSource = stream.BatchSource
 	// StreamPolicy selects a capacity-feasible pending subset each round.
 	StreamPolicy = stream.Policy
 	// StreamView is a policy's window onto the runtime's per-port state.
@@ -272,7 +276,7 @@ type (
 	// StreamShardable marks streaming policies that can run one instance
 	// per runtime shard when StreamConfig.Shards > 1 partitions the input
 	// ports across shards (see internal/stream's package docs for the
-	// deterministic two-phase output-capacity protocol).
+	// deterministic fused-barrier output-capacity protocol).
 	StreamShardable = stream.Shardable
 	// StreamRuntime drains a source round by round in bounded memory.
 	StreamRuntime = stream.Runtime

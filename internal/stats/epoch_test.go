@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestEpochWindowMatchesWindowQuantiles: with a single writer and no
+// concurrency, the epoch window must report exactly the quantiles of a
+// WindowQuantiles fed the same observation stream — same ring geometry,
+// same rotation, same expiry.
+func TestEpochWindowMatchesWindowQuantiles(t *testing.T) {
+	ew := NewEpochWindow(64, 8)
+	wq := NewWindowQuantiles(64, 8)
+	rng := rand.New(rand.NewSource(4))
+	var dst LogHistogram
+	round := 0
+	for step := 0; step < 400; step++ {
+		round += rng.Intn(4)
+		ew.Begin()
+		for k := rng.Intn(5); k >= 0; k-- {
+			v := rng.Intn(1 << uint(rng.Intn(16)))
+			ew.Observe(round, v)
+			wq.Observe(round, v)
+		}
+		ew.End()
+		if step%37 != 0 {
+			continue
+		}
+		ew.ReadInto(&dst, round)
+		wq.Advance(round)
+		if got, want := dst.N(), wq.N(); got != want {
+			t.Fatalf("round %d: epoch window holds %d observations, WindowQuantiles %d", round, got, want)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			if got, want := dst.Quantile(q), wq.Quantile(q); got != want {
+				t.Fatalf("round %d q=%.2f: epoch %v, WindowQuantiles %v", round, q, got, want)
+			}
+		}
+	}
+	// A long quiet gap must expire everything on the read side alone.
+	ew.ReadInto(&dst, round+10_000)
+	if dst.N() != 0 {
+		t.Fatalf("stale epoch window still reports %d observations", dst.N())
+	}
+}
+
+// TestEpochWindowConcurrentReaders hammers ReadInto from several
+// goroutines while the writer records — the seqlock protocol must stay
+// race-clean (meaningful under -race) and every consistent read must see a
+// plausible window.
+func TestEpochWindowConcurrentReaders(t *testing.T) {
+	w := NewEpochWindow(128, 8)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var dst LogHistogram
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					w.ReadInto(&dst, 1<<20) // far future: reads as empty
+					if dst.N() != 0 {
+						t.Error("future read saw live observations")
+						return
+					}
+					w.ReadInto(&dst, 600)
+				}
+			}
+		}()
+	}
+	for round := 0; round < 600; round++ {
+		w.Begin()
+		for k := 0; k < 8; k++ {
+			w.Observe(round, round+k)
+		}
+		w.End()
+	}
+	close(done)
+	wg.Wait()
+	var dst LogHistogram
+	w.ReadInto(&dst, 599)
+	if dst.N() == 0 {
+		t.Fatal("final read saw an empty window")
+	}
+}
+
+// TestEpochWindowRecordNoAlloc pins the writer path to zero allocations:
+// rings are preallocated to the sketch's full bucket range, so Begin,
+// Observe (any value), rotation, and End never touch the allocator.
+func TestEpochWindowRecordNoAlloc(t *testing.T) {
+	w := NewEpochWindow(256, 8)
+	round := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		w.Begin()
+		w.Observe(round, round*7)
+		w.Observe(round, 1<<40)
+		w.End()
+		round += 3 // crosses shard periods, exercising rotation
+	})
+	if allocs != 0 {
+		t.Fatalf("record path allocated %v per round, want 0", allocs)
+	}
+	var dst LogHistogram
+	w.ReadInto(&dst, round) // grow dst once
+	allocs = testing.AllocsPerRun(100, func() {
+		w.ReadInto(&dst, round)
+	})
+	if allocs != 0 {
+		t.Fatalf("read path allocated %v per call, want 0", allocs)
+	}
+}

@@ -73,6 +73,21 @@ func (h *LogHistogram) Reset() {
 	}
 }
 
+// Grow preallocates bucket storage to cover observations up to max, so
+// subsequent Add calls for values of that magnitude never reallocate. The
+// streaming runtime uses it to keep its per-round record path allocation
+// free; growing to cover all of int costs under 8KB.
+func (h *LogHistogram) Grow(max int) {
+	if max < 0 {
+		max = 0
+	}
+	if b := sketchBucket(uint64(max)); b >= len(h.counts) {
+		grown := make([]uint64, b+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+}
+
 // Merge adds all of o's observations into h.
 func (h *LogHistogram) Merge(o *LogHistogram) {
 	if len(o.counts) > len(h.counts) {
@@ -199,4 +214,16 @@ func (w *WindowQuantiles) MergeInto(dst *LogHistogram) {
 	for i := range w.shards {
 		dst.Merge(&w.shards[i])
 	}
+}
+
+// Grow preallocates every ring shard and the query scratch to cover
+// observations up to max, so Observe, Advance, and Quantile stop
+// allocating once the window is constructed: rotation already reuses the
+// shard backing arrays (Reset retains storage), and growing up front
+// removes the remaining Add/Merge growth path.
+func (w *WindowQuantiles) Grow(max int) {
+	for i := range w.shards {
+		w.shards[i].Grow(max)
+	}
+	w.scratch.Grow(max)
 }

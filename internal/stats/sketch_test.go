@@ -143,6 +143,51 @@ func TestWindowQuantilesAdvanceExpiresStale(t *testing.T) {
 	}
 }
 
+// TestWindowQuantilesNoAllocSteadyState pins the windowed-metrics
+// allocation audit: after Grow preallocates the rings and scratch,
+// Observe, Advance (shard expiry reuses the backing arrays via Reset),
+// and Quantile run allocation-free — window rotation must never
+// reallocate what it can recycle.
+func TestWindowQuantilesNoAllocSteadyState(t *testing.T) {
+	w := NewWindowQuantiles(256, 8)
+	w.Grow(1 << 40)
+	round := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		w.Observe(round, round*13)
+		w.Observe(round, 1<<39)
+		w.Advance(round + 1)
+		if w.Quantile(0.9) < 0 {
+			t.Fatal("negative quantile")
+		}
+		round += 5 // crosses shard periods, exercising rotation + expiry
+	})
+	if allocs != 0 {
+		t.Fatalf("windowed metrics allocated %v per round, want 0", allocs)
+	}
+}
+
+// TestLogHistogramGrow: growth is monotone, preserves counts, and makes
+// subsequent Adds up to the grown bound allocation-free.
+func TestLogHistogramGrow(t *testing.T) {
+	var h LogHistogram
+	h.Add(3)
+	h.Grow(1 << 50)
+	if got := h.Quantile(1); got != 3 {
+		t.Fatalf("Grow lost observations: q1 = %v", got)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		h.Add(1 << 49)
+		h.Add(7)
+	})
+	if allocs != 0 {
+		t.Fatalf("Add within the grown bound allocated %v, want 0", allocs)
+	}
+	h.Grow(-1) // no-op clamp
+	if h.N() != 201*2+1 && h.N() == 0 {
+		t.Fatal("Grow(-1) corrupted the sketch")
+	}
+}
+
 // TestWindowQuantilesMergeInto: merging several per-shard windows over the
 // same rounds into one histogram must yield exactly the quantiles of a
 // single window that observed every value.

@@ -1,0 +1,269 @@
+package stream
+
+import "flowsched/internal/switchnet"
+
+// The pending-set storage of a shard: a struct-of-arrays arena addressed
+// by flow ID, plus pooled ring-buffer blocks holding the virtual output
+// queues. Both structures recycle through free lists, so a shard at
+// steady state — pending count fluctuating below its high-water mark —
+// performs zero heap allocations per round: slot IDs come off the arena
+// free list, VOQ storage comes off the block pool, and every per-round
+// scratch slice is length-reset, never reallocated.
+//
+// The arena's columns are grouped by access affinity, not one array per
+// scalar field: a feasibility check (Take, serveVOQ) reads exactly one
+// 16-byte descriptor, an admission-order unlink touches only the packed
+// link pairs, and the cold retirement fields (release, seq) stay out of
+// the pick-path cache footprint entirely. A pending flow costs 49 bytes
+// across the columns versus a 56-byte AoS slot, and the field a hot path
+// does not need is never pulled into cache.
+
+// flowRec is the hot per-flow record: ports, demand, the cached VOQ index
+// (so unlink/iterate paths never recompute the in/shards division), the
+// live/taken state bits, the flow's position inside its VOQ block chain,
+// and the admission-order links — everything the pick and depart paths
+// read or write, packed into exactly 32 bytes so two flows share a cache
+// line and a feasibility check (Taken+Demand+Take) costs a single line
+// per flow. Ports are int16 (the switch is capped at 1<<15 ports a side
+// at construction).
+type flowRec struct {
+	in, out    int16
+	dem        int32
+	vi         int32
+	state      uint32
+	blk, off   int32 // VOQ ring-block position (see blockPool)
+	prev, next int32 // admission-order links; noID terminates
+}
+
+// flowWhen holds the cold retirement-path fields: release round and
+// global admission sequence number. They stay out of the pick-path cache
+// footprint.
+type flowWhen struct {
+	rel, seq int64
+}
+
+// arena state bits.
+const (
+	stLive  = 1 << iota // resident ID
+	stTaken             // selected this round
+)
+
+// arena holds one shard's pending flows as two parallel columns indexed
+// by flow ID — the 32-byte hot record and the 16-byte cold timing record.
+// There is no per-flow heap object: a flow is a row across the columns,
+// reconstructed into a switchnet.Flow only at the API boundary
+// (View.Flow, verification buffering, OnSchedule).
+type arena struct {
+	rec  []flowRec
+	when []flowWhen
+	// freed is the ID free list (LIFO, so hot IDs recycle first).
+	freed []int32
+}
+
+// alloc returns a free ID, growing every column in step only when the
+// free list is empty (i.e. the pending set reaches a new high-water mark).
+func (a *arena) alloc() int32 {
+	if n := len(a.freed); n > 0 {
+		id := a.freed[n-1]
+		a.freed = a.freed[:n-1]
+		return id
+	}
+	a.rec = append(a.rec, flowRec{blk: noID, prev: noID, next: noID})
+	a.when = append(a.when, flowWhen{})
+	return int32(len(a.rec) - 1)
+}
+
+// free recycles id onto the free list.
+func (a *arena) free(id int32) {
+	a.rec[id].state = 0
+	a.freed = append(a.freed, id)
+}
+
+// len reports the arena's column length (IDs ever allocated).
+func (a *arena) len() int { return len(a.rec) }
+
+// live and taken test the state bits of id.
+func (a *arena) live(id int32) bool  { return a.rec[id].state&stLive != 0 }
+func (a *arena) taken(id int32) bool { return a.rec[id].state&stTaken != 0 }
+
+// flow reconstructs the switchnet.Flow stored at id.
+func (a *arena) flow(id int32) switchnet.Flow {
+	r := &a.rec[id]
+	return switchnet.Flow{
+		In:      int(r.in),
+		Out:     int(r.out),
+		Demand:  int(r.dem),
+		Release: int(a.when[id].rel),
+	}
+}
+
+// blockLen is the number of flow IDs per VOQ ring block, sized so a block
+// is exactly one 64-byte cache line: sparse VOQs (a handful of pending
+// flows) stay one-line dense, deep VOQs chain lines.
+const blockLen = 15
+
+// voqBlock is one pooled segment of a VOQ FIFO: a fixed array of flow IDs
+// written append-only at the tail, with next chaining toward younger
+// blocks. Entries removed out of FIFO order are tombstoned (noID) and
+// skipped; a block whose entries are all consumed returns to the pool, and
+// a fully drained VOQ releases its whole chain at once.
+type voqBlock struct {
+	next int32
+	ids  [blockLen]int32
+}
+
+// blockPool owns a shard's VOQ blocks, recycled through a free list.
+type blockPool struct {
+	blocks []voqBlock
+	free   []int32
+}
+
+// voqState is one VOQ's packed cursor record — head/tail block chain
+// position plus live and tombstone tallies — sized so a queue probe
+// touches one cache line of VOQ state instead of one per parallel array.
+type voqState struct {
+	head, tail       int32
+	headOff, tailOff int16
+	live, dead       int32
+}
+
+// get returns a fresh (unlinked) block index.
+func (p *blockPool) get() int32 {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.blocks[b].next = noID
+		return b
+	}
+	p.blocks = append(p.blocks, voqBlock{next: noID})
+	return int32(len(p.blocks) - 1)
+}
+
+// put recycles block b.
+func (p *blockPool) put(b int32) {
+	p.free = append(p.free, b)
+}
+
+// voqPush appends id to VOQ vi's tail, growing the chain by a pooled
+// block when the tail block is full.
+func (sh *shard) voqPush(vi int, id int32) {
+	q := &sh.vqs[vi]
+	switch {
+	case q.tail == noID:
+		b := sh.pool.get()
+		q.head, q.headOff = b, 0
+		q.tail, q.tailOff = b, 0
+	case q.tailOff == blockLen:
+		b := sh.pool.get()
+		sh.pool.blocks[q.tail].next = b
+		q.tail, q.tailOff = b, 0
+	}
+	o := q.tailOff
+	sh.pool.blocks[q.tail].ids[o] = id
+	r := &sh.ar.rec[id]
+	r.blk, r.off = q.tail, int32(o)
+	q.tailOff = o + 1
+	q.live++
+}
+
+// voqRemove unthreads id from VOQ vi and reports whether the VOQ drained.
+// A head removal advances the head past any tombstones (recycling spent
+// blocks); a mid-queue removal tombstones in place, with compaction once
+// tombstones outnumber live entries by more than a block — so the chain
+// never holds more than O(live + blockLen) entries and every entry is
+// visited O(1) times amortized.
+func (sh *shard) voqRemove(vi int, id int32) (drained bool) {
+	q := &sh.vqs[vi]
+	r := &sh.ar.rec[id]
+	sh.pool.blocks[r.blk].ids[r.off] = noID
+	q.live--
+	if q.live == 0 {
+		for b := q.head; b != noID; {
+			nb := sh.pool.blocks[b].next
+			sh.pool.put(b)
+			b = nb
+		}
+		*q = voqState{head: noID, tail: noID}
+		return true
+	}
+	q.dead++
+	sh.voqAdvanceHead(q)
+	if q.dead > q.live+blockLen {
+		sh.voqCompact(vi)
+	}
+	return false
+}
+
+// voqAdvanceHead moves q's head cursor to its oldest live entry,
+// consuming tombstones and recycling blocks the head walks off of. With
+// live > 0 the cursor always lands on a live ID, so voqFirst is O(1).
+func (sh *shard) voqAdvanceHead(q *voqState) {
+	b, o := q.head, q.headOff
+	for {
+		if b == q.tail && o == q.tailOff {
+			break
+		}
+		if o == blockLen {
+			nb := sh.pool.blocks[b].next
+			sh.pool.put(b)
+			b, o = nb, 0
+			continue
+		}
+		if sh.pool.blocks[b].ids[o] != noID {
+			break
+		}
+		o++
+		q.dead--
+	}
+	q.head, q.headOff = b, o
+}
+
+// voqFirst returns VOQ vi's oldest live ID, or noID if it is empty.
+func (sh *shard) voqFirst(vi int) int32 {
+	q := &sh.vqs[vi]
+	if q.live == 0 {
+		return noID
+	}
+	return sh.pool.blocks[q.head].ids[q.headOff]
+}
+
+// voqNext returns the next live ID after id in VOQ vi (toward younger
+// flows), or noID at the tail. Tombstone runs it skips are bounded by the
+// compaction threshold.
+func (sh *shard) voqNext(vi int, id int32) int32 {
+	q := &sh.vqs[vi]
+	r := &sh.ar.rec[id]
+	b, o := r.blk, int16(r.off)+1
+	for {
+		if b == q.tail && o >= q.tailOff {
+			return noID
+		}
+		if o == blockLen {
+			b, o = sh.pool.blocks[b].next, 0
+			continue
+		}
+		if nid := sh.pool.blocks[b].ids[o]; nid != noID {
+			return nid
+		}
+		o++
+	}
+}
+
+// voqCompact rewrites VOQ vi's live entries into a fresh chain, dropping
+// every tombstone and returning the old blocks to the pool.
+func (sh *shard) voqCompact(vi int) {
+	q := &sh.vqs[vi]
+	sh.cscratch = sh.cscratch[:0]
+	for id := sh.voqFirst(vi); id != noID; id = sh.voqNext(vi, id) {
+		sh.cscratch = append(sh.cscratch, id)
+	}
+	for b := q.head; b != noID; {
+		nb := sh.pool.blocks[b].next
+		sh.pool.put(b)
+		b = nb
+	}
+	*q = voqState{head: noID, tail: noID}
+	for _, id := range sh.cscratch {
+		sh.voqPush(vi, id)
+	}
+}

@@ -29,12 +29,14 @@
 // couples the shards, and it is settled by a deterministic two-phase
 // protocol each round:
 //
-//  1. Propose (parallel). Every shard admits the arrivals the coordinator
-//     routed to it and runs its policy against a carved output budget:
-//     output j's capacity splits into floor(OutCaps[j]/K) units per shard,
-//     with the OutCaps[j] mod K spare units rotating across shards by
-//     round so no shard permanently owns them. Shards touch disjoint
-//     state, so the phase runs on all cores and its outcome is
+//  1. Propose (parallel, fused with retirement). Every shard first
+//     retires the previous round's settled picks (departures, metrics,
+//     verification buffering), then admits the arrivals the coordinator
+//     routed to it, then runs its policy against a carved output budget:
+//     output j's capacity splits into floor(OutCaps[j]/K) units per
+//     shard, with the OutCaps[j] mod K spare units rotating across
+//     shards by round so no shard permanently owns them. Shards touch
+//     disjoint state, so the phase runs on all cores and its outcome is
 //     independent of goroutine interleaving.
 //  2. Reconcile (sequential in shard order). The coordinator computes
 //     each output's unused budget — OutCaps[j] minus the total phase-1
@@ -43,12 +45,15 @@
 //     use is therefore visible to all shards, so sharding never idles a
 //     port that an unsharded run would have filled.
 //
-// Retirement then runs parallel again: each shard unthreads its departures,
-// updates its metric sketches, and buffers its scheduled flows for
-// verification; the coordinator merges the buffers at window flushes and
-// merges the metric sketches at Snapshot. For a fixed K the schedule is a
-// pure function of the source — replaying the same stream at the same
-// shard count reproduces it bit for bit.
+// Retirement of round r's picks is deferred into round r+1's fused phase
+// — "apply folds into the next propose" — so the protocol has exactly one
+// synchronization point per round (the fused-phase barrier) instead of
+// separate propose and apply barriers, and shard A can be proposing round
+// r+1 while shard B is still retiring round r. Before a verification
+// window flushes, before an idle jump, and at the end of the run the
+// coordinator forces the owed retirement so observed state is settled.
+// For a fixed K the schedule is a pure function of the source — replaying
+// the same stream at the same shard count reproduces it bit for bit.
 //
 // # Shard-scoped View contract
 //
@@ -84,4 +89,45 @@
 // merged across shards — through the internal/verify oracle, aborting the
 // run on the first infeasible window. Spot-checking costs O(flows per
 // window) and keeps the unbounded run honest without retaining history.
+// The oracle runs on its own goroutine, overlapped with the next window's
+// rounds and joined at the next flush, so on spare cores verification is
+// off the round loop's critical path; a failure surfaces one window late,
+// but the schedule itself never depends on the verdict.
+//
+// # Performance model
+//
+// The round loop is allocation-free at steady state and its memory
+// traffic is budgeted per flow, not per data structure:
+//
+//   - Arena layout. A shard stores pending flows in a struct-of-arrays
+//     arena indexed by flow ID: a 32-byte hot record (ports, demand,
+//     cached VOQ index, state bits, VOQ block position, admission-order
+//     links — everything the pick and depart paths touch, two flows per
+//     cache line) and a 16-byte cold record (release, sequence number)
+//     read only at retirement. IDs recycle through a LIFO free list, so
+//     the arena stops growing once the pending set reaches its high-water
+//     mark and there are no per-flow heap objects, ever.
+//   - VOQ storage. Virtual output queues are chains of pooled ring-buffer
+//     blocks (15 flow IDs plus a link — one cache line per block) with a
+//     packed per-VOQ cursor record. Pushes append at the tail;
+//     out-of-FIFO-order departures tombstone in place and compact once
+//     tombstones outnumber live entries by more than a block; a drained
+//     VOQ returns its whole chain to the pool. Policies sweep queues
+//     through View.EachVOQ's block cursor: sequential block reads plus
+//     one hot-record line per flow. Blocks recycle through the pool free
+//     list, so steady-state queue churn never allocates.
+//   - Barrier schedule. One coordinator/shard synchronization point per
+//     round: the fused phase (retire round r-1, admit, propose round r)
+//     runs behind a single barrier, the reconcile pass runs on the
+//     coordinator, and OnSchedule callbacks read the still-live taken
+//     slots before they retire in the next fused phase.
+//   - Admission. Sources implementing BatchSource deliver each round's
+//     released arrivals in one PullBatch call into a reused buffer —
+//     interface-call overhead is paid per round, not per flow.
+//   - Snapshot epochs. Scalar metrics are atomics written once per
+//     applied round; window quantiles live in stats.EpochWindow, a
+//     seqlock ring of preallocated log-histogram shards. Snapshot readers
+//     merge with atomic loads and retry on epoch change, so metrics reads
+//     never stall the round loop, and the record path (Begin/Observe/End)
+//     neither locks nor allocates.
 package stream

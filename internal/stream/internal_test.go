@@ -39,12 +39,160 @@ func TestFlushWindowLabelsTrueRounds(t *testing.T) {
 	)
 	sh.vrounds = append(sh.vrounds, 5, 9, 9)
 
+	// flushWindow launches the oracle check asynchronously; the verdict
+	// surfaces at the join.
 	err = rt.flushWindow()
+	if err == nil {
+		err = rt.joinVerify()
+	}
 	if err == nil {
 		t.Fatal("infeasible window passed verification")
 	}
 	if !strings.Contains(err.Error(), "[5, 9]") {
 		t.Fatalf("window label does not cover the true buffered rounds [5, 9]: %v", err)
+	}
+}
+
+// TestNextActiveVOQWordBoundaries probes the active-VOQ bitmap across
+// 64-bit word edges: with NumOut > 64 the per-input bitmap spans several
+// words, and the ports 63/64 and 127/128 sit on opposite sides of word
+// boundaries. Activation, circular probing (including wrap-around through
+// a zero upper word), and drain-time bit clearing exactly at a word edge
+// must all agree with the active lists.
+func TestNextActiveVOQWordBoundaries(t *testing.T) {
+	rt, err := New(emptySource{}, Config{
+		Switch: switchnet.NewSwitch(1, 130, 1),
+		Policy: &RoundRobin{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := rt.shards[0]
+	seq := int64(0)
+	add := func(out int) {
+		sh.admit(arrival{flow: switchnet.Flow{In: 0, Out: out, Demand: 1}, seq: seq})
+		seq++
+	}
+	drain := func(out int) {
+		id := sh.voqFirst(sh.voq(0, out))
+		if id == noID {
+			t.Fatalf("VOQ (0, %d) empty before drain", out)
+		}
+		sh.depart(id)
+	}
+	probe := func(from, want int) {
+		t.Helper()
+		if got := sh.nextActive(0, from); got != want {
+			t.Fatalf("nextActive(0, %d) = %d, want %d", from, got, want)
+		}
+	}
+
+	for _, out := range []int{63, 64, 127, 128} {
+		add(out)
+	}
+	probe(0, 63)    // word 0 interior -> last bit of word 0
+	probe(63, 63)   // from == the set bit
+	probe(64, 64)   // first bit of word 1
+	probe(65, 127)  // word 1 interior -> last bit of word 1
+	probe(127, 127) // last bit of word 1
+	probe(128, 128) // first bit of word 2
+	probe(129, 63)  // wrap: word 2 tail is empty, circle back to word 0
+
+	drain(63) // clears the last bit of word 0
+	probe(0, 64)
+	probe(63, 64)
+	drain(128) // clears the first bit of word 2
+	probe(128, 64)
+	drain(64) // clears the first bit of word 1
+	probe(64, 127)
+	probe(0, 127)
+	drain(127) // clears the last live bit anywhere
+	probe(0, -1)
+	probe(129, -1)
+	for i, w := range sh.actBits {
+		if w != 0 {
+			t.Fatalf("bitmap word %d left set after full drain: %x", i, w)
+		}
+	}
+
+	// NumOut == 64: the single-word edge case, wrap from bit 63 to bit 0.
+	rt64, err := New(emptySource{}, Config{
+		Switch: switchnet.NewSwitch(1, 64, 1),
+		Policy: &RoundRobin{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh = rt64.shards[0]
+	add(0)
+	add(63)
+	probe(1, 63)
+	probe(63, 63)
+	drain(63)
+	probe(63, 0) // bit 63 cleared at the word edge; wrap finds bit 0
+	probe(0, 0)
+}
+
+// TestVOQTombstonesAndCompaction drives the pooled ring-buffer VOQ storage
+// through its out-of-FIFO-order removal path directly: tombstoned
+// mid-queue entries must stay invisible to head/next iteration, compaction
+// must trigger once tombstones outnumber live entries by more than a
+// block, and a drained VOQ must return its whole chain to the pool for
+// reuse (no unbounded block growth across refill cycles).
+func TestVOQTombstonesAndCompaction(t *testing.T) {
+	rt, err := New(emptySource{}, Config{
+		Switch: switchnet.NewSwitch(1, 2, 1),
+		Policy: &RoundRobin{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := rt.shards[0]
+	vi := sh.voq(0, 0)
+
+	const n = 4 * blockLen
+	ids := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		sh.admit(arrival{flow: switchnet.Flow{In: 0, Out: 0, Demand: 1, Release: i}, seq: int64(i)})
+		ids = append(ids, sh.tail)
+	}
+	// Remove every younger flow (tail side), oldest-first survivor: each is
+	// a mid-queue removal, so tombstones accumulate until compaction.
+	for i := n - 1; i >= 1; i-- {
+		sh.depart(ids[i])
+		if head := sh.voqFirst(vi); head != ids[0] {
+			t.Fatalf("after %d removals, VOQ head = %d, want oldest %d", n-i, head, ids[0])
+		}
+		if nxt := sh.voqNext(vi, ids[0]); i > 1 {
+			if nxt != ids[1] {
+				t.Fatalf("voqNext skipped to %d, want next-oldest %d", nxt, ids[1])
+			}
+		} else if nxt != noID {
+			t.Fatalf("voqNext past the only live entry = %d, want noID", nxt)
+		}
+		if sh.vqs[vi].dead > sh.vqs[vi].live+blockLen {
+			t.Fatalf("tombstones escaped the compaction bound: %d dead, %d live", sh.vqs[vi].dead, sh.vqs[vi].live)
+		}
+	}
+	sh.depart(ids[0])
+	if sh.vqs[vi].live != 0 || sh.vqs[vi].head != noID {
+		t.Fatal("drained VOQ did not release its chain")
+	}
+
+	// Refill/drain cycles must recycle pooled blocks, not grow the pool.
+	grown := len(sh.pool.blocks)
+	for cycle := 0; cycle < 8; cycle++ {
+		var cids []int32
+		for i := 0; i < n; i++ {
+			sh.admit(arrival{flow: switchnet.Flow{In: 0, Out: 0, Demand: 1, Release: n + cycle}, seq: int64(n*cycle + i)})
+			cids = append(cids, sh.tail)
+		}
+		for _, id := range cids {
+			sh.depart(id)
+		}
+	}
+	if len(sh.pool.blocks) > grown {
+		t.Fatalf("block pool grew from %d to %d across refill cycles", grown, len(sh.pool.blocks))
 	}
 }
 

@@ -94,25 +94,28 @@ func (p *RoundRobin) Pick(v *View) {
 // serveVOQ drains (in, out) oldest-first while capacity lasts and returns
 // the input's remaining free capacity. The rotation pointer advances once
 // per VOQ served, however many flows drained, and records the output
-// *port* — immune to the active list's swap-delete reordering.
+// *port* — immune to the active list's swap-delete reordering. The sweep
+// runs on View.EachVOQ's block cursor, so each queue entry costs one
+// sequential block read plus the flow's own descriptor line.
 func (p *RoundRobin) serveVOQ(v *View, in, out, free int) int {
 	served := false
-	for id := v.VOQHead(in, out); id != NoID && free > 0; id = v.VOQNext(id) {
+	v.EachVOQ(in, out, func(id ID) bool {
 		if v.Taken(id) {
 			// Already scheduled by this round's propose pass: not a
 			// blocked head, so the reconcile pass may drain past it.
-			continue
+			return true
 		}
-		f := v.Flow(id)
-		if f.Demand > free || v.OutputFree(out) < f.Demand {
-			break // FIFO within the VOQ: a blocked head blocks the queue
+		d := v.Demand(id)
+		if d > free || v.OutputFree(out) < d {
+			return false // FIFO within the VOQ: a blocked head blocks the queue
 		}
 		if !v.Take(id) {
-			break
+			return false
 		}
-		free -= f.Demand
+		free -= d
 		served = true
-	}
+		return free > 0
+	})
 	if served {
 		p.rr[in] = out
 	}

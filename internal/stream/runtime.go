@@ -2,8 +2,10 @@ package stream
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"flowsched/internal/stats"
 	"flowsched/internal/switchnet"
@@ -17,6 +19,17 @@ import (
 type Source interface {
 	Next() (f switchnet.Flow, ok bool)
 	Err() error
+}
+
+// BatchSource is a Source that can also drain arrivals in batches:
+// PullBatch appends to dst up to max flows whose Release is <= round and
+// returns the extended slice, never consuming a later flow. The runtime
+// detects it at construction and amortizes one call over a round's
+// arrivals instead of paying an interface call per flow; the workload
+// sources all implement it.
+type BatchSource interface {
+	Source
+	PullBatch(dst []switchnet.Flow, round, max int) []switchnet.Flow
 }
 
 // ID identifies an admitted flow in a shard's pending set. IDs are
@@ -82,9 +95,9 @@ type Config struct {
 	Policy Policy
 	// Shards partitions the input ports across that many runtime shards
 	// (input i belongs to shard i mod Shards), scheduled by the
-	// deterministic two-phase output-capacity protocol described in the
-	// package docs. <= 0 selects GOMAXPROCS for Shardable policies and 1
-	// otherwise; the value is always capped at NumIn.
+	// deterministic fused-barrier output-capacity protocol described in
+	// the package docs. <= 0 selects GOMAXPROCS for Shardable policies
+	// and 1 otherwise; the value is always capped at NumIn.
 	Shards int
 	// MaxPending bounds the resident pending set (admission control);
 	// <= 0 selects DefaultMaxPending. When the limit is reached the
@@ -107,17 +120,6 @@ type Config struct {
 	// is always invoked from the goroutine driving Run, in shard index
 	// order within a round.
 	OnSchedule func(seq int64, f switchnet.Flow, round int)
-}
-
-// metrics is the coordinator's share of the Snapshot-visible state,
-// guarded by Runtime.mu; completion counters live in the shards.
-type metrics struct {
-	admitted      int64
-	peakPending   int
-	backpressured int64
-	windows       int64
-	rounds        int64
-	round         int
 }
 
 // Summary is a point-in-time view of the runtime's streaming metrics.
@@ -157,14 +159,17 @@ type Summary struct {
 
 // Runtime is the streaming scheduler. Run drives it from one goroutine —
 // the coordinator — which pulls the source, routes arrivals to shards,
-// and sequences the per-round phases; with Config.Shards > 1 the propose
-// and apply phases execute on a pool of shard worker goroutines. Snapshot
-// may be called concurrently from other goroutines.
+// and sequences the fused per-round phase; with Config.Shards > 1 that
+// phase executes on a pool of shard worker goroutines behind a single
+// barrier per round. Snapshot may be called concurrently from other
+// goroutines; it reads atomics and epoch windows only, so it never
+// stalls the round loop.
 type Runtime struct {
-	cfg  Config
-	src  Source
-	sw   switchnet.Switch
-	caps []int
+	cfg     Config
+	src     Source
+	batcher BatchSource
+	sw      switchnet.Switch
+	caps    []int
 
 	nshards int
 	shards  []*shard
@@ -172,11 +177,13 @@ type Runtime struct {
 	round int
 	count int
 	seq   int64
+	peak  int
 
 	look     switchnet.Flow
 	haveLook bool
 	srcDone  bool
 	lastRel  int
+	batch    []switchnet.Flow
 
 	// leftover is the reconcile-phase output budget pool, rebuilt each
 	// round from OutCaps minus the propose-phase usage (nshards > 1);
@@ -184,19 +191,35 @@ type Runtime struct {
 	leftover    []int
 	totalOutCap int
 
-	err error
+	err     error
+	stalled int
+	started bool
 
 	// Verification window state: vstart is the active window's first
-	// round; vflows/vrounds are the flush-time merge scratch.
-	vstart  int
-	vflows  []switchnet.Flow
-	vrounds []int
+	// round; vflows/vrounds are the flush-time merge scratch, checked by
+	// an overlapped oracle goroutine (vdone joins it).
+	vstart   int
+	vflows   []switchnet.Flow
+	vrounds  []int
+	vpending bool
+	vdone    chan error
 
 	wg sync.WaitGroup
 
-	mu      sync.Mutex
-	m       metrics
-	scratch stats.LogHistogram
+	// Snapshot-visible coordinator metrics. The round loop only ever
+	// stores/adds; Snapshot only loads.
+	mRound         atomic.Int64
+	mRounds        atomic.Int64
+	mAdmitted      atomic.Int64
+	mBackpressured atomic.Int64
+	mPeak          atomic.Int64
+	mWindows       atomic.Int64
+
+	// snapMu serializes concurrent Snapshot callers over the merge
+	// scratch; the round loop never takes it.
+	snapMu       sync.Mutex
+	scratch      stats.LogHistogram
+	shardScratch stats.LogHistogram
 }
 
 // New builds a Runtime over src. The configuration is validated eagerly:
@@ -214,14 +237,26 @@ func New(src Source, cfg Config) (*Runtime, error) {
 	if mIn == 0 || mOut == 0 {
 		return nil, fmt.Errorf("stream: switch has no ports (%d x %d)", mIn, mOut)
 	}
+	if mIn > 1<<15 || mOut > 1<<15 {
+		// Port numbers ride in the arena's 16-bit descriptor fields.
+		return nil, fmt.Errorf("stream: switch %d x %d exceeds the runtime's %d ports per side", mIn, mOut, 1<<15)
+	}
 	for i, c := range cfg.Switch.InCaps {
 		if c <= 0 {
 			return nil, fmt.Errorf("stream: input port %d capacity %d is not positive", i, c)
+		}
+		if c > math.MaxInt32 {
+			// Demands ride in the arena's 32-bit descriptor field and are
+			// bounded by the port capacities (ValidateFlow).
+			return nil, fmt.Errorf("stream: input port %d capacity %d exceeds the runtime's %d", i, c, math.MaxInt32)
 		}
 	}
 	for j, c := range cfg.Switch.OutCaps {
 		if c <= 0 {
 			return nil, fmt.Errorf("stream: output port %d capacity %d is not positive", j, c)
+		}
+		if c > math.MaxInt32 {
+			return nil, fmt.Errorf("stream: output port %d capacity %d exceeds the runtime's %d", j, c, math.MaxInt32)
 		}
 	}
 	if cfg.MaxPending <= 0 {
@@ -257,7 +292,9 @@ func New(src Source, cfg Config) (*Runtime, error) {
 		caps:    cfg.Switch.Caps(),
 		nshards: cfg.Shards,
 		shards:  make([]*shard, cfg.Shards),
+		vdone:   make(chan error, 1),
 	}
+	rt.batcher, _ = src.(BatchSource)
 	if rt.nshards > 1 {
 		rt.leftover = make([]int, mOut)
 		for _, c := range cfg.Switch.OutCaps {
@@ -291,7 +328,7 @@ func (rt *Runtime) pull() {
 }
 
 // route validates f, assigns its admission sequence number, and queues it
-// on its input port's shard; the shard threads it during the next propose
+// on its input port's shard; the shard threads it during the next round
 // phase. Returns the number backpressured (0 or 1) for metric batching.
 func (rt *Runtime) route(f switchnet.Flow) (int, error) {
 	if f.Release < rt.lastRel {
@@ -311,8 +348,71 @@ func (rt *Runtime) route(f switchnet.Flow) (int, error) {
 	return 0, nil
 }
 
+// admit drains every currently-released arrival the admission limit
+// allows into the shard inboxes, one batch call when the source supports
+// it.
+func (rt *Runtime) admit() error {
+	rt.pull()
+	arrived, backpressured := 0, 0
+	for rt.count < rt.cfg.MaxPending && rt.haveLook && rt.look.Release <= rt.round {
+		bp, err := rt.route(rt.look)
+		if err != nil {
+			return err
+		}
+		arrived++
+		backpressured += bp
+		rt.haveLook = false
+		if rt.batcher != nil && rt.count < rt.cfg.MaxPending {
+			rt.batch = rt.batcher.PullBatch(rt.batch[:0], rt.round, rt.cfg.MaxPending-rt.count)
+			for _, f := range rt.batch {
+				bp, err := rt.route(f)
+				if err != nil {
+					return err
+				}
+				arrived++
+				backpressured += bp
+			}
+		}
+		rt.pull()
+	}
+	if arrived > 0 {
+		rt.mAdmitted.Add(int64(arrived))
+		rt.mBackpressured.Add(int64(backpressured))
+		if rt.count > rt.peak {
+			rt.peak = rt.count
+			rt.mPeak.Store(int64(rt.peak))
+		}
+	}
+	return nil
+}
+
+// startWorkers launches the shard worker pool (nshards > 1); stopWorkers
+// shuts it down. Run brackets itself with them; white-box tests driving
+// step directly do the same.
+func (rt *Runtime) startWorkers() {
+	if rt.nshards == 1 || rt.started {
+		return
+	}
+	rt.started = true
+	for _, sh := range rt.shards {
+		sh.work = make(chan int, 1)
+		go sh.serve()
+	}
+}
+
+func (rt *Runtime) stopWorkers() {
+	if !rt.started {
+		return
+	}
+	rt.started = false
+	for _, sh := range rt.shards {
+		close(sh.work)
+	}
+}
+
 // runPhase executes ph on every shard: inline for a single shard, on the
-// worker pool otherwise.
+// worker pool otherwise. It is the protocol's only synchronization point:
+// the coordinator blocks here once per round.
 func (rt *Runtime) runPhase(ph int) {
 	if rt.nshards == 1 {
 		rt.shards[0].do(ph)
@@ -323,6 +423,26 @@ func (rt *Runtime) runPhase(ph int) {
 		sh.work <- ph
 	}
 	rt.wg.Wait()
+}
+
+// owedApply reports whether any shard still holds settled picks awaiting
+// retirement under the fused protocol.
+func (rt *Runtime) owedApply() bool {
+	for _, sh := range rt.shards {
+		if len(sh.takes) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// applyPending forces retirement of owed picks outside the fused cadence,
+// so verification flushes, idle jumps, and the end of the run observe
+// fully settled state.
+func (rt *Runtime) applyPending() {
+	if rt.owedApply() {
+		rt.runPhase(phaseApply)
+	}
 }
 
 // reconcile redistributes output capacity no shard used in the propose
@@ -368,27 +488,33 @@ func (rt *Runtime) setRound(t int) error {
 	if w := rt.cfg.VerifyEvery; w > 0 && t >= rt.vstart+w {
 		// Rounds only move forward, so the buffers never hold flows beyond
 		// the current window: one flush empties them, and the remaining
-		// boundaries an idle jump crosses advance in a single step.
+		// boundaries an idle jump crosses advance in a single step. Owed
+		// picks retire first so the closing window's loads are complete.
+		rt.applyPending()
 		if err := rt.flushWindow(); err != nil {
 			return err
 		}
 		rt.vstart += (t - rt.vstart) / w * w
 	}
 	rt.round = t
-	rt.mu.Lock()
-	rt.m.round = t
-	rt.mu.Unlock()
+	rt.mRound.Store(int64(t))
 	return nil
 }
 
-// flushWindow spot-checks every buffered scheduled flow through the verify
-// oracle. All loads in the buffered rounds are fully represented — flows
-// are buffered at departure across all shards and rounds only move forward
-// — so the oracle's per-(port, round) capacity check is exact. Failures
-// are labelled with the true min/max buffered rounds, not the window
-// boundaries, so an idle jump across several window starts cannot skew the
-// report.
+// flushWindow hands every buffered scheduled flow to an overlapped verify
+// goroutine. All loads in the buffered rounds are fully represented —
+// flows are buffered at retirement across all shards, owed picks are
+// settled before a flush, and rounds only move forward — so the oracle's
+// per-(port, round) capacity check is exact. The check for window w runs
+// concurrently with the rounds of window w+1 and is joined at the next
+// flush (or the end of the run), hiding the oracle's cost on spare cores
+// without changing the schedule; failures are labelled with the true
+// min/max buffered rounds, not the window boundaries, so an idle jump
+// across several window starts cannot skew the report.
 func (rt *Runtime) flushWindow() error {
+	if err := rt.joinVerify(); err != nil {
+		return err
+	}
 	rt.vflows = rt.vflows[:0]
 	rt.vrounds = rt.vrounds[:0]
 	lo, hi := 0, 0
@@ -409,15 +535,89 @@ func (rt *Runtime) flushWindow() error {
 	if len(rt.vflows) == 0 {
 		return nil
 	}
-	inst := &switchnet.Instance{Switch: rt.sw, Flows: rt.vflows}
-	sched := &switchnet.Schedule{Round: rt.vrounds}
-	if _, err := verify.CheckSchedule(inst, sched, rt.caps); err != nil {
-		return fmt.Errorf("stream: verification window over rounds [%d, %d] infeasible: %w", lo, hi, err)
-	}
-	rt.mu.Lock()
-	rt.m.windows++
-	rt.mu.Unlock()
+	rt.vpending = true
+	go func(lo, hi int) {
+		inst := &switchnet.Instance{Switch: rt.sw, Flows: rt.vflows}
+		sched := &switchnet.Schedule{Round: rt.vrounds}
+		if _, err := verify.CheckSchedule(inst, sched, rt.caps); err != nil {
+			rt.vdone <- fmt.Errorf("stream: verification window over rounds [%d, %d] infeasible: %w", lo, hi, err)
+			return
+		}
+		rt.mWindows.Add(1)
+		rt.vdone <- nil
+	}(lo, hi)
 	return nil
+}
+
+// joinVerify waits for the in-flight window check, if any. The channel is
+// buffered, so an abandoned check (error path elsewhere) cannot leak its
+// goroutine.
+func (rt *Runtime) joinVerify() error {
+	if !rt.vpending {
+		return nil
+	}
+	rt.vpending = false
+	return <-rt.vdone
+}
+
+// step advances the runtime by one iteration — an idle jump or one fused
+// scheduling round — and reports whether the stream is fully drained.
+func (rt *Runtime) step() (done bool, err error) {
+	if err := rt.admit(); err != nil {
+		return false, err
+	}
+	if rt.count == 0 {
+		rt.applyPending()
+		if !rt.haveLook {
+			if err := rt.src.Err(); err != nil {
+				return false, err
+			}
+			return true, nil
+		}
+		// Idle gap: jump straight to the next arrival.
+		return false, rt.setRound(rt.look.Release)
+	}
+
+	// The fused phase: every shard retires the previous round's picks,
+	// admits its routed arrivals, and proposes against its carved output
+	// budgets — then the coordinator reconciles unused capacity.
+	rt.runPhase(phaseRound)
+	if rt.nshards > 1 {
+		rt.reconcile()
+	}
+	if err := rt.firstErr(); err != nil {
+		rt.err = err
+		return false, err
+	}
+
+	total := 0
+	for _, sh := range rt.shards {
+		total += len(sh.takes)
+	}
+	rt.mRounds.Add(1)
+	if total == 0 {
+		rt.stalled++
+		if rt.stalled >= rt.cfg.StallRounds {
+			return false, fmt.Errorf("stream: policy %q scheduled nothing for %d consecutive rounds with %d flows pending",
+				rt.cfg.Policy.Name(), rt.stalled, rt.count)
+		}
+	} else {
+		rt.stalled = 0
+	}
+
+	if cb := rt.cfg.OnSchedule; cb != nil {
+		// Shard workers are quiescent between phases and retirement of
+		// this round's picks is deferred to the next fused phase, so the
+		// taken slots are still live here; shard order keeps the callback
+		// sequence deterministic.
+		for _, sh := range rt.shards {
+			for _, id := range sh.takes {
+				cb(sh.ar.when[id].seq, sh.ar.flow(id), rt.round)
+			}
+		}
+	}
+	rt.count -= total
+	return false, rt.setRound(rt.round + 1)
 }
 
 // Run drains the source: it advances round by round until the source is
@@ -427,100 +627,22 @@ func (rt *Runtime) Run() (*Summary, error) {
 	if err := rt.firstErr(); err != nil {
 		return nil, err
 	}
-	if rt.nshards > 1 {
-		for _, sh := range rt.shards {
-			sh.work = make(chan int, 1)
-			go sh.serve()
-		}
-		defer func() {
-			for _, sh := range rt.shards {
-				close(sh.work)
-			}
-		}()
-	}
-	stalled := 0
+	rt.startWorkers()
+	defer rt.stopWorkers()
 	for {
-		rt.pull()
-		arrived, backpressured := 0, 0
-		for rt.count < rt.cfg.MaxPending && rt.haveLook && rt.look.Release <= rt.round {
-			bp, err := rt.route(rt.look)
-			if err != nil {
-				return nil, err
-			}
-			arrived++
-			backpressured += bp
-			rt.haveLook = false
-			rt.pull()
-		}
-		if arrived > 0 {
-			rt.mu.Lock()
-			rt.m.admitted += int64(arrived)
-			rt.m.backpressured += int64(backpressured)
-			if rt.count > rt.m.peakPending {
-				rt.m.peakPending = rt.count
-			}
-			rt.mu.Unlock()
-		}
-		if rt.count == 0 {
-			if !rt.haveLook {
-				if err := rt.src.Err(); err != nil {
-					return nil, err
-				}
-				break
-			}
-			// Idle gap: jump straight to the next arrival.
-			if err := rt.setRound(rt.look.Release); err != nil {
-				return nil, err
-			}
-			continue
-		}
-
-		// Propose in parallel, then reconcile unused output budget.
-		rt.runPhase(phasePick)
-		if rt.nshards > 1 {
-			rt.reconcile()
-		}
-		if err := rt.firstErr(); err != nil {
-			rt.err = err
+		done, err := rt.step()
+		if err != nil {
 			return nil, err
 		}
-
-		total := 0
-		for _, sh := range rt.shards {
-			total += len(sh.takes)
-		}
-		rt.mu.Lock()
-		rt.m.rounds++
-		rt.mu.Unlock()
-		if total == 0 {
-			stalled++
-			if stalled >= rt.cfg.StallRounds {
-				return nil, fmt.Errorf("stream: policy %q scheduled nothing for %d consecutive rounds with %d flows pending",
-					rt.cfg.Policy.Name(), stalled, rt.count)
-			}
-		} else {
-			stalled = 0
-		}
-
-		if cb := rt.cfg.OnSchedule; cb != nil {
-			// Shard workers are quiescent between phases, so reading their
-			// takes here is safe; shard order keeps the callback sequence
-			// deterministic.
-			for _, sh := range rt.shards {
-				for _, id := range sh.takes {
-					s := &sh.slots[id]
-					cb(s.seq, s.flow, rt.round)
-				}
-			}
-		}
-		rt.count -= total
-		rt.runPhase(phaseApply)
-		if err := rt.setRound(rt.round + 1); err != nil {
-			return nil, err
+		if done {
+			break
 		}
 	}
 	if rt.cfg.VerifyEvery > 0 {
 		if err := rt.flushWindow(); err != nil {
+			return nil, err
+		}
+		if err := rt.joinVerify(); err != nil {
 			return nil, err
 		}
 	}
@@ -530,36 +652,41 @@ func (rt *Runtime) Run() (*Summary, error) {
 
 // Snapshot returns the current streaming metrics, merging the per-shard
 // completion counters and window sketches. It is safe to call concurrently
-// with Run.
+// with Run and never blocks the round loop: scalar counters are atomics
+// and the window sketches are epoch (seqlock) windows the reader retries,
+// so the coordinator and shard workers proceed at full speed while any
+// number of snapshots are taken.
 func (rt *Runtime) Snapshot() Summary {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	rt.snapMu.Lock()
+	defer rt.snapMu.Unlock()
+	round := int(rt.mRound.Load())
 	rt.scratch.Reset()
 	var completed, totalResp int64
 	maxResp := 0
 	for _, sh := range rt.shards {
-		sh.mu.Lock()
-		sh.win.Advance(rt.m.round)
-		sh.win.MergeInto(&rt.scratch)
-		completed += sh.sm.completed
-		totalResp += sh.sm.totalResp
-		if sh.sm.maxResp > maxResp {
-			maxResp = sh.sm.maxResp
+		completed += sh.completed.Load()
+		totalResp += sh.totalResp.Load()
+		if m := int(sh.maxResp.Load()); m > maxResp {
+			maxResp = m
 		}
-		sh.mu.Unlock()
+		sh.win.ReadInto(&rt.shardScratch, round)
+		rt.scratch.Merge(&rt.shardScratch)
 	}
+	// Admitted loads after completed: it only grows, so the invariant
+	// Completed <= Admitted holds in every snapshot.
+	admitted := rt.mAdmitted.Load()
 	s := Summary{
-		Round:           rt.m.round,
-		Rounds:          rt.m.rounds,
+		Round:           round,
+		Rounds:          rt.mRounds.Load(),
 		Shards:          rt.nshards,
-		Admitted:        rt.m.admitted,
+		Admitted:        admitted,
 		Completed:       completed,
-		Pending:         int(rt.m.admitted - completed),
-		PeakPending:     rt.m.peakPending,
-		Backpressured:   rt.m.backpressured,
+		Pending:         int(admitted - completed),
+		PeakPending:     int(rt.mPeak.Load()),
+		Backpressured:   rt.mBackpressured.Load(),
 		TotalResponse:   totalResp,
 		MaxResponse:     maxResp,
-		WindowsVerified: rt.m.windows,
+		WindowsVerified: rt.mWindows.Load(),
 		P50:             rt.scratch.Quantile(0.50),
 		P90:             rt.scratch.Quantile(0.90),
 		P99:             rt.scratch.Quantile(0.99),

@@ -3,7 +3,7 @@ package stream
 import (
 	"fmt"
 	"math/bits"
-	"sync"
+	"sync/atomic"
 
 	"flowsched/internal/stats"
 	"flowsched/internal/switchnet"
@@ -11,33 +11,23 @@ import (
 
 // Coordinator-to-shard phase requests (see Runtime.runPhase).
 const (
-	// phasePick admits routed arrivals and proposes picks against the
-	// shard's carved output budgets.
-	phasePick = iota + 1
-	// phaseApply retires the round's takes: departures, metrics, and
-	// verification buffering.
+	// phaseRound is the fused per-round phase: retire the previous round's
+	// settled picks, admit routed arrivals, and propose picks against the
+	// shard's carved output budgets — one parallel section, one barrier.
+	phaseRound = iota + 1
+	// phaseApply retires owed picks without starting a new round; the
+	// coordinator uses it to settle state before a verification-window
+	// flush, an idle jump, or the end of the run.
 	phaseApply
 )
 
-// View.OutputFree semantics, per pick pass (see shard.phase).
+// View.OutputFree semantics, per pick pass (see shard.do).
 const (
 	// pickBudget: OutputFree is the shard's remaining carved budget.
 	pickBudget = iota + 1
 	// pickShared: OutputFree is the reconciled global leftover pool.
 	pickShared
 )
-
-// slot is one pending flow in a shard's arena.
-type slot struct {
-	flow switchnet.Flow
-	seq  int64
-	// prev/next link the shard's admission-order list; vprev/vnext the
-	// flow's virtual output queue. noID terminates.
-	prev, next   int32
-	vprev, vnext int32
-	live         bool
-	taken        bool
-}
 
 // arrival is one admitted flow routed to a shard by the coordinator, with
 // its global admission sequence number.
@@ -46,36 +36,27 @@ type arrival struct {
 	seq  int64
 }
 
-// shardMetrics is the shard's slice of the Snapshot-visible completion
-// metrics, guarded by shard.mu.
-type shardMetrics struct {
-	completed int64
-	totalResp int64
-	maxResp   int
-}
-
 // shard owns the pending state of the input ports congruent to idx modulo
-// Runtime.nshards: their arena slots, admission-order sublist, virtual
-// output queues, load tallies, policy instance, metric sketches, and
-// verification buffer. During the propose and apply phases shards touch
-// only their own state (plus read-only Runtime config), so the phases run
-// concurrently without locks; the reconcile pass runs sequentially in
-// shard order on the coordinator goroutine.
+// Runtime.nshards: their arena, admission-order sublist, VOQ block
+// chains, load tallies, policy instance, metric counters and window
+// sketch, and verification buffer. During the fused round phase shards
+// touch only their own state (plus read-only Runtime config), so the
+// phase runs concurrently without locks; the reconcile pass runs
+// sequentially in shard order on the coordinator goroutine.
 type shard struct {
 	rt  *Runtime
 	idx int
 	pol Policy
 
-	// Pending arena with free list; head/tail delimit the shard's
-	// admission-order sublist.
-	slots []slot
-	freed []int32
+	// Pending arena; head/tail delimit the shard's admission-order
+	// sublist.
+	ar    arena
 	head  int32
 	tail  int32
 	count int
 
-	// inbox holds arrivals routed by the coordinator since the last
-	// propose phase, in source order.
+	// inbox holds arrivals routed by the coordinator since the last round
+	// phase, in source order.
 	inbox []arrival
 
 	// Per-port tallies. queueIn/queueOut count the shard's pending flows;
@@ -86,14 +67,22 @@ type shard struct {
 	touchIn, touchOut []int32
 
 	// Cached partition geometry: shard count, output-port count, and
-	// bitmap words per input (hot in the VOQ index math), plus the port
-	// capacities (read-only views of the switch's slices).
+	// bitmap words per input, plus the port capacities (read-only views
+	// of the switch's slices). liTab/voqBase/bitBase are per-global-input
+	// lookup tables (local index, VOQ base, bitmap word base) that keep
+	// integer division by the shard count out of the hot paths.
 	nsh, mOut, nw   int
 	inCaps, outCaps []int
+	liTab           []int32
+	voqBase         []int32
+	bitBase         []int32
 
 	// Virtual output queues over owned inputs, indexed by
-	// (in/nsh)*mOut + out (see shard.voq).
-	voqHead, voqTail []int32
+	// (in/nsh)*mOut + out (see shard.voq): one packed cursor record per
+	// VOQ over the pooled ring blocks (see arena.go).
+	pool blockPool
+	vqs  []voqState
+
 	// activeOut[in/nsh] lists the output ports with a non-empty VOQ at
 	// owned input in; activeOutPos is each VOQ's index there (noID if
 	// inactive). actBits mirrors the same membership as a per-input
@@ -107,11 +96,15 @@ type shard struct {
 	activeIn    []int32
 	activeInPos []int32
 
-	takes []int32
-	resps []int
-	view  View
-	phase int
-	err   error
+	// takes holds the round's settled picks until the next phaseRound (or
+	// an explicit phaseApply) retires them; takesRound is the round they
+	// were picked in.
+	takes      []int32
+	takesRound int
+	cscratch   []int32
+	view       View
+	phase      int
+	err        error
 
 	// Verification buffer: flows the shard scheduled since the last
 	// window flush, with their rounds.
@@ -122,9 +115,13 @@ type shard struct {
 	// runs a worker pool (nshards > 1).
 	work chan int
 
-	mu  sync.Mutex
-	sm  shardMetrics
-	win *stats.WindowQuantiles
+	// Snapshot-visible completion metrics: scalar counters are atomics
+	// updated once per applied round; the window sketch is an epoch
+	// (seqlock) window readers merge without stalling the shard.
+	completed atomic.Int64
+	totalResp atomic.Int64
+	maxResp   atomic.Int64
+	win       *stats.EpochWindow
 }
 
 // newShard builds the shard owning inputs congruent to idx mod rt.nshards.
@@ -143,23 +140,35 @@ func newShard(rt *Runtime, idx int, pol Policy) *shard {
 		nw:           nw,
 		inCaps:       rt.sw.InCaps,
 		outCaps:      rt.sw.OutCaps,
+		liTab:        make([]int32, mIn),
+		voqBase:      make([]int32, mIn),
+		bitBase:      make([]int32, mIn),
 		queueIn:      make([]int, mIn),
 		queueOut:     make([]int, mOut),
 		loadIn:       make([]int, mIn),
 		loadOut:      make([]int, mOut),
-		voqHead:      make([]int32, nLocal*mOut),
-		voqTail:      make([]int32, nLocal*mOut),
+		vqs:          make([]voqState, nLocal*mOut),
 		activeOut:    make([][]int32, nLocal),
 		activeOutPos: make([]int32, nLocal*mOut),
 		actBits:      make([]uint64, nLocal*nw),
 		activeIn:     make([]int32, 0, nLocal),
 		activeInPos:  make([]int32, mIn),
-		win:          stats.NewWindowQuantiles(rt.cfg.WindowRounds, rt.cfg.WindowShards),
+		win:          stats.NewEpochWindow(rt.cfg.WindowRounds, rt.cfg.WindowShards),
 	}
-	for i := range sh.voqHead {
-		sh.voqHead[i] = noID
-		sh.voqTail[i] = noID
+	for i := range sh.vqs {
+		sh.vqs[i] = voqState{head: noID, tail: noID}
 		sh.activeOutPos[i] = noID
+	}
+	for i := 0; i < mIn; i++ {
+		li := i / rt.nshards
+		sh.liTab[i] = int32(li)
+		sh.voqBase[i] = int32(li * mOut)
+		sh.bitBase[i] = int32(li * nw)
+	}
+	// Preallocate the per-input active lists so first-time VOQ activation
+	// never allocates mid-run.
+	for i := range sh.activeOut {
+		sh.activeOut[i] = make([]int32, 0, mOut)
 	}
 	for i := range sh.activeInPos {
 		sh.activeInPos[i] = noID
@@ -170,14 +179,15 @@ func newShard(rt *Runtime, idx int, pol Policy) *shard {
 
 // voq returns the shard-local VOQ index of (in, out); in must be owned.
 func (sh *shard) voq(in, out int) int {
-	return in/sh.nsh*sh.mOut + out
+	return int(sh.voqBase[in]) + out
 }
 
 // nextActive returns the output port of the next non-empty VOQ at owned
 // input in, at or after port from in circular port order; -1 if the input
 // has none. Cost is O(mOut/64) word probes.
 func (sh *shard) nextActive(in, from int) int {
-	words := sh.actBits[in/sh.nsh*sh.nw : in/sh.nsh*sh.nw+sh.nw]
+	base := int(sh.bitBase[in])
+	words := sh.actBits[base : base+sh.nw]
 	w := from >> 6
 	if masked := words[w] &^ (1<<uint(from&63) - 1); masked != 0 {
 		return w<<6 + bits.TrailingZeros64(masked)
@@ -237,8 +247,10 @@ func (sh *shard) serve() {
 // do executes one phase on the shard's own state.
 func (sh *shard) do(ph int) {
 	switch ph {
-	case phasePick:
+	case phaseRound:
+		sh.apply()
 		sh.admitAll()
+		sh.takesRound = sh.rt.round
 		if sh.count > 0 {
 			sh.phase = pickBudget
 			sh.pol.Pick(&sh.view)
@@ -257,17 +269,6 @@ func (sh *shard) pickShared() {
 	}
 }
 
-// alloc takes a slot from the free list or grows the arena.
-func (sh *shard) alloc() int32 {
-	if n := len(sh.freed); n > 0 {
-		id := sh.freed[n-1]
-		sh.freed = sh.freed[:n-1]
-		return id
-	}
-	sh.slots = append(sh.slots, slot{})
-	return int32(len(sh.slots) - 1)
-}
-
 // admitAll threads the inbox into the shard's pending structures.
 func (sh *shard) admitAll() {
 	for _, ar := range sh.inbox {
@@ -277,30 +278,31 @@ func (sh *shard) admitAll() {
 }
 
 // admit threads one arrival into the pending structures.
-func (sh *shard) admit(ar arrival) {
-	f := ar.flow
-	id := sh.alloc()
-	s := &sh.slots[id]
-	*s = slot{flow: f, seq: ar.seq, prev: sh.tail, next: noID, vprev: noID, vnext: noID, live: true}
+func (sh *shard) admit(av arrival) {
+	f := av.flow
+	a := &sh.ar
+	id := a.alloc()
+	vi := sh.voq(f.In, f.Out)
+	a.rec[id] = flowRec{
+		in: int16(f.In), out: int16(f.Out), dem: int32(f.Demand),
+		vi: int32(vi), state: stLive, blk: noID,
+		prev: sh.tail, next: noID,
+	}
+	a.when[id] = flowWhen{rel: int64(f.Release), seq: av.seq}
 	if sh.tail != noID {
-		sh.slots[sh.tail].next = id
+		a.rec[sh.tail].next = id
 	} else {
 		sh.head = id
 	}
 	sh.tail = id
 
-	vi := sh.voq(f.In, f.Out)
-	if sh.voqTail[vi] != noID {
-		sh.slots[sh.voqTail[vi]].vnext = id
-		s.vprev = sh.voqTail[vi]
-	} else {
-		sh.voqHead[vi] = id
-		li := f.In / sh.nsh
+	if sh.vqs[vi].live == 0 {
+		li := sh.liTab[f.In]
 		sh.activeOutPos[vi] = int32(len(sh.activeOut[li]))
 		sh.activeOut[li] = append(sh.activeOut[li], int32(f.Out))
-		sh.actBits[li*sh.nw+f.Out>>6] |= 1 << uint(f.Out&63)
+		sh.actBits[int(sh.bitBase[f.In])+f.Out>>6] |= 1 << uint(f.Out&63)
 	}
-	sh.voqTail[vi] = id
+	sh.voqPush(vi, id)
 
 	if sh.queueIn[f.In] == 0 {
 		sh.activeInPos[f.In] = int32(len(sh.activeIn))
@@ -313,90 +315,83 @@ func (sh *shard) admit(ar arrival) {
 
 // depart unthreads a scheduled flow from every pending structure.
 func (sh *shard) depart(id int32) {
-	s := &sh.slots[id]
-	f := s.flow
+	a := &sh.ar
+	r := &a.rec[id]
+	in, out := int(r.in), int(r.out)
 
-	if s.prev != noID {
-		sh.slots[s.prev].next = s.next
+	if r.prev != noID {
+		a.rec[r.prev].next = r.next
 	} else {
-		sh.head = s.next
+		sh.head = r.next
 	}
-	if s.next != noID {
-		sh.slots[s.next].prev = s.prev
+	if r.next != noID {
+		a.rec[r.next].prev = r.prev
 	} else {
-		sh.tail = s.prev
+		sh.tail = r.prev
 	}
 
-	vi := sh.voq(f.In, f.Out)
-	if s.vprev != noID {
-		sh.slots[s.vprev].vnext = s.vnext
-	} else {
-		sh.voqHead[vi] = s.vnext
-	}
-	if s.vnext != noID {
-		sh.slots[s.vnext].vprev = s.vprev
-	} else {
-		sh.voqTail[vi] = s.vprev
-	}
-	if sh.voqHead[vi] == noID {
-		// Swap-delete the VOQ from the input's active list.
-		li := f.In / sh.nsh
+	vi := int(r.vi)
+	if sh.voqRemove(vi, id) {
+		// Swap-delete the drained VOQ from the input's active list.
+		li := sh.liTab[in]
 		pos := sh.activeOutPos[vi]
 		list := sh.activeOut[li]
 		last := len(list) - 1
 		moved := list[last]
 		list[pos] = moved
 		sh.activeOut[li] = list[:last]
-		sh.activeOutPos[sh.voq(f.In, int(moved))] = pos
+		sh.activeOutPos[sh.voq(in, int(moved))] = pos
 		sh.activeOutPos[vi] = noID
-		sh.actBits[li*sh.nw+f.Out>>6] &^= 1 << uint(f.Out&63)
+		sh.actBits[int(sh.bitBase[in])+out>>6] &^= 1 << uint(out&63)
 	}
 
-	sh.queueIn[f.In]--
-	sh.queueOut[f.Out]--
-	if sh.queueIn[f.In] == 0 {
-		pos := sh.activeInPos[f.In]
+	sh.queueIn[in]--
+	sh.queueOut[out]--
+	if sh.queueIn[in] == 0 {
+		pos := sh.activeInPos[in]
 		last := len(sh.activeIn) - 1
 		moved := sh.activeIn[last]
 		sh.activeIn[pos] = moved
 		sh.activeIn = sh.activeIn[:last]
 		sh.activeInPos[moved] = pos
-		sh.activeInPos[f.In] = noID
+		sh.activeInPos[in] = noID
 	}
 	sh.count--
-
-	s.live = false
-	s.taken = false
-	sh.freed = append(sh.freed, id)
+	a.free(id)
 }
 
-// apply retires this round's taken flows: verification buffering, metric
-// updates, structure unlinking, and load reset. OnSchedule callbacks run
-// on the coordinator before this phase.
+// apply retires the owed round's taken flows: verification buffering,
+// metric updates, structure unlinking, and load reset. Under the fused
+// protocol it runs at the start of the next round phase (or an explicit
+// phaseApply), after the coordinator's OnSchedule callbacks for the owed
+// round have fired.
 func (sh *shard) apply() {
-	t := sh.rt.round
-	sh.resps = sh.resps[:0]
+	if len(sh.takes) == 0 {
+		return
+	}
+	a := &sh.ar
+	t := sh.takesRound
+	verifying := sh.rt.cfg.VerifyEvery > 0
+	var n, sum int64
+	maxR := int(sh.maxResp.Load())
+	sh.win.Begin()
 	for _, id := range sh.takes {
-		s := &sh.slots[id]
-		sh.resps = append(sh.resps, t+1-s.flow.Release)
-		if sh.rt.cfg.VerifyEvery > 0 {
-			sh.vflows = append(sh.vflows, s.flow)
+		resp := t + 1 - int(a.when[id].rel)
+		n++
+		sum += int64(resp)
+		if resp > maxR {
+			maxR = resp
+		}
+		sh.win.Observe(t, resp)
+		if verifying {
+			sh.vflows = append(sh.vflows, a.flow(id))
 			sh.vrounds = append(sh.vrounds, t)
 		}
 	}
-
-	if len(sh.resps) > 0 {
-		sh.mu.Lock()
-		for _, resp := range sh.resps {
-			sh.sm.completed++
-			sh.sm.totalResp += int64(resp)
-			if resp > sh.sm.maxResp {
-				sh.sm.maxResp = resp
-			}
-			sh.win.Observe(t, resp)
-		}
-		sh.mu.Unlock()
-	}
+	sh.win.End()
+	sh.completed.Add(n)
+	sh.totalResp.Add(sum)
+	sh.maxResp.Store(int64(maxR))
 
 	for _, id := range sh.takes {
 		sh.depart(id)

@@ -15,11 +15,15 @@ import (
 	"flowsched/internal/workload"
 )
 
-// The workload sources must satisfy the runtime's Source contract.
+// The workload sources must satisfy the runtime's Source contract, and
+// its batch-draining extension so admission amortizes interface calls.
 var (
-	_ stream.Source = (*workload.ArrivalSource)(nil)
-	_ stream.Source = (*workload.TraceSource)(nil)
-	_ stream.Source = (*workload.InstanceSource)(nil)
+	_ stream.Source      = (*workload.ArrivalSource)(nil)
+	_ stream.Source      = (*workload.TraceSource)(nil)
+	_ stream.Source      = (*workload.InstanceSource)(nil)
+	_ stream.BatchSource = (*workload.ArrivalSource)(nil)
+	_ stream.BatchSource = (*workload.TraceSource)(nil)
+	_ stream.BatchSource = (*workload.InstanceSource)(nil)
 )
 
 // sliceSource yields a fixed flow sequence, for adversarial inputs.
@@ -534,6 +538,52 @@ func TestBridgeOwnsQueueScratch(t *testing.T) {
 		if int(sum.TotalResponse) != simRes.TotalResponse {
 			t.Fatalf("seed %d: streamed total response %d != sim %d", seed, sum.TotalResponse, simRes.TotalResponse)
 		}
+	}
+}
+
+// youngestFirst takes pending flows newest-first — the adversarial access
+// pattern for the runtime's VOQ storage, since every take removes from the
+// tail of its queue while older flows stay pending (out-of-FIFO-order
+// departures are the tombstone path of the pooled ring-buffer blocks).
+type youngestFirst struct{ ids []stream.ID }
+
+func (*youngestFirst) Name() string { return "youngestFirst" }
+func (p *youngestFirst) Pick(v *stream.View) {
+	p.ids = p.ids[:0]
+	v.Each(func(id stream.ID, _ int64, _ switchnet.Flow) bool {
+		p.ids = append(p.ids, id)
+		return true
+	})
+	for i := len(p.ids) - 1; i >= 0; i-- {
+		v.Take(p.ids[i])
+	}
+}
+
+// TestStreamYoungestFirstDrain drains a long same-VOQ backlog newest-first
+// with verification on: the runtime must keep FIFO iteration coherent
+// (VOQHead stays the oldest pending flow) while tombstones accumulate and
+// compact, and the resulting schedule must still pass the oracle.
+func TestStreamYoungestFirstDrain(t *testing.T) {
+	const flows = 160
+	var fs []switchnet.Flow
+	for i := 0; i < flows; i++ {
+		fs = append(fs, switchnet.Flow{In: 0, Out: 0, Demand: 1, Release: 0})
+	}
+	inst := &switchnet.Instance{Switch: switchnet.UnitSwitch(2), Flows: fs}
+	sched, sum := runStreamed(t, inst, &youngestFirst{}, stream.Config{VerifyEvery: 7})
+	if sum.Completed != flows {
+		t.Fatalf("completed %d of %d", sum.Completed, flows)
+	}
+	if !sched.Complete() {
+		t.Fatal("incomplete schedule")
+	}
+	if _, err := verify.CheckSchedule(inst, sched, inst.Switch.Caps()); err != nil {
+		t.Fatal(err)
+	}
+	// Newest-first on one unit-capacity VOQ is exactly LIFO: the oldest
+	// flow waits for everyone, the last arrival goes first.
+	if sum.MaxResponse != flows {
+		t.Fatalf("max response %d, want %d (oldest flow drains last)", sum.MaxResponse, flows)
 	}
 }
 

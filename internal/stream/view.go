@@ -26,16 +26,21 @@ func (v *View) NumPending() int { return v.sh.count }
 // admission sequence number; id its (reusable, shard-local) pending
 // identifier.
 func (v *View) Each(fn func(id ID, seq int64, f switchnet.Flow) bool) {
-	for id := v.sh.head; id != noID; id = v.sh.slots[id].next {
-		s := &v.sh.slots[id]
-		if !fn(ID(id), s.seq, s.flow) {
+	a := &v.sh.ar
+	for id := v.sh.head; id != noID; id = a.rec[id].next {
+		if !fn(ID(id), a.when[id].seq, a.flow(id)) {
 			return
 		}
 	}
 }
 
 // Flow returns the flow data of a pending id.
-func (v *View) Flow(id ID) switchnet.Flow { return v.sh.slots[id].flow }
+func (v *View) Flow(id ID) switchnet.Flow { return v.sh.ar.flow(int32(id)) }
+
+// Demand returns just the demand of a pending id — the one field a
+// feasibility check needs, read from the hot record without gathering the
+// full flow across the arena's columns.
+func (v *View) Demand(id ID) int { return int(v.sh.ar.rec[id].dem) }
 
 // QueueIn returns the number of the shard's pending flows at input port i
 // (the queue depth the MaxWeight heuristic weighs by); QueueOut likewise
@@ -71,8 +76,8 @@ func (v *View) ActiveInput(k int) int { return int(v.sh.activeIn[k]) }
 // NumActiveVOQs returns how many output ports have a non-empty virtual
 // output queue at input in; ActiveVOQ returns the k-th such output port.
 // in must be one of the shard's inputs (any input when Shards == 1).
-func (v *View) NumActiveVOQs(in int) int { return len(v.sh.activeOut[in/v.sh.nsh]) }
-func (v *View) ActiveVOQ(in, k int) int  { return int(v.sh.activeOut[in/v.sh.nsh][k]) }
+func (v *View) NumActiveVOQs(in int) int { return len(v.sh.activeOut[v.sh.liTab[in]]) }
+func (v *View) ActiveVOQ(in, k int) int  { return int(v.sh.activeOut[v.sh.liTab[in]][k]) }
 
 // NextActiveVOQ returns the output port of the next non-empty VOQ at input
 // in, at or after port from (0 <= from < NumOut) in circular port order,
@@ -84,12 +89,44 @@ func (v *View) NextActiveVOQ(in, from int) int { return v.sh.nextActive(in, from
 // queue, or NoID if it is empty; VOQNext walks the queue toward younger
 // flows. in must be one of the shard's inputs.
 func (v *View) VOQHead(in, out int) ID {
-	return ID(v.sh.voqHead[v.sh.voq(in, out)])
+	return ID(v.sh.voqFirst(v.sh.voq(in, out)))
 }
-func (v *View) VOQNext(id ID) ID { return ID(v.sh.slots[id].vnext) }
+func (v *View) VOQNext(id ID) ID {
+	return ID(v.sh.voqNext(int(v.sh.ar.rec[id].vi), int32(id)))
+}
+
+// EachVOQ calls fn for every pending flow on the (in, out) virtual output
+// queue, oldest first, until fn returns false. It is the fast path for
+// policies that sweep whole queues: iteration runs on a block cursor —
+// one VOQ-state load, then sequential reads through the pooled ring
+// blocks — instead of re-deriving the queue position of every id the way
+// chained VOQNext calls must. in must be one of the shard's inputs.
+func (v *View) EachVOQ(in, out int, fn func(id ID) bool) {
+	sh := v.sh
+	q := &sh.vqs[sh.voq(in, out)]
+	if q.live == 0 {
+		return
+	}
+	b, o := q.head, q.headOff
+	for {
+		if b == q.tail && o >= q.tailOff {
+			return
+		}
+		if o == blockLen {
+			b, o = sh.pool.blocks[b].next, 0
+			continue
+		}
+		if id := sh.pool.blocks[b].ids[o]; id != noID {
+			if !fn(ID(id)) {
+				return
+			}
+		}
+		o++
+	}
+}
 
 // Taken reports whether id was already selected this round.
-func (v *View) Taken(id ID) bool { return v.sh.slots[id].taken }
+func (v *View) Taken(id ID) bool { return v.sh.ar.taken(int32(id)) }
 
 // Take schedules pending flow id in the current round if its input port
 // and the visible output capacity (see OutputFree) both have room, and
@@ -97,31 +134,32 @@ func (v *View) Taken(id ID) bool { return v.sh.slots[id].taken }
 // taking a dead id fails the run.
 func (v *View) Take(id ID) bool {
 	sh := v.sh
-	if id < 0 || id >= len(sh.slots) || !sh.slots[id].live {
+	a := &sh.ar
+	if id < 0 || id >= a.len() || !a.live(int32(id)) {
 		sh.fail("stream: policy %q took invalid pending id %d", sh.pol.Name(), id)
 		return false
 	}
-	s := &sh.slots[id]
-	if s.taken {
+	if a.taken(int32(id)) {
 		return false
 	}
-	f := s.flow
-	if sh.loadIn[f.In]+f.Demand > sh.inCaps[f.In] || v.OutputFree(f.Out) < f.Demand {
+	rc := &a.rec[id]
+	in, out, d := int(rc.in), int(rc.out), int(rc.dem)
+	if sh.loadIn[in]+d > sh.inCaps[in] || v.OutputFree(out) < d {
 		return false
 	}
-	if sh.loadIn[f.In] == 0 {
-		sh.touchIn = append(sh.touchIn, int32(f.In))
+	if sh.loadIn[in] == 0 {
+		sh.touchIn = append(sh.touchIn, int32(in))
 	}
-	sh.loadIn[f.In] += f.Demand
+	sh.loadIn[in] += d
 	if sh.nsh > 1 && sh.phase == pickShared {
-		sh.rt.leftover[f.Out] -= f.Demand
+		sh.rt.leftover[out] -= d
 	} else {
-		if sh.loadOut[f.Out] == 0 {
-			sh.touchOut = append(sh.touchOut, int32(f.Out))
+		if sh.loadOut[out] == 0 {
+			sh.touchOut = append(sh.touchOut, int32(out))
 		}
-		sh.loadOut[f.Out] += f.Demand
+		sh.loadOut[out] += d
 	}
-	s.taken = true
+	rc.state |= stTaken
 	sh.takes = append(sh.takes, int32(id))
 	return true
 }

@@ -26,6 +26,26 @@ type FlowSource interface {
 	Err() error
 }
 
+// BatchFlowSource is a FlowSource that can also drain flows in batches:
+// PullBatch appends to dst up to max flows whose Release is <= round and
+// returns the extended slice, never consuming a flow released later. A
+// short batch (fewer than max) means no further flow with Release <= round
+// is currently available — the stream is exhausted, failed (see Err), or
+// its next flow releases later. The streaming runtime uses it to amortize
+// one interface call over a whole round of arrivals instead of paying one
+// per flow; all sources in this package implement it.
+type BatchFlowSource interface {
+	FlowSource
+	PullBatch(dst []switchnet.Flow, round, max int) []switchnet.Flow
+}
+
+// The package's sources must all support batch draining.
+var (
+	_ BatchFlowSource = (*ArrivalSource)(nil)
+	_ BatchFlowSource = (*TraceSource)(nil)
+	_ BatchFlowSource = (*InstanceSource)(nil)
+)
+
 // ArrivalConfig describes a generator-driven arrival process: Poisson(M)
 // flows per round on a Ports x Ports switch with uniformly random
 // endpoints, and demands drawn either unit, uniform, or bounded-Pareto.
@@ -116,6 +136,26 @@ func (s *ArrivalSource) Next() (switchnet.Flow, bool) {
 // Err implements FlowSource.
 func (s *ArrivalSource) Err() error { return s.err }
 
+// PullBatch implements BatchFlowSource. Generated rounds beyond round stay
+// buffered for later Next/PullBatch calls.
+func (s *ArrivalSource) PullBatch(dst []switchnet.Flow, round, max int) []switchnet.Flow {
+	for n := 0; n < max; n++ {
+		if s.done || (s.cfg.MaxFlows > 0 && s.emitted >= s.cfg.MaxFlows) {
+			break
+		}
+		for s.pos >= len(s.buf) && s.round <= round {
+			s.fillRound()
+		}
+		if s.pos >= len(s.buf) || s.buf[s.pos].Release > round {
+			break
+		}
+		dst = append(dst, s.buf[s.pos])
+		s.pos++
+		s.emitted++
+	}
+	return dst
+}
+
 // fillRound draws the next round's arrivals (possibly none).
 func (s *ArrivalSource) fillRound() {
 	s.buf = s.buf[:0]
@@ -151,6 +191,11 @@ type TraceSource struct {
 	lastRel int
 	err     error
 	done    bool
+
+	// peek holds a record read past a PullBatch round horizon, yielded by
+	// the next Next or PullBatch call.
+	peek     switchnet.Flow
+	havePeek bool
 }
 
 // NewTraceSource returns a streaming reader of the CSV trace r whose flows
@@ -161,6 +206,38 @@ func NewTraceSource(r io.Reader, sw switchnet.Switch) *TraceSource {
 
 // Next implements FlowSource.
 func (s *TraceSource) Next() (switchnet.Flow, bool) {
+	if s.havePeek {
+		s.havePeek = false
+		return s.peek, true
+	}
+	return s.read()
+}
+
+// PullBatch implements BatchFlowSource.
+func (s *TraceSource) PullBatch(dst []switchnet.Flow, round, max int) []switchnet.Flow {
+	for n := 0; n < max; n++ {
+		var f switchnet.Flow
+		var ok bool
+		if s.havePeek {
+			f, ok = s.peek, true
+			s.havePeek = false
+		} else {
+			f, ok = s.read()
+		}
+		if !ok {
+			break
+		}
+		if f.Release > round {
+			s.peek, s.havePeek = f, true
+			break
+		}
+		dst = append(dst, f)
+	}
+	return dst
+}
+
+// read parses, validates, and returns the next trace record.
+func (s *TraceSource) read() (switchnet.Flow, bool) {
 	if s.done {
 		return switchnet.Flow{}, false
 	}
@@ -233,6 +310,19 @@ func (s *InstanceSource) Next() (switchnet.Flow, bool) {
 	f := s.inst.Flows[s.order[s.pos]]
 	s.pos++
 	return f, true
+}
+
+// PullBatch implements BatchFlowSource.
+func (s *InstanceSource) PullBatch(dst []switchnet.Flow, round, max int) []switchnet.Flow {
+	for n := 0; n < max && s.pos < len(s.order); n++ {
+		f := s.inst.Flows[s.order[s.pos]]
+		if f.Release > round {
+			break
+		}
+		dst = append(dst, f)
+		s.pos++
+	}
+	return dst
 }
 
 // Err implements FlowSource.
