@@ -549,6 +549,7 @@ func BenchmarkExtendedWorkloads(b *testing.B) {
 // steady-state-zero property itself is asserted exactly by the
 // TestSteadyStateZeroAlloc tests in internal/stream.
 type streamBenchResult struct {
+	Policy         string  `json:"policy,omitempty"`
 	Shards         int     `json:"shards,omitempty"`
 	Flows          int64   `json:"flows"`
 	Rounds         int64   `json:"rounds"`
@@ -563,8 +564,9 @@ type streamBenchResult struct {
 // rewritten after every sub-benchmark so partial runs still leave a valid
 // baseline. Failure to write is not a benchmark failure.
 var streamBaseline = struct {
-	Results []streamBenchResult `json:"results"`
-	Sharded []streamBenchResult `json:"sharded"`
+	Results  []streamBenchResult `json:"results"`
+	Sharded  []streamBenchResult `json:"sharded"`
+	Policies []streamBenchResult `json:"policies"`
 }{}
 
 // setStreamRow writes a row at a fixed index: the benchmark harness may
@@ -585,6 +587,7 @@ func writeStreamBaseline(b *testing.B) {
 		"gomaxprocs": runtime.GOMAXPROCS(0),
 		"results":    streamBaseline.Results,
 		"sharded":    streamBaseline.Sharded,
+		"policies":   streamBaseline.Policies,
 	}, "", "  "); err == nil {
 		if err := os.WriteFile("BENCH_stream.json", append(data, '\n'), 0o644); err != nil {
 			b.Logf("baseline not written: %v", err)
@@ -593,18 +596,24 @@ func writeStreamBaseline(b *testing.B) {
 }
 
 // drainStream runs one seeded 150-port Pareto arrival drain through the
-// streaming runtime and returns its throughput row.
-func drainStream(b *testing.B, totalFlows int64, shards, verifyEvery int) streamBenchResult {
+// streaming runtime under the named native policy and returns its
+// throughput row. maxPending sets the admission limit (and with it the
+// steady-state resident backlog the policy works against each round).
+func drainStream(b *testing.B, policy string, totalFlows int64, shards, verifyEvery, maxPending int) streamBenchResult {
 	b.Helper()
+	pol := stream.ByName(policy)
+	if pol == nil {
+		b.Fatalf("unknown native policy %q", policy)
+	}
 	src := workload.NewArrivalSource(workload.ArrivalConfig{
 		Ports: 150, M: 300, MaxFlows: totalFlows,
 		Alpha: 1.3, MinDemand: 1, MaxDemand: 1,
 	}, rand.New(rand.NewSource(17)))
 	rt, err := stream.New(src, stream.Config{
 		Switch:      switchnet.UnitSwitch(150),
-		Policy:      &stream.RoundRobin{},
+		Policy:      pol,
 		Shards:      shards,
-		MaxPending:  1 << 16,
+		MaxPending:  maxPending,
 		VerifyEvery: verifyEvery,
 	})
 	if err != nil {
@@ -623,13 +632,14 @@ func drainStream(b *testing.B, totalFlows int64, shards, verifyEvery int) stream
 	if sum.Completed != totalFlows {
 		b.Fatalf("drained %d of %d flows", sum.Completed, totalFlows)
 	}
-	if sum.PeakPending > 1<<16 {
+	if sum.PeakPending > maxPending {
 		b.Fatalf("peak pending %d exceeded the admission limit", sum.PeakPending)
 	}
 	if verifyEvery > 0 && sum.WindowsVerified == 0 {
 		b.Fatal("no verification windows ran")
 	}
 	return streamBenchResult{
+		Policy:         policy,
 		Shards:         sum.Shards,
 		Flows:          sum.Completed,
 		Rounds:         sum.Rounds,
@@ -654,7 +664,7 @@ func BenchmarkStreamRuntime(b *testing.B) {
 		b.Run(fmt.Sprintf("flows=%d", totalFlows), func(b *testing.B) {
 			var last streamBenchResult
 			for i := 0; i < b.N; i++ {
-				last = drainStream(b, totalFlows, 1, 0)
+				last = drainStream(b, "RoundRobin", totalFlows, 1, 0, 1<<16)
 			}
 			b.ReportMetric(last.NsPerRound, "ns/round")
 			b.ReportMetric(last.FlowsPerSec, "flows/s")
@@ -680,7 +690,7 @@ func BenchmarkStreamRuntimeSharded(b *testing.B) {
 		b.Run(fmt.Sprintf("shards=%d", K), func(b *testing.B) {
 			var last streamBenchResult
 			for i := 0; i < b.N; i++ {
-				last = drainStream(b, totalFlows, K, 256)
+				last = drainStream(b, "RoundRobin", totalFlows, K, 256, 1<<16)
 			}
 			if K == 1 {
 				base = last.FlowsPerSec
@@ -693,6 +703,47 @@ func BenchmarkStreamRuntimeSharded(b *testing.B) {
 			b.ReportMetric(last.FlowsPerSec, "flows/s")
 			b.ReportMetric(last.AllocsPerRound, "allocs/round")
 			setStreamRow(&streamBaseline.Sharded, ki, last)
+			writeStreamBaseline(b)
+		})
+	}
+}
+
+// BenchmarkStreamRuntimePolicies is the per-policy cost trajectory on the
+// paper-scale drain: every native incremental policy drains the same
+// seeded 150-port 1M-flow Pareto stream unsharded, so the rows in
+// BENCH_stream.json's policies section are directly comparable ns/round
+// costs of RoundRobin's rotation sweep, OldestFirst's calendar-ordered
+// head scan, and WeightedISLIP's request/grant/accept iterations. The
+// admission limit is 2048 — a moderate resident backlog (~14 flows per
+// port) that keeps every queue busy while measuring policy cost rather
+// than raw arena memory streaming (the deep-backlog regime is
+// BenchmarkStreamRuntime's job); note the age-aware policies touch every
+// active VOQ's head record each round, so their gap to RoundRobin —
+// which touches only what it serves — widens with the resident backlog.
+// The reported vs_roundrobin ratio is the price of the age-aware
+// guarantees; the acceptance bar for the age-aware policies is staying
+// within 2x of RoundRobin here. (StreamFIFO is excluded: it is the
+// documented O(pending) non-incremental baseline and would drown the
+// chart.)
+func BenchmarkStreamRuntimePolicies(b *testing.B) {
+	const totalFlows = 1 << 20
+	var base float64
+	for pi, policy := range []string{"RoundRobin", "OldestFirst", "WeightedISLIP"} {
+		b.Run(policy, func(b *testing.B) {
+			var last streamBenchResult
+			for i := 0; i < b.N; i++ {
+				last = drainStream(b, policy, totalFlows, 1, 0, 2048)
+			}
+			if policy == "RoundRobin" {
+				base = last.NsPerRound
+			}
+			if base > 0 {
+				b.ReportMetric(last.NsPerRound/base, "vs_roundrobin")
+			}
+			b.ReportMetric(last.NsPerRound, "ns/round")
+			b.ReportMetric(last.FlowsPerSec, "flows/s")
+			b.ReportMetric(last.AllocsPerRound, "allocs/round")
+			setStreamRow(&streamBaseline.Policies, pi, last)
 			writeStreamBaseline(b)
 		})
 	}

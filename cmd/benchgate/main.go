@@ -6,9 +6,13 @@
 //
 // Gates:
 //
-//   - ns/round: a row (matched by flows and shard count) may not regress
-//     by more than -maxregress (default 1.25, i.e. +25%) against the
-//     baseline row.
+//   - ns/round: a row — matched against the baseline by its full
+//     (policy, shards, flows) key within its section, never by position,
+//     so adding per-policy rows cannot silently mis-pair old and new
+//     measurements — may not regress by more than -maxregress (default
+//     1.25, i.e. +25%) against the baseline row. Rows with no baseline
+//     counterpart are reported and pass (they gate from the next
+//     committed baseline on).
 //   - speedup_vs_k1: the K=2 row of the sharded sweep must reach at least
 //     1.0 — with the fused single-barrier protocol, two shards must never
 //     be slower than one. Higher K rows get a softer 0.9 floor (their
@@ -30,6 +34,7 @@ import (
 )
 
 type row struct {
+	Policy         string  `json:"policy"`
 	Shards         int     `json:"shards"`
 	Flows          int64   `json:"flows"`
 	Rounds         int64   `json:"rounds"`
@@ -39,11 +44,19 @@ type row struct {
 	SpeedupVsK1    float64 `json:"speedup_vs_k1"`
 }
 
+// key is a row's identity within its section: the (policy, shards, flows)
+// triple. Unset fields stay at their zero values on both sides, so old
+// baselines whose rows carried no policy column still match.
+func (r row) key() string {
+	return fmt.Sprintf("%s|K=%d|flows=%d", r.Policy, r.Shards, r.Flows)
+}
+
 type baseline struct {
 	Benchmark  string `json:"benchmark"`
 	GoMaxProcs int    `json:"gomaxprocs"`
 	Results    []row  `json:"results"`
 	Sharded    []row  `json:"sharded"`
+	Policies   []row  `json:"policies"`
 }
 
 func load(path string) (*baseline, error) {
@@ -77,15 +90,15 @@ func main() {
 	}
 
 	failures := 0
-	check := func(kind string, oldRows, newRows []row, key func(r row) int64) {
-		idx := make(map[int64]row, len(oldRows))
+	check := func(kind string, oldRows, newRows []row) {
+		idx := make(map[string]row, len(oldRows))
 		for _, r := range oldRows {
-			idx[key(r)] = r
+			idx[r.key()] = r
 		}
 		for _, n := range newRows {
-			o, ok := idx[key(n)]
+			o, ok := idx[n.key()]
 			if !ok || o.NsPerRound <= 0 {
-				fmt.Printf("%-9s %-14d  %10.0f ns/round  (no baseline row)\n", kind, key(n), n.NsPerRound)
+				fmt.Printf("%-9s %-32s  %10.0f ns/round  (no baseline row)\n", kind, n.key(), n.NsPerRound)
 				continue
 			}
 			ratio := n.NsPerRound / o.NsPerRound
@@ -94,12 +107,13 @@ func main() {
 				verdict = "REGRESSED"
 				failures++
 			}
-			fmt.Printf("%-9s %-14d  %10.0f -> %10.0f ns/round  (x%.3f, %.2f allocs/round)  %s\n",
-				kind, key(n), o.NsPerRound, n.NsPerRound, ratio, n.AllocsPerRound, verdict)
+			fmt.Printf("%-9s %-32s  %10.0f -> %10.0f ns/round  (x%.3f, %.2f allocs/round)  %s\n",
+				kind, n.key(), o.NsPerRound, n.NsPerRound, ratio, n.AllocsPerRound, verdict)
 		}
 	}
-	check("flows", oldB.Results, newB.Results, func(r row) int64 { return r.Flows })
-	check("shards", oldB.Sharded, newB.Sharded, func(r row) int64 { return int64(r.Shards) })
+	check("flows", oldB.Results, newB.Results)
+	check("shards", oldB.Sharded, newB.Sharded)
+	check("policy", oldB.Policies, newB.Policies)
 
 	for _, n := range newB.Sharded {
 		if n.Shards <= 1 || n.SpeedupVsK1 == 0 {

@@ -16,10 +16,14 @@
 // sliding-window metrics and optional spot-check verification:
 //
 // With -shards K the runtime partitions the input ports across K worker
-// shards (multi-core single-switch scheduling; native policies only):
+// shards (multi-core single-switch scheduling; native policies only).
+// The native streaming policies — RoundRobin, OldestFirst (age-aware
+// oldest-head-first, the paper's MinRTime discipline at incremental
+// cost), WeightedISLIP (queue-age-weighted request/grant/accept), and
+// StreamFIFO — run sharded; simulator policy names bridge at shards=1:
 //
-//	flowsim -stream -flows 1000000 -ports 150 -M 300 -policy RoundRobin
-//	flowsim -stream -flows 1000000 -ports 150 -M 300 -policy RoundRobin -shards 4
+//	flowsim -stream -flows 1000000 -ports 150 -M 300 -policy OldestFirst
+//	flowsim -stream -flows 1000000 -ports 150 -M 300 -policy WeightedISLIP -shards 4
 //	flowsim -stream -flows 200000 -alpha 1.3 -dmax 8 -policy MaxWeight -verifyevery 64
 package main
 
@@ -47,7 +51,7 @@ func main() {
 		ports   = flag.Int("ports", 150, "switch size m")
 		mFlag   = flag.Float64("M", 150, "mean flow arrivals per round")
 		tFlag   = flag.Int("T", 20, "arrival rounds")
-		policy  = flag.String("policy", "all", "MaxCard, MinRTime, MaxWeight, FIFO, GreedyAge, or all; with -stream also RoundRobin, StreamFIFO (streams drain one policy, so -stream maps all to RoundRobin)")
+		policy  = flag.String("policy", "all", "MaxCard, MinRTime, MaxWeight, FIFO, GreedyAge, or all; with -stream preferably a native streaming policy — RoundRobin, OldestFirst, WeightedISLIP, StreamFIFO — while simulator names run bridged at shards=1 (streams drain one policy, so -stream maps all to RoundRobin)")
 		trials  = flag.Int("trials", 10, "number of random trials")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		inFile  = flag.String("in", "", "load instance JSON instead of generating")
@@ -202,8 +206,11 @@ type streamOpts struct {
 	memProfile  string
 }
 
-// streamPolicy resolves a native streaming policy or bridges a simulator
-// heuristic; "all" defaults to the native RoundRobin.
+// streamPolicy resolves -policy against the native streaming registry
+// first (stream.Names: RoundRobin, OldestFirst, WeightedISLIP,
+// StreamFIFO — shardable, incremental cost) and falls back to bridging a
+// simulator heuristic (full pending rescan per round, pinned to
+// shards=1); "all" defaults to the native RoundRobin.
 func streamPolicy(name string) stream.Policy {
 	if name == "all" {
 		name = "RoundRobin"
@@ -222,7 +229,8 @@ func streamPolicy(name string) stream.Policy {
 func runStream(o streamOpts) {
 	pol := streamPolicy(o.policy)
 	if pol == nil {
-		fmt.Fprintf(os.Stderr, "flowsim: unknown stream policy %q\n", o.policy)
+		fmt.Fprintf(os.Stderr, "flowsim: unknown stream policy %q (native: %v; simulator policies bridge at shards=1)\n",
+			o.policy, stream.Names())
 		os.Exit(2)
 	}
 	cap := o.dmax

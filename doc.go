@@ -48,10 +48,18 @@
 //     runtime exerts lossless backpressure on the source, and the queueing
 //     delay stays visible in the metrics because response times are always
 //     charged from the original release round — and drain under a
-//     StreamPolicy. The native RoundRobin policy serves per-(input,output)
-//     virtual output queues with iSLIP-style per-input pointers rotating
-//     in output-port order; StreamBridge runs any simulator heuristic on
-//     the stream unchanged, reproducing Simulate round for round on a
+//     StreamPolicy. Four native policies run at incremental cost and are
+//     selectable by name (StreamPolicyByName; flowsim -stream -policy):
+//     RoundRobin serves per-(input,output) virtual output queues with
+//     iSLIP-style per-input pointers rotating in output-port order;
+//     StreamOldestFirst serves VOQ heads globally oldest-first — the
+//     paper's MinRTime age-priority discipline on the fast path,
+//     property-tested round-for-round equivalent to bridging the
+//     corresponding simulator policy on unit-demand replays;
+//     StreamWeightedISLIP runs queue-age-weighted request/grant/accept
+//     matching with rotation-pointer tie-breaks; StreamFIFO is the
+//     admission-order baseline. StreamBridge runs any simulator heuristic
+//     on the stream unchanged, reproducing Simulate round for round on a
 //     replayed finite instance. StreamConfig.Shards partitions the input
 //     ports across worker shards for multi-core single-switch scheduling:
 //     shards own their inputs' queues outright and settle output capacity

@@ -301,6 +301,25 @@ func StreamRoundRobin() StreamPolicy { return &stream.RoundRobin{} }
 // StreamFIFO returns the oldest-first first-fit streaming baseline.
 func StreamFIFO() StreamPolicy { return stream.FIFO{} }
 
+// StreamOldestFirst returns the age-aware native policy: VOQ heads served
+// globally oldest-first via an incremental heap keyed by (release, seq) —
+// the paper's MinRTime service discipline (greedy age-ordered maximal
+// selection) at O(active VOQs log active VOQs) per round. Shardable.
+func StreamOldestFirst() StreamPolicy { return &stream.OldestFirst{} }
+
+// StreamWeightedISLIP returns the queue-age-weighted iSLIP native policy:
+// iterative request/grant/accept matching weighted by head-of-queue age,
+// with per-port rotation pointers breaking ties. Shardable.
+func StreamWeightedISLIP() StreamPolicy { return &stream.WeightedISLIP{} }
+
+// StreamPolicyByName resolves a native streaming policy by name (see
+// StreamPolicyNames); nil if unknown.
+func StreamPolicyByName(name string) StreamPolicy { return stream.ByName(name) }
+
+// StreamPolicyNames lists the native streaming policy names in
+// presentation order.
+func StreamPolicyNames() []string { return stream.Names() }
+
 // StreamBridge adapts any simulator Policy (MaxCard, MinRTime, MaxWeight,
 // ...) to the streaming runtime; the bounded pending set is materialized
 // as a SimState each round.

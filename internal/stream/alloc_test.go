@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"fmt"
 	"testing"
 
 	"flowsched/internal/switchnet"
@@ -45,15 +46,17 @@ func (s *patternSource) Err() error { return nil }
 // testSteadyStateZeroAlloc pins the tentpole property: once the pending
 // set and every internal buffer have warmed to their high-water marks, a
 // scheduling round performs zero heap allocations — arena slots and VOQ
-// blocks recycle through their free lists, the admission batch and takes
-// buffers length-reset, and the metric path (atomic counters plus the
-// preallocated epoch window) never touches the allocator.
-func testSteadyStateZeroAlloc(t *testing.T, shards int) {
+// blocks recycle through their free lists, the admission batch, takes,
+// and policy scratch buffers (RoundRobin's pointers, OldestFirst's heap,
+// WeightedISLIP's request/grant arrays) length-reset, and the metric path
+// (atomic counters plus the preallocated epoch window) never touches the
+// allocator.
+func testSteadyStateZeroAlloc(t *testing.T, shards int, pol Policy) {
 	t.Helper()
 	src := &patternSource{ports: 8, per: 12}
 	rt, err := New(src, Config{
 		Switch:     switchnet.UnitSwitch(8),
-		Policy:     &RoundRobin{},
+		Policy:     pol,
 		Shards:     shards,
 		MaxPending: 512,
 	})
@@ -82,9 +85,19 @@ func testSteadyStateZeroAlloc(t *testing.T, shards int) {
 		}
 	})
 	if allocs != 0 {
-		t.Fatalf("K=%d steady-state round performed %v allocs, want 0", shards, allocs)
+		t.Fatalf("%s K=%d steady-state round performed %v allocs, want 0", pol.Name(), shards, allocs)
 	}
 }
 
-func TestSteadyStateZeroAllocK1(t *testing.T) { testSteadyStateZeroAlloc(t, 1) }
-func TestSteadyStateZeroAllocK2(t *testing.T) { testSteadyStateZeroAlloc(t, 2) }
+// TestSteadyStateZeroAlloc covers every incremental native policy at
+// K in {1, 2}. StreamFIFO is excluded by design: it is the O(pending)
+// baseline, documented as non-incremental.
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	for _, name := range []string{"RoundRobin", "OldestFirst", "WeightedISLIP"} {
+		for _, shards := range []int{1, 2} {
+			t.Run(fmt.Sprintf("%s/K%d", name, shards), func(t *testing.T) {
+				testSteadyStateZeroAlloc(t, shards, ByName(name))
+			})
+		}
+	}
+}

@@ -11,35 +11,31 @@ import "flowsched/internal/switchnet"
 // scratch slice is length-reset, never reallocated.
 //
 // The arena's columns are grouped by access affinity, not one array per
-// scalar field: a feasibility check (Take, serveVOQ) reads exactly one
-// 16-byte descriptor, an admission-order unlink touches only the packed
-// link pairs, and the cold retirement fields (release, seq) stay out of
-// the pick-path cache footprint entirely. A pending flow costs 49 bytes
-// across the columns versus a 56-byte AoS slot, and the field a hot path
-// does not need is never pulled into cache.
+// scalar field: a feasibility or age check (Take, serveVOQ, the age-aware
+// policies' head ordering) reads exactly one 32-byte hot record, an
+// admission-order unlink touches only the packed link pairs, and the cold
+// sequence number stays out of the pick-path cache footprint. A pending
+// flow costs 40 bytes across the columns versus a 56-byte AoS slot, and
+// the field a hot path does not need is never pulled into cache.
 
-// flowRec is the hot per-flow record: ports, demand, the cached VOQ index
-// (so unlink/iterate paths never recompute the in/shards division), the
-// live/taken state bits, the flow's position inside its VOQ block chain,
-// and the admission-order links — everything the pick and depart paths
-// read or write, packed into exactly 32 bytes so two flows share a cache
-// line and a feasibility check (Taken+Demand+Take) costs a single line
-// per flow. Ports are int16 (the switch is capped at 1<<15 ports a side
-// at construction).
+// flowRec is the hot per-flow record: release round (the age-aware
+// policies order VOQ heads by it every round, so it rides in the hot
+// line), admission-order links, the flow's position inside its VOQ block
+// chain, demand, ports, and the live/taken state bits — everything the
+// pick and depart paths read or write, packed into exactly 32 bytes so
+// two flows share a cache line and a feasibility-plus-age check
+// (Taken+Demand+Release+Take) costs a single line per flow. Ports are
+// int16 (the switch is capped at 1<<15 ports a side at construction);
+// the VOQ index is no longer cached — it is two array reads away via
+// shard.voq(in, out), which is cheaper than the four bytes it occupied.
 type flowRec struct {
-	in, out    int16
-	dem        int32
-	vi         int32
-	state      uint32
-	blk, off   int32 // VOQ ring-block position (see blockPool)
+	rel        int64 // release round
 	prev, next int32 // admission-order links; noID terminates
-}
-
-// flowWhen holds the cold retirement-path fields: release round and
-// global admission sequence number. They stay out of the pick-path cache
-// footprint.
-type flowWhen struct {
-	rel, seq int64
+	blk        int32 // VOQ ring-block position (see blockPool)
+	dem        int32
+	in, out    int16
+	off        int16 // offset inside blk; < blockLen
+	state      uint16
 }
 
 // arena state bits.
@@ -49,13 +45,15 @@ const (
 )
 
 // arena holds one shard's pending flows as two parallel columns indexed
-// by flow ID — the 32-byte hot record and the 16-byte cold timing record.
-// There is no per-flow heap object: a flow is a row across the columns,
-// reconstructed into a switchnet.Flow only at the API boundary
-// (View.Flow, verification buffering, OnSchedule).
+// by flow ID — the 32-byte hot record and the 8-byte cold admission
+// sequence number (read at retirement, at Bridge materialization, and
+// when an age-aware policy breaks a release-round tie). There is no
+// per-flow heap object: a flow is a row across the columns, reconstructed
+// into a switchnet.Flow only at the API boundary (View.Flow, verification
+// buffering, OnSchedule).
 type arena struct {
-	rec  []flowRec
-	when []flowWhen
+	rec []flowRec
+	seq []int64
 	// freed is the ID free list (LIFO, so hot IDs recycle first).
 	freed []int32
 }
@@ -69,7 +67,7 @@ func (a *arena) alloc() int32 {
 		return id
 	}
 	a.rec = append(a.rec, flowRec{blk: noID, prev: noID, next: noID})
-	a.when = append(a.when, flowWhen{})
+	a.seq = append(a.seq, 0)
 	return int32(len(a.rec) - 1)
 }
 
@@ -93,7 +91,7 @@ func (a *arena) flow(id int32) switchnet.Flow {
 		In:      int(r.in),
 		Out:     int(r.out),
 		Demand:  int(r.dem),
-		Release: int(a.when[id].rel),
+		Release: int(r.rel),
 	}
 }
 
@@ -125,6 +123,23 @@ type voqState struct {
 	head, tail       int32
 	headOff, tailOff int16
 	live, dead       int32
+}
+
+// voqHead is the per-VOQ head-age record: the release round, admission
+// sequence number, and demand of the queue's oldest flow, mirrored out of
+// the arena whenever the head changes (first push into an empty queue,
+// head departure — appends behind a non-empty head cannot change it).
+// The age-aware policies order and filter VOQ heads every round; reading
+// this dense vi-indexed array costs one sequential cache line per 2-3
+// VOQs instead of chasing queue state -> ring block -> flow record for
+// every head. Entries are only meaningful while the VOQ is non-empty,
+// and during a pick pass they describe the queue as of the last
+// retirement — a head taken earlier in the same round still owns the
+// entry until it departs (policies see takes via View.Taken).
+type voqHead struct {
+	rel, seq int64
+	dem      int32
+	_        int32
 }
 
 // get returns a fresh (unlinked) block index.
@@ -161,9 +176,14 @@ func (sh *shard) voqPush(vi int, id int32) {
 	o := q.tailOff
 	sh.pool.blocks[q.tail].ids[o] = id
 	r := &sh.ar.rec[id]
-	r.blk, r.off = q.tail, int32(o)
+	r.blk, r.off = q.tail, o
 	q.tailOff = o + 1
-	q.live++
+	if q.live++; q.live == 1 {
+		// First flow of an empty queue is its head; refresh the head-age
+		// record. (Compaction re-pushes through here too: its first push
+		// is the surviving head, so the record stays exact.)
+		sh.heads[vi] = voqHead{rel: r.rel, seq: sh.ar.seq[id], dem: r.dem}
+	}
 }
 
 // voqRemove unthreads id from VOQ vi and reports whether the VOQ drained.
@@ -191,6 +211,12 @@ func (sh *shard) voqRemove(vi int, id int32) (drained bool) {
 	if q.dead > q.live+blockLen {
 		sh.voqCompact(vi)
 	}
+	// Refresh the head-age record: a head removal surfaced its successor
+	// (a mid-queue removal rewrites the same values — cheaper than
+	// distinguishing the cases).
+	h := sh.voqFirst(vi)
+	hr := &sh.ar.rec[h]
+	sh.heads[vi] = voqHead{rel: hr.rel, seq: sh.ar.seq[h], dem: hr.dem}
 	return false
 }
 
@@ -233,7 +259,7 @@ func (sh *shard) voqFirst(vi int) int32 {
 func (sh *shard) voqNext(vi int, id int32) int32 {
 	q := &sh.vqs[vi]
 	r := &sh.ar.rec[id]
-	b, o := r.blk, int16(r.off)+1
+	b, o := r.blk, r.off+1
 	for {
 		if b == q.tail && o >= q.tailOff {
 			return noID

@@ -9,12 +9,63 @@
 //
 // Incrementality is the point: the runtime maintains per-port pending
 // state — virtual output queues (one FIFO per (input, output) pair) with
-// active-port indexes, per-port queue depths, and per-round load tallies
-// reset via touched lists — updated in O(1) per arrival and departure. A
-// round therefore costs O(arrived + scheduled + policy), never a rescan of
-// every flow seen so far; with the native RoundRobin policy the policy
-// term is O(active ports + scheduled) bitmap-word probes per round,
-// independent of the pending count.
+// active-port indexes, per-VOQ head-age records, per-port queue depths,
+// and per-round load tallies reset via touched lists — updated in O(1)
+// per arrival and departure. A round therefore costs
+// O(arrived + scheduled + policy), never a rescan of every flow seen so
+// far; with the native RoundRobin policy the policy term is
+// O(active ports + scheduled) bitmap-word probes per round, independent
+// of the pending count.
+//
+// # Policy selection
+//
+// Four native policies run at incremental cost and shard (ByName/Names
+// resolve them; flowsim selects them with -policy):
+//
+//   - RoundRobin: per-input rotation over VOQs in output-port order
+//     (iSLIP-style desynchronization). O(active ports + scheduled)
+//     bitmap probes per round — the cheapest native policy, touching
+//     only what it serves. Fairness guarantee: port-order rotation, no
+//     VOQ overtaken within one rotation of the port space; no age
+//     awareness, so no response-time guarantee from the paper.
+//   - OldestFirst: serves VOQ heads globally oldest-first (release
+//     round, ties in port order) — the paper's MinRTime service
+//     discipline (SPAA 2020, Section 5.2: age-priority greedy maximal
+//     selection, the GreedyAge ablation's rule) on the fast path. On
+//     unit-demand workloads each round's selection is round-for-round
+//     identical to bridging that simulator policy (property tested),
+//     for O(input ports + active VOQs + release span) per round instead
+//     of an O(pending log pending) rescan. Best for maximum response
+//     time;
+//     no flow ever starves (a waiting head only gets older until
+//     nothing outranks it).
+//   - WeightedISLIP: iterative request/grant/accept matching weighted
+//     by head-of-queue age with per-port rotation pointers as
+//     tie-breakers — the queue-age-weighted crossbar matchings of
+//     Liang & Modiano's input-queued-switch analysis. O(Iters * active
+//     VOQs + scheduled) per round. Like OldestFirst it serves the
+//     oldest head where conflicts allow, but resolves port contention
+//     by local arbitration instead of a global order — cheaper
+//     coordination, the same starvation-freedom (age eventually
+//     dominates every tie).
+//   - StreamFIFO: admission-order first-fit. O(pending) per round — the
+//     non-incremental baseline, kept for ablations.
+//
+// Cost model: RoundRobin touches only served VOQs; OldestFirst and
+// WeightedISLIP read every active VOQ's head-age record every round
+// (that is what an age-aware selection has to look at), so their cost
+// grows with the resident backlog's active-VOQ count while RoundRobin's
+// does not — see BenchmarkStreamRuntimePolicies for the measured ratios.
+// Simulator policies (MaxCard, MinRTime's exact matching, MaxWeight, …)
+// run through Bridge at a full per-round rescan of the pending set.
+//
+// Sharding caveat: every native policy is Shardable, but a shard only
+// sees its own inputs, so cross-input guarantees weaken at K > 1 —
+// OldestFirst is oldest-first per shard (ages still bound waiting within
+// a shard), WeightedISLIP arbitrates output grants per shard against
+// carved budgets, and Bridge (needing the global pending set) refuses to
+// shard at all. Schedules remain bit-deterministic for a fixed K
+// (property tested across K in {1, 2, 4}).
 //
 // # Sharding
 //

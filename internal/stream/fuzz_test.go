@@ -1,0 +1,127 @@
+package stream_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"flowsched/internal/stream"
+	"flowsched/internal/switchnet"
+	"flowsched/internal/verify"
+	"flowsched/internal/workload"
+)
+
+// FuzzPolicyPicks throws random arrival patterns at a random native
+// policy at a random shard count and checks the policy-independent
+// scheduling invariants the runtime must uphold: no flow is served
+// before its release or twice, per-round per-port scheduled demand never
+// exceeds InCaps/OutCaps, every served flow is one the source actually
+// emitted (picks cannot exceed the VOQ contents), the internal/verify
+// oracle accepts every spot-check window, and the drain completes with
+// every flow scheduled exactly once — with or without admission
+// backpressure.
+func FuzzPolicyPicks(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0), uint16(300), uint8(2), uint8(0))
+	f.Add(int64(7), uint8(1), uint8(1), uint16(500), uint8(4), uint8(1))
+	f.Add(int64(3), uint8(2), uint8(2), uint16(200), uint8(1), uint8(2))
+	f.Add(int64(11), uint8(3), uint8(1), uint16(900), uint8(3), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, polSel, kSel uint8, nSel uint16, portSel, demSel uint8) {
+		names := stream.Names()
+		name := names[int(polSel)%len(names)]
+		K := []int{1, 2, 4}[int(kSel)%3]
+		ports := int(portSel)%7 + 2 // 2..8
+		dmax := int(demSel)%3 + 1   // 1..3
+		n := int(nSel)%1200 + 1
+		rng := rand.New(rand.NewSource(seed))
+
+		// Random arrival pattern: bursts with random gaps, random
+		// endpoints, demands in [1, dmax] on a capacity-dmax switch.
+		sw := switchnet.NewSwitch(ports, ports, dmax)
+		flows := make([]switchnet.Flow, n)
+		rel := 0
+		for i := range flows {
+			if rng.Intn(3) == 0 {
+				rel += rng.Intn(4)
+			}
+			flows[i] = switchnet.Flow{
+				In:      rng.Intn(ports),
+				Out:     rng.Intn(ports),
+				Demand:  1 + rng.Intn(dmax),
+				Release: rel,
+			}
+		}
+		inst := &switchnet.Instance{Switch: sw, Flows: flows}
+		src := workload.NewInstanceSource(inst)
+
+		cfg := stream.Config{
+			Switch:      sw,
+			Policy:      stream.ByName(name),
+			Shards:      K,
+			VerifyEvery: 3,
+		}
+		if rng.Intn(2) == 0 {
+			cfg.MaxPending = 8 + rng.Intn(64) // exercise backpressure
+		}
+
+		served := make([]bool, n)
+		sched := switchnet.NewSchedule(n)
+		loadIn := make([]int, ports)
+		loadOut := make([]int, ports)
+		curRound := -1
+		cfg.OnSchedule = func(seq int64, fl switchnet.Flow, round int) {
+			if seq < 0 || seq >= int64(n) {
+				t.Fatalf("%s K=%d: served unknown seq %d", name, K, seq)
+			}
+			fi := src.Order()[seq]
+			if served[fi] {
+				t.Fatalf("%s K=%d: flow %d served twice", name, K, fi)
+			}
+			served[fi] = true
+			if fl != flows[fi] {
+				t.Fatalf("%s K=%d: served flow %+v != source flow %+v (pick outside VOQ contents)",
+					name, K, fl, flows[fi])
+			}
+			if round < fl.Release {
+				t.Fatalf("%s K=%d: flow %d served in round %d before release %d", name, K, fi, round, fl.Release)
+			}
+			if round < curRound {
+				t.Fatalf("%s K=%d: serve rounds went backwards (%d after %d)", name, K, round, curRound)
+			}
+			if round > curRound {
+				for p := range loadIn {
+					loadIn[p], loadOut[p] = 0, 0
+				}
+				curRound = round
+			}
+			loadIn[fl.In] += fl.Demand
+			loadOut[fl.Out] += fl.Demand
+			if loadIn[fl.In] > sw.InCaps[fl.In] || loadOut[fl.Out] > sw.OutCaps[fl.Out] {
+				t.Fatalf("%s K=%d: round %d overloads a port of flow %+v (in %d/%d, out %d/%d)",
+					name, K, round, fl, loadIn[fl.In], sw.InCaps[fl.In], loadOut[fl.Out], sw.OutCaps[fl.Out])
+			}
+			sched.Round[fi] = round
+		}
+
+		rt, err := stream.New(src, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := rt.Run()
+		if err != nil {
+			t.Fatalf("%s K=%d: %v", name, K, err)
+		}
+		if sum.Completed != int64(n) {
+			t.Fatalf("%s K=%d: completed %d of %d", name, K, sum.Completed, n)
+		}
+		for fi, ok := range served {
+			if !ok {
+				t.Fatalf("%s K=%d: flow %d never served", name, K, fi)
+			}
+		}
+		if sum.WindowsVerified == 0 {
+			t.Fatalf("%s K=%d: no verification windows ran", name, K)
+		}
+		if _, err := verify.CheckSchedule(inst, sched, sw.Caps()); err != nil {
+			t.Fatalf("%s K=%d: schedule rejected by oracle: %v", name, K, err)
+		}
+	})
+}

@@ -3,9 +3,53 @@ package stream
 import (
 	"strings"
 	"testing"
+	"unsafe"
 
 	"flowsched/internal/switchnet"
 )
+
+// TestArenaRecordLayout pins the arena's cache-budget claims: the hot
+// record — now carrying the release round for the age-aware policies —
+// must stay exactly 32 bytes (two flows per cache line), and the cold
+// column is a bare sequence number.
+func TestArenaRecordLayout(t *testing.T) {
+	if s := unsafe.Sizeof(flowRec{}); s != 32 {
+		t.Fatalf("flowRec is %d bytes, want exactly 32", s)
+	}
+	var a arena
+	id := a.alloc()
+	a.rec[id].rel = 1 << 40 // releases larger than int32 must survive
+	if got := a.flow(id).Release; got != 1<<40 {
+		t.Fatalf("release round-trips as %d, want %d", got, 1<<40)
+	}
+}
+
+// TestISLIPCircDist pins the rotation tie-breaker: distance 0 is the
+// pointer's successor, n-1 the pointer itself, and the -1 never-pointed
+// state degrades to plain port order.
+func TestISLIPCircDist(t *testing.T) {
+	cases := []struct{ x, ptr, n, want int }{
+		{0, -1, 4, 0}, {3, -1, 4, 3},
+		{2, 1, 4, 0}, {1, 1, 4, 3}, {0, 1, 4, 2},
+		{0, 3, 4, 0}, {3, 3, 4, 3},
+	}
+	for _, c := range cases {
+		if got := circDist(c.x, c.ptr, c.n); got != c.want {
+			t.Fatalf("circDist(%d, %d, %d) = %d, want %d", c.x, c.ptr, c.n, got, c.want)
+		}
+	}
+	// wins: older release beats any distance; equal releases fall to the
+	// pointer order.
+	if !wins(1, 3, 2, 0, -1, 4) {
+		t.Fatal("older release lost")
+	}
+	if wins(2, 0, 1, 3, -1, 4) {
+		t.Fatal("younger release won")
+	}
+	if !wins(5, 2, 5, 0, 1, 4) {
+		t.Fatal("pointer successor lost an equal-release tie")
+	}
+}
 
 // emptySource yields nothing; for runtimes driven by hand in white-box
 // tests.

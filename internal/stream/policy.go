@@ -94,20 +94,33 @@ func (p *RoundRobin) Pick(v *View) {
 // serveVOQ drains (in, out) oldest-first while capacity lasts and returns
 // the input's remaining free capacity. The rotation pointer advances once
 // per VOQ served, however many flows drained, and records the output
-// *port* — immune to the active list's swap-delete reordering. The sweep
-// runs on View.EachVOQ's block cursor, so each queue entry costs one
-// sequential block read plus the flow's own descriptor line.
+// *port* — immune to the active list's swap-delete reordering.
 func (p *RoundRobin) serveVOQ(v *View, in, out, free int) int {
+	free, served := drainVOQ(v, in, out, free)
+	if served {
+		p.rr[in] = out
+	}
+	return free
+}
+
+// drainVOQ drains the (in, out) virtual output queue oldest-first while
+// free input capacity and the visible output capacity last, skipping
+// flows already taken this round (a pick of the propose pass is not a
+// blocked head, so the reconcile pass may drain past it). It returns the
+// input's remaining free capacity and whether anything was served. The
+// sweep runs on View.EachVOQ's block cursor, so each queue entry costs
+// one sequential block read plus the flow's own descriptor line; an
+// untaken head that does not fit stops the sweep — FIFO within the VOQ,
+// a blocked head blocks the queue.
+func drainVOQ(v *View, in, out, free int) (int, bool) {
 	served := false
 	v.EachVOQ(in, out, func(id ID) bool {
 		if v.Taken(id) {
-			// Already scheduled by this round's propose pass: not a
-			// blocked head, so the reconcile pass may drain past it.
 			return true
 		}
 		d := v.Demand(id)
 		if d > free || v.OutputFree(out) < d {
-			return false // FIFO within the VOQ: a blocked head blocks the queue
+			return false
 		}
 		if !v.Take(id) {
 			return false
@@ -116,10 +129,7 @@ func (p *RoundRobin) serveVOQ(v *View, in, out, free int) int {
 		served = true
 		return free > 0
 	})
-	if served {
-		p.rr[in] = out
-	}
-	return free
+	return free, served
 }
 
 // Bridge adapts a sim.Policy — the paper's MaxCard / MinRTime / MaxWeight
@@ -190,15 +200,37 @@ func (b *Bridge) Pick(v *View) {
 	}
 }
 
-// ByName resolves the native streaming policies ("RoundRobin",
-// "StreamFIFO"); nil if unknown. Simulator policies run on streams via
-// Bridge.
+// natives is the registry of native streaming policies, in presentation
+// order. Every entry's constructor returns a fresh instance, so resolved
+// policies never share rotation or scratch state between runtimes.
+var natives = []struct {
+	name string
+	mk   func() Policy
+}{
+	{"RoundRobin", func() Policy { return &RoundRobin{} }},
+	{"OldestFirst", func() Policy { return &OldestFirst{} }},
+	{"WeightedISLIP", func() Policy { return &WeightedISLIP{} }},
+	{"StreamFIFO", func() Policy { return FIFO{} }},
+}
+
+// Names returns the native streaming policy names in presentation order —
+// the strings ByName resolves (and flowsim -policy accepts without
+// bridging).
+func Names() []string {
+	names := make([]string, len(natives))
+	for i, n := range natives {
+		names[i] = n.name
+	}
+	return names
+}
+
+// ByName resolves a native streaming policy by name (a fresh instance per
+// call); nil if unknown. Simulator policies run on streams via Bridge.
 func ByName(name string) Policy {
-	switch name {
-	case "RoundRobin":
-		return &RoundRobin{}
-	case "StreamFIFO":
-		return FIFO{}
+	for _, n := range natives {
+		if n.name == name {
+			return n.mk()
+		}
 	}
 	return nil
 }

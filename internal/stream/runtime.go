@@ -612,7 +612,7 @@ func (rt *Runtime) step() (done bool, err error) {
 		// sequence deterministic.
 		for _, sh := range rt.shards {
 			for _, id := range sh.takes {
-				cb(sh.ar.when[id].seq, sh.ar.flow(id), rt.round)
+				cb(sh.ar.seq[id], sh.ar.flow(id), rt.round)
 			}
 		}
 	}

@@ -79,9 +79,11 @@ type shard struct {
 
 	// Virtual output queues over owned inputs, indexed by
 	// (in/nsh)*mOut + out (see shard.voq): one packed cursor record per
-	// VOQ over the pooled ring blocks (see arena.go).
-	pool blockPool
-	vqs  []voqState
+	// VOQ over the pooled ring blocks, plus the mirrored head-age record
+	// the age-aware policies sweep (see arena.go).
+	pool  blockPool
+	vqs   []voqState
+	heads []voqHead
 
 	// activeOut[in/nsh] lists the output ports with a non-empty VOQ at
 	// owned input in; activeOutPos is each VOQ's index there (noID if
@@ -148,6 +150,7 @@ func newShard(rt *Runtime, idx int, pol Policy) *shard {
 		loadIn:       make([]int, mIn),
 		loadOut:      make([]int, mOut),
 		vqs:          make([]voqState, nLocal*mOut),
+		heads:        make([]voqHead, nLocal*mOut),
 		activeOut:    make([][]int32, nLocal),
 		activeOutPos: make([]int32, nLocal*mOut),
 		actBits:      make([]uint64, nLocal*nw),
@@ -284,11 +287,12 @@ func (sh *shard) admit(av arrival) {
 	id := a.alloc()
 	vi := sh.voq(f.In, f.Out)
 	a.rec[id] = flowRec{
-		in: int16(f.In), out: int16(f.Out), dem: int32(f.Demand),
-		vi: int32(vi), state: stLive, blk: noID,
+		rel: int64(f.Release),
+		in:  int16(f.In), out: int16(f.Out), dem: int32(f.Demand),
+		state: stLive, blk: noID,
 		prev: sh.tail, next: noID,
 	}
-	a.when[id] = flowWhen{rel: int64(f.Release), seq: av.seq}
+	a.seq[id] = av.seq
 	if sh.tail != noID {
 		a.rec[sh.tail].next = id
 	} else {
@@ -330,7 +334,7 @@ func (sh *shard) depart(id int32) {
 		sh.tail = r.prev
 	}
 
-	vi := int(r.vi)
+	vi := sh.voq(in, out)
 	if sh.voqRemove(vi, id) {
 		// Swap-delete the drained VOQ from the input's active list.
 		li := sh.liTab[in]
@@ -376,7 +380,7 @@ func (sh *shard) apply() {
 	maxR := int(sh.maxResp.Load())
 	sh.win.Begin()
 	for _, id := range sh.takes {
-		resp := t + 1 - int(a.when[id].rel)
+		resp := t + 1 - int(a.rec[id].rel)
 		n++
 		sum += int64(resp)
 		if resp > maxR {

@@ -2,6 +2,7 @@ package stream_test
 
 import (
 	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -111,10 +112,119 @@ func TestStreamMatchesSim(t *testing.T) {
 	}
 }
 
+// agePortOrder is the MinRTime-style reference policy for the
+// OldestFirst differential test: greedy first-fit over the whole pending
+// set ordered by (release, input, output, flow index) — MinRTime's
+// age-first priorities (the GreedyAge ablation's selection rule) with
+// the deterministic port-order tie-break OldestFirst uses, expressed the
+// expensive way: a full rescan and sort of the pending set every round.
+type agePortOrder struct{}
+
+func (agePortOrder) Name() string { return "AgePortOrder" }
+
+func (agePortOrder) Pick(s *sim.State) []int {
+	order := make([]int, len(s.Pending))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		a, b := s.Pending[order[x]], s.Pending[order[y]]
+		if a.Release != b.Release {
+			return a.Release < b.Release
+		}
+		if a.In != b.In {
+			return a.In < b.In
+		}
+		if a.Out != b.Out {
+			return a.Out < b.Out
+		}
+		return a.Flow < b.Flow
+	})
+	loadIn := make([]int, s.Switch.NumIn())
+	loadOut := make([]int, s.Switch.NumOut())
+	var picks []int
+	for _, i := range order {
+		p := s.Pending[i]
+		if loadIn[p.In]+p.Demand <= s.Switch.InCaps[p.In] && loadOut[p.Out]+p.Demand <= s.Switch.OutCaps[p.Out] {
+			loadIn[p.In] += p.Demand
+			loadOut[p.Out] += p.Demand
+			picks = append(picks, i)
+		}
+	}
+	return picks
+}
+
+// TestOldestFirstMatchesBridgedMinRTimeStyle is the tentpole's
+// differential property: on replayed unit-demand finite instances the
+// native OldestFirst policy must reproduce, round for round, the bridged
+// MinRTime-style simulator policy — agePortOrder, which keeps MinRTime's
+// age-ordered priorities (the GreedyAge ablation's greedy maximal
+// selection, with OldestFirst's port-order tie-break) but pays a full
+// pending rescan per round — and sim.Run of that policy too
+// (TestStreamMatchesSim pins Bridge == sim.Run for any sim policy). Unit
+// demands make the comparison exact: every flow behind a blocked VOQ
+// head shares its ports and demand, so the bridged first-fit over the
+// whole pending set rejects exactly the flows OldestFirst never visits.
+// The equivalence is what "the fast path runs a paper-grade policy"
+// means — same schedule, O(active VOQs + span) per round instead of an
+// O(pending log pending) rescan.
+func TestOldestFirstMatchesBridgedMinRTimeStyle(t *testing.T) {
+	configs := []workload.PoissonConfig{
+		{M: 6, T: 8, Ports: 5},
+		{M: 3, T: 5, Ports: 3},
+		{M: 12, T: 10, Ports: 4}, // overloaded: deep VOQs, long drain tail
+	}
+	for _, cfg := range configs {
+		for seed := int64(1); seed <= 6; seed++ {
+			inst := cfg.Generate(rand.New(rand.NewSource(seed)))
+			if inst.N() == 0 {
+				continue
+			}
+			simRes, err := sim.Run(inst, agePortOrder{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bridged, _ := runStreamed(t, inst, &stream.Bridge{P: agePortOrder{}},
+				stream.Config{VerifyEvery: 4})
+			native, sum := runStreamed(t, inst, &stream.OldestFirst{},
+				stream.Config{VerifyEvery: 4})
+			for f := range native.Round {
+				if native.Round[f] != bridged.Round[f] || native.Round[f] != simRes.Schedule.Round[f] {
+					t.Fatalf("M=%g seed %d: flow %d — OldestFirst round %d, bridged AgePortOrder %d, sim %d",
+						cfg.M, seed, f, native.Round[f], bridged.Round[f], simRes.Schedule.Round[f])
+				}
+			}
+			if int(sum.TotalResponse) != simRes.TotalResponse || sum.MaxResponse != simRes.MaxResponse {
+				t.Fatalf("M=%g seed %d: OldestFirst metrics (%d,%d) != sim (%d,%d)",
+					cfg.M, seed, sum.TotalResponse, sum.MaxResponse,
+					simRes.TotalResponse, simRes.MaxResponse)
+			}
+			if _, err := verify.CheckSchedule(inst, native, inst.Switch.Caps()); err != nil {
+				t.Fatalf("M=%g seed %d: OldestFirst schedule rejected by oracle: %v", cfg.M, seed, err)
+			}
+		}
+	}
+}
+
+// nativePolicies returns one fresh instance of every native streaming
+// policy, via the registry the runtime and flowsim resolve from.
+func nativePolicies(t *testing.T) []stream.Policy {
+	t.Helper()
+	var pols []stream.Policy
+	for _, name := range stream.Names() {
+		p := stream.ByName(name)
+		if p == nil {
+			t.Fatalf("registry name %q does not resolve", name)
+		}
+		pols = append(pols, p)
+	}
+	return pols
+}
+
 // TestNativePoliciesFeasible drains random streams under the native
 // policies with spot-check verification on every window.
 func TestNativePoliciesFeasible(t *testing.T) {
-	for _, pol := range []stream.Policy{&stream.RoundRobin{}, stream.FIFO{}} {
+	for _, pol := range nativePolicies(t) {
 		for seed := int64(1); seed <= 3; seed++ {
 			cfg := workload.PoissonConfig{M: 7, T: 12, Ports: 5, Cap: 2, MaxDemand: 2}
 			inst := cfg.Generate(rand.New(rand.NewSource(seed)))
@@ -319,16 +429,35 @@ func TestStreamIdleGapJump(t *testing.T) {
 	}
 }
 
-// TestStreamByName pins the native policy registry.
+// TestStreamByName pins the native policy registry: Names lists exactly
+// the resolvable policies, every resolved policy reports its registry
+// name, consecutive resolutions are distinct instances (no shared
+// rotation state between runtimes), and unknown names stay nil.
 func TestStreamByName(t *testing.T) {
-	if p := stream.ByName("RoundRobin"); p == nil || p.Name() != "RoundRobin" {
-		t.Fatal("RoundRobin not resolvable")
+	want := []string{"RoundRobin", "OldestFirst", "WeightedISLIP", "StreamFIFO"}
+	got := stream.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
 	}
-	if p := stream.ByName("StreamFIFO"); p == nil || p.Name() != "StreamFIFO" {
-		t.Fatal("StreamFIFO not resolvable")
+	for i, name := range want {
+		if got[i] != name {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+		p := stream.ByName(name)
+		if p == nil || p.Name() != name {
+			t.Fatalf("%s not resolvable to itself", name)
+		}
+		if q := stream.ByName(name); q == p && name != "StreamFIFO" {
+			// FIFO is a stateless value type, so equality is fine there;
+			// the stateful policies must come out as fresh instances.
+			t.Fatalf("%s: ByName returned a shared instance", name)
+		}
 	}
 	if p := stream.ByName("nope"); p != nil {
 		t.Fatal("unknown name resolved")
+	}
+	if p := stream.ByName("MinRTime"); p != nil {
+		t.Fatal("simulator policy resolved natively (must go through Bridge)")
 	}
 }
 
@@ -467,6 +596,113 @@ func TestRoundRobinFairUnderChurn(t *testing.T) {
 	}
 }
 
+// TestWeightedISLIPServesOldestHeadUnderChurn is the starvation/
+// no-overtake regression test for the age-weighted policies, mirroring
+// the PR 3 RoundRobin churn test: under adversarial VOQ churn (queues
+// constantly emptying and refilling, so the active lists swap-delete
+// every round, plus a persistently hot VOQ) a single unit-capacity input
+// must always serve the globally oldest head — no VOQ is ever served
+// while an older head waits at another VOQ, which is the age-weighted
+// analogue of rotation fairness and the property that makes starvation
+// impossible (a waiting head only gets older until nothing outranks it).
+// The same replay also pins FIFO-within-VOQ: every served flow is its
+// queue's head.
+func TestWeightedISLIPServesOldestHeadUnderChurn(t *testing.T) {
+	const outs = 6
+	const total = 300
+	cfg := workload.ChurnConfig{Outs: outs, PerRound: 2, HotOuts: 1, MaxFlows: total}
+	for _, mk := range []func() stream.Policy{
+		func() stream.Policy { return &stream.WeightedISLIP{} },
+		func() stream.Policy { return &stream.OldestFirst{} }, // same guarantee, same harness
+	} {
+		pol := mk()
+		// Replay copy: the churn source is deterministic per seed, so a
+		// second instance yields the exact flow sequence the runtime saw.
+		replay := workload.NewChurnSource(cfg, rand.New(rand.NewSource(11)))
+		var flows []switchnet.Flow
+		for {
+			f, ok := replay.Next()
+			if !ok {
+				break
+			}
+			flows = append(flows, f)
+		}
+
+		type serve struct {
+			round int
+			seq   int64
+		}
+		var serves []serve
+		src := workload.NewChurnSource(cfg, rand.New(rand.NewSource(11)))
+		rt, err := stream.New(src, stream.Config{
+			Switch: src.Switch(),
+			Policy: pol,
+			Shards: 1,
+			OnSchedule: func(seq int64, _ switchnet.Flow, round int) {
+				serves = append(serves, serve{round, seq})
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(serves) != total {
+			t.Fatalf("%s: served %d of %d flows", pol.Name(), len(serves), total)
+		}
+
+		// Replay the VOQ contents round by round: heads[o] is the front of
+		// queue (0, o); the served flow must be its queue's head and at
+		// least as old as every other queue's head at pick time.
+		queues := make([][]int64, outs) // per out: pending seqs in FIFO order
+		next := 0
+		si := 0
+		lastRel := -1
+		for r := 0; si < len(serves); r++ {
+			for next < len(flows) && flows[next].Release <= r {
+				queues[flows[next].Out] = append(queues[flows[next].Out], int64(next))
+				next++
+			}
+			if serves[si].round != r {
+				// Unit input capacity and pending flows: the policy must
+				// serve every round until drained.
+				pending := 0
+				for o := 0; o < outs; o++ {
+					pending += len(queues[o])
+				}
+				if pending > 0 {
+					t.Fatalf("%s: round %d served nothing with %d flows pending", pol.Name(), r, pending)
+				}
+				continue
+			}
+			sv := serves[si]
+			si++
+			out := flows[sv.seq].Out
+			if len(queues[out]) == 0 || queues[out][0] != sv.seq {
+				t.Fatalf("%s: round %d served seq %d which is not the head of VOQ %d (overtake within the queue)",
+					pol.Name(), r, sv.seq, out)
+			}
+			rel := flows[sv.seq].Release
+			if rel < lastRel {
+				t.Fatalf("%s: round %d served release %d after release %d (global age order violated)",
+					pol.Name(), r, rel, lastRel)
+			}
+			lastRel = rel
+			for o := 0; o < outs; o++ {
+				if o == out || len(queues[o]) == 0 {
+					continue
+				}
+				if head := flows[queues[o][0]].Release; head < rel {
+					t.Fatalf("%s: round %d served VOQ %d (head release %d) while VOQ %d's older head (release %d) waited",
+						pol.Name(), r, out, rel, o, head)
+				}
+			}
+			queues[out] = queues[out][1:]
+		}
+	}
+}
+
 // TestStreamStallAbortsExactly pins the stall guard to the documented
 // count: with StallRounds = N the run aborts after exactly N consecutive
 // empty rounds, not N+1.
@@ -593,9 +829,9 @@ func TestStreamYoungestFirstDrain(t *testing.T) {
 // must be deterministic — two runs produce bit-identical schedules.
 func TestStreamShardedCrossK(t *testing.T) {
 	cfg := workload.PoissonConfig{M: 8, T: 12, Ports: 6, Cap: 2, MaxDemand: 2}
-	policies := []func() stream.Policy{
-		func() stream.Policy { return &stream.RoundRobin{} },
-		func() stream.Policy { return stream.FIFO{} },
+	var policies []func() stream.Policy
+	for _, name := range stream.Names() {
+		policies = append(policies, func() stream.Policy { return stream.ByName(name) })
 	}
 	for seed := int64(1); seed <= 3; seed++ {
 		inst := cfg.Generate(rand.New(rand.NewSource(seed)))
@@ -743,7 +979,7 @@ func TestShardedRejectsUnshardablePolicy(t *testing.T) {
 	if got := rt.Snapshot().Shards; got != 1 {
 		t.Fatalf("defaulted Bridge runtime has %d shards, want 1", got)
 	}
-	for _, name := range []string{"RoundRobin", "StreamFIFO"} {
+	for _, name := range stream.Names() {
 		if _, ok := stream.ByName(name).(stream.Shardable); !ok {
 			t.Fatalf("native policy %s is not Shardable", name)
 		}

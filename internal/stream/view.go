@@ -28,7 +28,7 @@ func (v *View) NumPending() int { return v.sh.count }
 func (v *View) Each(fn func(id ID, seq int64, f switchnet.Flow) bool) {
 	a := &v.sh.ar
 	for id := v.sh.head; id != noID; id = a.rec[id].next {
-		if !fn(ID(id), a.when[id].seq, a.flow(id)) {
+		if !fn(ID(id), a.seq[id], a.flow(id)) {
 			return
 		}
 	}
@@ -41,6 +41,18 @@ func (v *View) Flow(id ID) switchnet.Flow { return v.sh.ar.flow(int32(id)) }
 // feasibility check needs, read from the hot record without gathering the
 // full flow across the arena's columns.
 func (v *View) Demand(id ID) int { return int(v.sh.ar.rec[id].dem) }
+
+// Release returns the release round of a pending id. Like Demand it is a
+// hot-record read — the age-aware policies (OldestFirst, WeightedISLIP)
+// order VOQ heads by it every round, so it shares the cache line a
+// feasibility check already pulled.
+func (v *View) Release(id ID) int64 { return v.sh.ar.rec[id].rel }
+
+// Seq returns the global admission sequence number of a pending id — the
+// deterministic tie-breaker between flows released in the same round. It
+// is a cold-column read; policies should consult it once per considered
+// head (e.g. when enqueueing a heap entry), not per comparison.
+func (v *View) Seq(id ID) int64 { return v.sh.ar.seq[id] }
 
 // QueueIn returns the number of the shard's pending flows at input port i
 // (the queue depth the MaxWeight heuristic weighs by); QueueOut likewise
@@ -85,14 +97,45 @@ func (v *View) ActiveVOQ(in, k int) int  { return int(v.sh.activeOut[v.sh.liTab[
 // port-order rotation policies. in must be one of the shard's inputs.
 func (v *View) NextActiveVOQ(in, from int) int { return v.sh.nextActive(in, from) }
 
+// voqWords and headRow are the in-package fast path behind NextActiveVOQ
+// and VOQHeadRecord: input in's active-VOQ bitmap words and its
+// out-indexed row of head-age records, handed out as slices so a policy
+// sweeping every active VOQ pays plain array reads instead of a call and
+// an index recomputation per VOQ. Both are read-only for policies.
+func (v *View) voqWords(in int) []uint64 {
+	base := int(v.sh.bitBase[in])
+	return v.sh.actBits[base : base+v.sh.nw]
+}
+
+func (v *View) headRow(in int) []voqHead {
+	base := int(v.sh.voqBase[in])
+	return v.sh.heads[base : base+v.sh.mOut]
+}
+
 // VOQHead returns the oldest pending flow on the (in, out) virtual output
 // queue, or NoID if it is empty; VOQNext walks the queue toward younger
 // flows. in must be one of the shard's inputs.
 func (v *View) VOQHead(in, out int) ID {
 	return ID(v.sh.voqFirst(v.sh.voq(in, out)))
 }
+
+// VOQHeadRecord reads the (in, out) queue's mirrored head-age record:
+// the release round, admission sequence number, and demand of its oldest
+// flow, without touching the queue's ring blocks or the flow's arena
+// record. This is the primitive the age-aware policies sweep every round
+// — a dense array indexed in port order, maintained by the runtime at
+// admission and retirement. The values are meaningful only for a
+// non-empty VOQ, and describe the queue as of the last retirement: a
+// flow taken earlier in the same round still owns the record until it
+// departs (check Taken on the id if the distinction matters). in must be
+// one of the shard's inputs.
+func (v *View) VOQHeadRecord(in, out int) (rel, seq int64, demand int) {
+	h := &v.sh.heads[v.sh.voq(in, out)]
+	return h.rel, h.seq, int(h.dem)
+}
 func (v *View) VOQNext(id ID) ID {
-	return ID(v.sh.voqNext(int(v.sh.ar.rec[id].vi), int32(id)))
+	r := &v.sh.ar.rec[id]
+	return ID(v.sh.voqNext(v.sh.voq(int(r.in), int(r.out)), int32(id)))
 }
 
 // EachVOQ calls fn for every pending flow on the (in, out) virtual output

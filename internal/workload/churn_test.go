@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestChurnSourceContract pins the churn source's stream contract:
+// deterministic given the seed, unit demands valid for its switch,
+// non-decreasing releases with exactly PerRound+HotOuts flows per round,
+// and the hot outputs backlogged every round.
+func TestChurnSourceContract(t *testing.T) {
+	cfg := ChurnConfig{Ins: 3, Outs: 6, PerRound: 4, HotOuts: 2, MaxFlows: 200}
+	a := NewChurnSource(cfg, rand.New(rand.NewSource(9)))
+	b := NewChurnSource(cfg, rand.New(rand.NewSource(9)))
+	sw := a.Switch()
+	perRound := make(map[int]int)
+	hotSeen := make(map[int]map[int]bool)
+	n := 0
+	lastRel := 0
+	for {
+		f, ok := a.Next()
+		g, okB := b.Next()
+		if ok != okB || f != g {
+			t.Fatalf("same seed diverged at flow %d: %+v vs %+v", n, f, g)
+		}
+		if !ok {
+			break
+		}
+		if err := sw.ValidateFlow(f); err != nil {
+			t.Fatalf("flow %d invalid for the source's switch: %v", n, err)
+		}
+		if f.Release < lastRel {
+			t.Fatalf("flow %d: release %d after %d", n, f.Release, lastRel)
+		}
+		lastRel = f.Release
+		perRound[f.Release]++
+		if f.Out < cfg.HotOuts && f.In == 0 {
+			if hotSeen[f.Release] == nil {
+				hotSeen[f.Release] = make(map[int]bool)
+			}
+			hotSeen[f.Release][f.Out] = true
+		}
+		n++
+	}
+	if a.Err() != nil {
+		t.Fatal(a.Err())
+	}
+	if int64(n) != cfg.MaxFlows {
+		t.Fatalf("emitted %d of %d flows", n, cfg.MaxFlows)
+	}
+	for r := 0; r < lastRel; r++ { // the final round may be cut by MaxFlows
+		if perRound[r] != cfg.PerRound+cfg.HotOuts {
+			t.Fatalf("round %d saw %d flows, want %d", r, perRound[r], cfg.PerRound+cfg.HotOuts)
+		}
+		for h := 0; h < cfg.HotOuts; h++ {
+			if !hotSeen[r][h] {
+				t.Fatalf("hot output %d saw no arrival in round %d", h, r)
+			}
+		}
+	}
+}
+
+// TestChurnSourcePullBatchMatchesNext: batch draining must yield exactly
+// the Next sequence, respecting the round horizon.
+func TestChurnSourcePullBatchMatchesNext(t *testing.T) {
+	cfg := ChurnConfig{Outs: 5, PerRound: 3, MaxFlows: 120}
+	byNext := NewChurnSource(cfg, rand.New(rand.NewSource(4)))
+	byBatch := NewChurnSource(cfg, rand.New(rand.NewSource(4)))
+	round := 0
+	for {
+		batch := byBatch.PullBatch(nil, round, 7)
+		for _, f := range batch {
+			if f.Release > round {
+				t.Fatalf("PullBatch(round=%d) yielded future release %d", round, f.Release)
+			}
+			g, ok := byNext.Next()
+			if !ok || f != g {
+				t.Fatalf("batch flow %+v != next flow %+v (ok=%v)", f, g, ok)
+			}
+		}
+		if len(batch) < 7 {
+			round++
+		}
+		if round > 60 {
+			break
+		}
+	}
+	if _, ok := byNext.Next(); ok {
+		t.Fatal("batch drain ended before the Next sequence")
+	}
+}
+
+// TestChurnSourceRejectsBadConfig: invalid shapes fail fast through Err.
+func TestChurnSourceRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []ChurnConfig{
+		{Outs: 0},
+		{Outs: 2, HotOuts: 3},
+	} {
+		s := NewChurnSource(cfg, rand.New(rand.NewSource(1)))
+		if _, ok := s.Next(); ok {
+			t.Fatalf("%+v: bad config yielded a flow", cfg)
+		}
+		if s.Err() == nil {
+			t.Fatalf("%+v: bad config reported no error", cfg)
+		}
+	}
+}

@@ -44,6 +44,7 @@ var (
 	_ BatchFlowSource = (*ArrivalSource)(nil)
 	_ BatchFlowSource = (*TraceSource)(nil)
 	_ BatchFlowSource = (*InstanceSource)(nil)
+	_ BatchFlowSource = (*ChurnSource)(nil)
 )
 
 // ArrivalConfig describes a generator-driven arrival process: Poisson(M)
