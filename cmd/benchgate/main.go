@@ -12,7 +12,11 @@
 //     measurements — may not regress by more than -maxregress (default
 //     1.25, i.e. +25%) against the baseline row. Rows with no baseline
 //     counterpart are reported and pass (they gate from the next
-//     committed baseline on).
+//     committed baseline on). When the baseline was recorded under a
+//     different GOMAXPROCS than the new run, absolute ns/round is not
+//     comparable (different parallelism, different machine class), so
+//     these gates are skipped with a warning; the same-shape gates
+//     below still run.
 //   - speedup_vs_k1: the K=2 row of the sharded sweep must reach at least
 //     1.0 — with the fused single-barrier protocol, two shards must never
 //     be slower than one. Higher K rows get a softer 0.9 floor (their
@@ -89,6 +93,16 @@ func main() {
 		fatal(err)
 	}
 
+	// A baseline recorded under a different GOMAXPROCS measured a
+	// different machine shape: absolute ns/round is incomparable, so
+	// those gates turn into informational output. Speedup is a ratio
+	// within the new run and still gates below.
+	shapeOnly := oldB.GoMaxProcs != newB.GoMaxProcs
+	if shapeOnly {
+		fmt.Printf("warning: baseline gomaxprocs %d != current %d; skipping absolute ns/round gates (speedup gates still apply)\n",
+			oldB.GoMaxProcs, newB.GoMaxProcs)
+	}
+
 	failures := 0
 	check := func(kind string, oldRows, newRows []row) {
 		idx := make(map[string]row, len(oldRows))
@@ -103,7 +117,9 @@ func main() {
 			}
 			ratio := n.NsPerRound / o.NsPerRound
 			verdict := "ok"
-			if ratio > *maxRegress {
+			if shapeOnly {
+				verdict = "skipped (gomaxprocs mismatch)"
+			} else if ratio > *maxRegress {
 				verdict = "REGRESSED"
 				failures++
 			}

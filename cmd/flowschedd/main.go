@@ -1,0 +1,123 @@
+// Command flowschedd runs the streaming scheduler as a long-running
+// HTTP/JSON service: flows arrive over the network, drain through the
+// sharded runtime under a native streaming policy, and the service
+// exposes live metrics and a graceful drain.
+//
+// Endpoints:
+//
+//	POST /flows    ingest a batch: {"flows":[{"in":0,"out":1,"demand":1},...]}
+//	GET  /metrics  Prometheus text exposition of the streaming metrics
+//	GET  /snapshot current stream.Summary as JSON
+//	GET  /healthz  {"status":"ok"} (or "draining")
+//	POST /drain    graceful shutdown: finish the backlog, return the final summary
+//
+// Example session:
+//
+//	flowschedd -addr :8080 -ports 16 -policy OldestFirst -admit drop -maxpending 4096 &
+//	curl -s -X POST localhost:8080/flows -d '{"flows":[{"in":0,"out":1,"demand":1}]}'
+//	curl -s localhost:8080/metrics | grep flowsched_flows
+//	curl -s -X POST localhost:8080/drain
+//
+// SIGINT/SIGTERM trigger the same graceful drain as POST /drain; the
+// final summary is printed to stdout either way, and the process exits 0
+// on a clean drain.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flowsched/internal/daemon"
+	"flowsched/internal/stream"
+	"flowsched/internal/switchnet"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		ports       = flag.Int("ports", 16, "switch size m (m x m ports)")
+		capacity    = flag.Int("cap", 1, "per-port capacity")
+		policy      = flag.String("policy", "RoundRobin", fmt.Sprintf("native streaming policy %v", stream.Names()))
+		shards      = flag.Int("shards", 0, "runtime shards (0 = GOMAXPROCS, capped at -ports)")
+		maxPending  = flag.Int("maxpending", stream.DefaultMaxPending, "admission limit on the resident pending set")
+		admit       = flag.String("admit", "lossless", "admission mode: lossless, drop, or deadline")
+		deadline    = flag.Int("deadline", 0, "response-time bound in rounds (admit mode deadline)")
+		verifyEvery = flag.Int("verifyevery", 0, "spot-check window in rounds fed to the verify oracle (0 = off)")
+		buffer      = flag.Int("buffer", daemon.DefaultBuffer, "ingest queue depth between HTTP handlers and the round loop")
+	)
+	flag.Parse()
+
+	pol := stream.ByName(*policy)
+	if pol == nil {
+		fatal(fmt.Errorf("unknown policy %q (native streaming policies: %v)", *policy, stream.Names()))
+	}
+	mode, err := stream.ParseAdmitMode(*admit)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := daemon.New(daemon.Config{
+		Switch:      switchnet.NewSwitch(*ports, *ports, *capacity),
+		Policy:      pol,
+		Shards:      *shards,
+		MaxPending:  *maxPending,
+		Admit:       mode,
+		Deadline:    *deadline,
+		VerifyEvery: *verifyEvery,
+		Buffer:      *buffer,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpErr := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			httpErr <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "flowschedd: listening on %s (%dx%d switch, policy %s, admit %s)\n",
+		*addr, *ports, *ports, pol.Name(), mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "flowschedd: %v: draining\n", s)
+		if _, err := srv.Drain(); err != nil {
+			fatal(err)
+		}
+	case <-srv.Done():
+		// Drained via POST /drain (or the run failed).
+	case err := <-httpErr:
+		fatal(err)
+	}
+
+	// Let an in-flight /drain response finish before closing the listener.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "flowschedd: http shutdown: %v\n", err)
+	}
+
+	sum, err := srv.Wait()
+	if err != nil {
+		fatal(err)
+	}
+	out, _ := json.MarshalIndent(sum, "", "  ")
+	fmt.Println(string(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "flowschedd: %v\n", err)
+	os.Exit(1)
+}

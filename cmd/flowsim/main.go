@@ -25,6 +25,15 @@
 //	flowsim -stream -flows 1000000 -ports 150 -M 300 -policy OldestFirst
 //	flowsim -stream -flows 1000000 -ports 150 -M 300 -policy WeightedISLIP -shards 4
 //	flowsim -stream -flows 200000 -alpha 1.3 -dmax 8 -policy MaxWeight -verifyevery 64
+//	flowsim -stream -flows 500000 -ports 64 -M 128 -policy all
+//	flowsim -stream -flows 200000 -maxpending 1024 -admit drop -policy RoundRobin
+//
+// With -stream -policy all every native policy drains sequentially over
+// identical arrivals (same seed or trace). With -trace, -flows caps the
+// replay only when set explicitly; by default traces drain fully.
+// -admit selects the admission behaviour at the MaxPending limit:
+// lossless backpressure (default), drop (shed arrivals), or deadline
+// (expire flows older than -deadline rounds).
 package main
 
 import (
@@ -51,7 +60,7 @@ func main() {
 		ports   = flag.Int("ports", 150, "switch size m")
 		mFlag   = flag.Float64("M", 150, "mean flow arrivals per round")
 		tFlag   = flag.Int("T", 20, "arrival rounds")
-		policy  = flag.String("policy", "all", "MaxCard, MinRTime, MaxWeight, FIFO, GreedyAge, or all; with -stream preferably a native streaming policy — RoundRobin, OldestFirst, WeightedISLIP, StreamFIFO — while simulator names run bridged at shards=1 (streams drain one policy, so -stream maps all to RoundRobin)")
+		policy  = flag.String("policy", "all", "MaxCard, MinRTime, MaxWeight, FIFO, GreedyAge, or all; with -stream a native streaming policy — RoundRobin, OldestFirst, WeightedISLIP, StreamFIFO — while simulator names run bridged at shards=1; -stream -policy all drains every native policy sequentially")
 		trials  = flag.Int("trials", 10, "number of random trials")
 		seed    = flag.Int64("seed", 1, "base RNG seed")
 		inFile  = flag.String("in", "", "load instance JSON instead of generating")
@@ -64,7 +73,9 @@ func main() {
 		cpuProfile  = flag.String("cpuprofile", "", "stream: write a CPU profile of the drain to this file")
 		memProfile  = flag.String("memprofile", "", "stream: write a post-drain heap profile to this file")
 		shards      = flag.Int("shards", 0, "stream: runtime shards the input ports are partitioned across (0 = GOMAXPROCS for shardable policies, capped at -ports; > 1 needs a native policy)")
-		flows       = flag.Int64("flows", 1_000_000, "stream: total flows to drain")
+		flows       = flag.Int64("flows", 1_000_000, "stream: total flows to drain (set explicitly with -trace to cap the replay; otherwise traces drain fully)")
+		admit       = flag.String("admit", "lossless", "stream: admission mode at the MaxPending limit — lossless (backpressure), drop (shed arrivals), deadline (expire aged flows)")
+		deadlineF   = flag.Int("deadline", 0, "stream: response-time bound in rounds for -admit deadline")
 		alpha       = flag.Float64("alpha", 0, "stream: bounded-Pareto size tail index (0 = unit/uniform sizes)")
 		maxPending  = flag.Int("maxpending", stream.DefaultMaxPending, "stream: admission limit on the resident pending set")
 		window      = flag.Int("window", stream.DefaultWindowRounds, "stream: sliding metrics window in rounds")
@@ -73,9 +84,16 @@ func main() {
 	flag.Parse()
 
 	if *streamMode {
+		flowsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "flows" {
+				flowsSet = true
+			}
+		})
 		runStream(streamOpts{
 			ports: *ports, m: *mFlag, policy: *policy, seed: *seed, trace: *trace,
-			dmax: *demands, flows: *flows, alpha: *alpha, maxPending: *maxPending,
+			dmax: *demands, flows: *flows, flowsSet: flowsSet, alpha: *alpha,
+			maxPending: *maxPending, admit: *admit, deadline: *deadlineF,
 			window: *window, verifyEvery: *verifyEvery, shards: *shards,
 			cpuProfile: *cpuProfile, memProfile: *memProfile,
 		})
@@ -197,6 +215,9 @@ type streamOpts struct {
 	trace       string
 	dmax        int
 	flows       int64
+	flowsSet    bool
+	admit       string
+	deadline    int
 	alpha       float64
 	maxPending  int
 	window      int
@@ -210,11 +231,9 @@ type streamOpts struct {
 // first (stream.Names: RoundRobin, OldestFirst, WeightedISLIP,
 // StreamFIFO — shardable, incremental cost) and falls back to bridging a
 // simulator heuristic (full pending rescan per round, pinned to
-// shards=1); "all" defaults to the native RoundRobin.
+// shards=1). "all" is handled by the caller: it fans out to one drain
+// per native policy.
 func streamPolicy(name string) stream.Policy {
-	if name == "all" {
-		name = "RoundRobin"
-	}
 	if p := stream.ByName(name); p != nil {
 		return p
 	}
@@ -224,42 +243,50 @@ func streamPolicy(name string) stream.Policy {
 	return nil
 }
 
-// runStream drains an unbounded arrival stream through the streaming
-// runtime and reports its final metrics.
-func runStream(o streamOpts) {
-	pol := streamPolicy(o.policy)
-	if pol == nil {
-		fmt.Fprintf(os.Stderr, "flowsim: unknown stream policy %q (native: %v; simulator policies bridge at shards=1)\n",
-			o.policy, stream.Names())
-		os.Exit(2)
-	}
-	cap := o.dmax
-	if cap < 1 {
-		cap = 1
-	}
-	sw := switchnet.NewSwitch(o.ports, o.ports, cap)
-	var src stream.Source
+// streamSource builds a fresh arrival source for one drain. Each policy
+// in a -policy all sweep gets its own source (same trace bytes or RNG
+// seed), so every drain judges the same arrival process.
+func streamSource(o streamOpts, sw switchnet.Switch, capacity int) (stream.Source, func()) {
 	if o.trace != "" {
 		f, err := os.Open(o.trace)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		src = workload.NewTraceSource(f, sw)
-	} else {
-		src = workload.NewArrivalSource(workload.ArrivalConfig{
-			Ports: o.ports, Cap: cap, M: o.m, MaxFlows: o.flows,
-			Alpha: o.alpha, MinDemand: 1, MaxDemand: cap,
-		}, rand.New(rand.NewSource(o.seed)))
+		ts := workload.NewTraceSource(f, sw)
+		var src stream.Source = ts
+		if o.flowsSet {
+			// -flows was given explicitly: cap the replay. The default
+			// (1M) must not silently truncate a longer trace.
+			src = workload.NewLimit(ts, o.flows)
+		}
+		return src, func() { f.Close() }
 	}
-	rt, err := stream.New(src, stream.Config{
-		Switch:       sw,
-		Policy:       pol,
-		Shards:       o.shards,
-		MaxPending:   o.maxPending,
-		WindowRounds: o.window,
-		VerifyEvery:  o.verifyEvery,
-	})
+	src := workload.NewArrivalSource(workload.ArrivalConfig{
+		Ports: o.ports, Cap: capacity, M: o.m, MaxFlows: o.flows,
+		Alpha: o.alpha, MinDemand: 1, MaxDemand: capacity,
+	}, rand.New(rand.NewSource(o.seed)))
+	return src, func() {}
+}
+
+// runStream drains an unbounded arrival stream through the streaming
+// runtime and reports its final metrics. -policy all sweeps every
+// native streaming policy sequentially over identical arrivals.
+func runStream(o streamOpts) {
+	var pols []stream.Policy
+	if o.policy == "all" {
+		for _, name := range stream.Names() {
+			pols = append(pols, stream.ByName(name))
+		}
+	} else {
+		pol := streamPolicy(o.policy)
+		if pol == nil {
+			fmt.Fprintf(os.Stderr, "flowsim: unknown stream policy %q (native: %v; simulator policies bridge at shards=1; all sweeps the native set)\n",
+				o.policy, stream.Names())
+			os.Exit(2)
+		}
+		pols = []stream.Policy{pol}
+	}
+	mode, err := stream.ParseAdmitMode(o.admit)
 	if err != nil {
 		fatal(err)
 	}
@@ -274,15 +301,11 @@ func runStream(o streamOpts) {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	var ms0, ms1 runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&ms0)
-	start := time.Now()
-	sum, err := rt.Run()
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&ms1)
-	if err != nil {
-		fatal(err)
+	for i, pol := range pols {
+		if i > 0 {
+			fmt.Println()
+		}
+		drainStream(o, pol, mode)
 	}
 	if o.memProfile != "" {
 		f, err := os.Create(o.memProfile)
@@ -294,6 +317,41 @@ func runStream(o streamOpts) {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// drainStream runs one policy to completion over a fresh source and
+// prints its metrics block.
+func drainStream(o streamOpts, pol stream.Policy, mode stream.AdmitMode) {
+	capacity := o.dmax
+	if capacity < 1 {
+		capacity = 1
+	}
+	sw := switchnet.NewSwitch(o.ports, o.ports, capacity)
+	src, closeSrc := streamSource(o, sw, capacity)
+	defer closeSrc()
+	rt, err := stream.New(src, stream.Config{
+		Switch:       sw,
+		Policy:       pol,
+		Shards:       o.shards,
+		MaxPending:   o.maxPending,
+		Admit:        mode,
+		Deadline:     o.deadline,
+		WindowRounds: o.window,
+		VerifyEvery:  o.verifyEvery,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	sum, err := rt.Run()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	if err != nil {
+		fatal(err)
 	}
 	rounds := max(sum.Rounds, 1)
 	fmt.Printf("policy          %s\n", pol.Name())
@@ -313,6 +371,12 @@ func runStream(o streamOpts) {
 		sum.P50, sum.P90, sum.P99, o.window)
 	fmt.Printf("peak pending    %d (admission limit %d)\n", sum.PeakPending, o.maxPending)
 	fmt.Printf("backpressured   %d flows\n", sum.Backpressured)
+	switch mode {
+	case stream.AdmitDrop:
+		fmt.Printf("dropped         %d flows (shed on a full pending set)\n", sum.Dropped)
+	case stream.AdmitDeadline:
+		fmt.Printf("expired         %d flows (deadline %d rounds)\n", sum.Expired, o.deadline)
+	}
 	if o.verifyEvery > 0 {
 		fmt.Printf("verified        %d windows of %d rounds\n", sum.WindowsVerified, o.verifyEvery)
 	}

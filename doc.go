@@ -43,12 +43,18 @@
 //   - A streaming scheduler runtime (NewStreamRuntime): the online setting
 //     extended to unbounded arrival processes. Flows arrive from a
 //     StreamSource (Poisson/bounded-Pareto generators, streaming CSV trace
-//     replay, or finite-instance replay), pass admission control into a
-//     bounded pending set — when the MaxPending limit is reached the
-//     runtime exerts lossless backpressure on the source, and the queueing
-//     delay stays visible in the metrics because response times are always
-//     charged from the original release round — and drain under a
-//     StreamPolicy. Four native policies run at incremental cost and are
+//     replay, finite-instance replay, or a concurrently fed ChanSource),
+//     pass admission control into a bounded pending set, and drain under a
+//     StreamPolicy. Admission at the MaxPending limit is selectable
+//     (StreamAdmitMode): lossless backpressure on the source (default;
+//     queueing delay stays visible in the metrics because response times
+//     are always charged from the original release round), shedding
+//     (StreamAdmitDrop, shed arrivals counted in Dropped), or deadline
+//     expiry (StreamAdmitDeadline, pending flows past the Deadline bound
+//     expire, capping the response time of everything that completes); in
+//     every mode Admitted == Completed + Pending + Dropped + Expired.
+//     Runs are cancelable (Stop, RunContext) with the final summary still
+//     balancing. Four native policies run at incremental cost and are
 //     selectable by name (StreamPolicyByName; flowsim -stream -policy):
 //     RoundRobin serves per-(input,output) virtual output queues with
 //     iSLIP-style per-input pointers rotating in output-port order;
@@ -72,6 +78,15 @@
 //     VerifyEvery feeds each completed window of rounds through the
 //     verify oracle, so even unbounded runs are spot-checked for
 //     feasibility.
+//
+//   - A scheduler daemon (cmd/flowschedd, internal/daemon): the streaming
+//     runtime as a long-running HTTP/JSON service. POST /flows ingests
+//     batches into a concurrently fed ChanSource (batch-atomic validation
+//     at the door), GET /metrics serves the Prometheus text exposition
+//     from the runtime's lock-free snapshot path, GET /snapshot returns
+//     the live StreamSummary as JSON, and POST /drain (or SIGTERM)
+//     gracefully finishes the backlog and returns the final summary with
+//     nothing left pending.
 //
 // The LP solver, matching algorithms, edge coloring, rounding theorem, and
 // simulator are all implemented in this repository with no external

@@ -279,13 +279,39 @@ type (
 	// deterministic fused-barrier output-capacity protocol).
 	StreamShardable = stream.Shardable
 	// StreamRuntime drains a source round by round in bounded memory.
+	// Run blocks until the source drains (or Stop/RunContext cancels it);
+	// Snapshot reads live metrics from any goroutine.
 	StreamRuntime = stream.Runtime
 	// StreamSummary is a point-in-time view of the streaming metrics.
 	StreamSummary = stream.Summary
+	// StreamAdmitMode selects admission behaviour at the MaxPending limit:
+	// lossless backpressure, shedding (drop), or deadline expiry.
+	StreamAdmitMode = stream.AdmitMode
+	// StreamLiveFeeder marks sources fed concurrently with the run (e.g.
+	// ChanSource); the runtime admits from them without backpressure
+	// deadlock by parking only when the pending set is empty.
+	StreamLiveFeeder = stream.LiveFeeder
 	// ArrivalConfig describes a generator-driven arrival process
 	// (Poisson arrivals, unit/uniform/bounded-Pareto sizes).
 	ArrivalConfig = workload.ArrivalConfig
 )
+
+// Admission modes for StreamConfig.Admit.
+const (
+	// StreamAdmitLossless blocks the source at the MaxPending limit
+	// (default; losslessly order-preserving).
+	StreamAdmitLossless = stream.AdmitLossless
+	// StreamAdmitDrop sheds arrivals at the MaxPending limit, counted in
+	// StreamSummary.Dropped.
+	StreamAdmitDrop = stream.AdmitDrop
+	// StreamAdmitDeadline expires pending flows older than
+	// StreamConfig.Deadline rounds, counted in StreamSummary.Expired.
+	StreamAdmitDeadline = stream.AdmitDeadline
+)
+
+// ParseStreamAdmitMode parses "lossless", "drop", or "deadline" ("" means
+// lossless).
+func ParseStreamAdmitMode(s string) (StreamAdmitMode, error) { return stream.ParseAdmitMode(s) }
 
 // NewStreamRuntime builds a streaming runtime over src.
 func NewStreamRuntime(src StreamSource, cfg StreamConfig) (*StreamRuntime, error) {
@@ -340,6 +366,21 @@ func NewTraceSource(r io.Reader, sw Switch) *workload.TraceSource {
 // (release, index) order.
 func NewInstanceSource(inst *Instance) *workload.InstanceSource {
 	return workload.NewInstanceSource(inst)
+}
+
+// NewChanSource returns a concurrent-feed arrival source: producers Push
+// flows from any goroutine while a runtime drains it; Close ends the
+// stream. Release rounds are assigned at admission (the scheduler's clock
+// is virtual). It implements StreamLiveFeeder — this is the source behind
+// the flowschedd daemon's HTTP ingest.
+func NewChanSource(buffer int) *workload.ChanSource {
+	return workload.NewChanSource(buffer)
+}
+
+// NewLimitSource caps a batch-capable source at max flows — e.g. bounding
+// a CSV trace replay (flowsim -stream -trace honors -flows through it).
+func NewLimitSource(src workload.BatchFlowSource, max int64) *workload.Limit {
+	return workload.NewLimit(src, max)
 }
 
 // BoundedPareto draws from the bounded Pareto(alpha) distribution on

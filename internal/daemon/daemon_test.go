@@ -1,0 +1,303 @@
+package daemon_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"flowsched/internal/daemon"
+	"flowsched/internal/stream"
+	"flowsched/internal/switchnet"
+)
+
+// startServer builds a daemon over an 8-port unit switch, starts its
+// round loop, and serves it through httptest.
+func startServer(t *testing.T, cfg daemon.Config) (*daemon.Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Switch.NumIn() == 0 {
+		cfg.Switch = switchnet.UnitSwitch(8)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = stream.ByName("RoundRobin")
+	}
+	srv, err := daemon.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// postFlows POSTs one batch and returns the response, body drained.
+func postFlows(t *testing.T, url string, flows []switchnet.Flow) (int, string) {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"flows": flows})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/flows", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// TestDaemonEndToEnd is the acceptance flow under -race: concurrent HTTP
+// ingest while scrapers hit /metrics and /snapshot, then a graceful
+// drain whose final accounting balances with nothing left pending.
+func TestDaemonEndToEnd(t *testing.T) {
+	srv, ts := startServer(t, daemon.Config{Shards: 2, VerifyEvery: 32})
+
+	const ingesters, batches, per = 4, 10, 25
+	var wg sync.WaitGroup
+	stopScrape := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stopScrape:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				b, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || !strings.Contains(string(b), "flowsched_rounds_total") {
+					t.Errorf("metrics scrape: status %d, body %q", resp.StatusCode, b)
+					return
+				}
+				resp, err = http.Get(ts.URL + "/snapshot")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var snap stream.Summary
+				err = json.NewDecoder(resp.Body).Decode(&snap)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("snapshot decode: %v", err)
+					return
+				}
+				if snap.Admitted < snap.Completed+int64(snap.Pending)+snap.Dropped+snap.Expired {
+					t.Errorf("mid-run accounting broken: %+v", snap)
+					return
+				}
+			}
+		}()
+	}
+	var ingWG sync.WaitGroup
+	for g := 0; g < ingesters; g++ {
+		ingWG.Add(1)
+		go func(g int) {
+			defer ingWG.Done()
+			for b := 0; b < batches; b++ {
+				flows := make([]switchnet.Flow, per)
+				for i := range flows {
+					k := g*batches*per + b*per + i
+					flows[i] = switchnet.Flow{In: k % 8, Out: (k + 3) % 8, Demand: 1}
+				}
+				if code, body := postFlows(t, ts.URL, flows); code != http.StatusAccepted {
+					t.Errorf("ingest batch: status %d, body %q", code, body)
+					return
+				}
+			}
+		}(g)
+	}
+	ingWG.Wait()
+
+	resp, err := http.Post(ts.URL+"/drain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum stream.Summary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain status %d", resp.StatusCode)
+	}
+	close(stopScrape)
+	wg.Wait()
+
+	const total = ingesters * batches * per
+	if sum.Admitted != total {
+		t.Fatalf("admitted %d, want every ingested flow (%d)", sum.Admitted, total)
+	}
+	if sum.Pending != 0 {
+		t.Fatalf("graceful drain left %d flows pending", sum.Pending)
+	}
+	if sum.Admitted != sum.Completed+sum.Dropped+sum.Expired {
+		t.Fatalf("final accounting unbalanced: admitted %d != completed %d + dropped %d + expired %d",
+			sum.Admitted, sum.Completed, sum.Dropped, sum.Expired)
+	}
+
+	// Post-drain: ingest refused, health reports draining, Wait agrees.
+	if code, _ := postFlows(t, ts.URL, []switchnet.Flow{{In: 0, Out: 1, Demand: 1}}); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain ingest status %d, want 503", code)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(hb), "draining") {
+		t.Fatalf("post-drain healthz: status %d, body %q", resp.StatusCode, hb)
+	}
+	final, err := srv.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Completed != sum.Completed || final.Admitted != sum.Admitted {
+		t.Fatalf("Wait disagrees with the drain response: %+v vs %+v", final, sum)
+	}
+	if sum.WindowsVerified == 0 {
+		t.Fatal("no verification windows ran during the drain")
+	}
+}
+
+// TestDaemonRejectsBadBatches: an inadmissible flow rejects the whole
+// batch before anything reaches the runtime — the run must survive and
+// admit nothing from the poisoned batch.
+func TestDaemonRejectsBadBatches(t *testing.T) {
+	srv, ts := startServer(t, daemon.Config{})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"not json", `{"flows": [`},
+		{"empty batch", `{"flows": []}`},
+		{"port out of range", `{"flows": [{"in": 99, "out": 0, "demand": 1}]}`},
+		{"zero demand", `{"flows": [{"in": 0, "out": 0, "demand": 0}]}`},
+		{"demand above capacity", `{"flows": [{"in": 0, "out": 0, "demand": 7}]}`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/flows", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	// A good flow after the garbage: the service must still be healthy.
+	if code, body := postFlows(t, ts.URL, []switchnet.Flow{{In: 1, Out: 2, Demand: 1}}); code != http.StatusAccepted {
+		t.Fatalf("clean batch after rejects: status %d, body %q", code, body)
+	}
+	sum, err := srv.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Admitted != 1 || sum.Completed != 1 {
+		t.Fatalf("rejected batches leaked into the runtime: %+v", sum)
+	}
+}
+
+// TestDaemonDropModeUnderOverload: a tiny pending set with shedding
+// admission keeps accepting ingest (never stalls the feed) and counts
+// the shed flows; the final accounting still balances.
+func TestDaemonDropModeUnderOverload(t *testing.T) {
+	srv, ts := startServer(t, daemon.Config{
+		MaxPending: 4,
+		Admit:      stream.AdmitDrop,
+		Buffer:     8,
+	})
+	const total = 400
+	for b := 0; b < total/50; b++ {
+		flows := make([]switchnet.Flow, 50)
+		for i := range flows {
+			flows[i] = switchnet.Flow{In: 0, Out: 0, Demand: 1} // one VOQ: 1 served per round
+		}
+		if code, body := postFlows(t, ts.URL, flows); code != http.StatusAccepted {
+			t.Fatalf("overload ingest: status %d, body %q", code, body)
+		}
+	}
+	sum, err := srv.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Admitted != total {
+		t.Fatalf("admitted %d, want %d (drop mode must consume the whole feed)", sum.Admitted, total)
+	}
+	if sum.Dropped == 0 {
+		t.Fatal("a 4-slot pending set absorbing 400 same-VOQ flows shed nothing")
+	}
+	if sum.Pending != 0 || sum.Admitted != sum.Completed+sum.Dropped+sum.Expired {
+		t.Fatalf("final accounting unbalanced: %+v", sum)
+	}
+	if sum.PeakPending > 4 {
+		t.Fatalf("peak pending %d exceeds the 4-slot limit", sum.PeakPending)
+	}
+}
+
+// TestDaemonHardStop: Stop abandons the backlog but the summary still
+// balances, counting what was left pending.
+func TestDaemonHardStop(t *testing.T) {
+	srv, ts := startServer(t, daemon.Config{MaxPending: 64, Buffer: 1024})
+	flows := make([]switchnet.Flow, 500)
+	for i := range flows {
+		flows[i] = switchnet.Flow{In: 0, Out: 0, Demand: 1}
+	}
+	if code, body := postFlows(t, ts.URL, flows); code != http.StatusAccepted {
+		t.Fatalf("ingest: status %d, body %q", code, body)
+	}
+	sum, err := srv.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Admitted != sum.Completed+int64(sum.Pending)+sum.Dropped+sum.Expired {
+		t.Fatalf("hard-stop accounting unbalanced: %+v", sum)
+	}
+	if again, _ := srv.Stop(); again.Admitted != sum.Admitted {
+		t.Fatal("second Stop disagrees with the first")
+	}
+}
+
+// TestMetricsFormat pins the exposition format on a fixed summary.
+func TestMetricsFormat(t *testing.T) {
+	_, ts := startServer(t, daemon.Config{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"# TYPE flowsched_rounds_total counter",
+		"# TYPE flowsched_pending_flows gauge",
+		"# TYPE flowsched_response_rounds summary",
+		"flowsched_flows_admitted_total 0",
+		"flowsched_flows_dropped_total 0",
+		"flowsched_flows_expired_total 0",
+		`flowsched_response_rounds{quantile="0.99"}`,
+		"flowsched_response_rounds_count 0",
+	} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if n := strings.Count(string(b), fmt.Sprintf("# TYPE")); n < 10 {
+		t.Errorf("only %d typed metrics exposed", n)
+	}
+}

@@ -1,0 +1,51 @@
+package daemon
+
+import "flowsched/internal/stream"
+
+// Drain is the graceful shutdown sequence: refuse new ingest, wait out
+// the in-flight ingest handlers, close the feed — which unparks an idle
+// round loop — and wait for the runtime to finish every flow already
+// accepted. The returned summary is final: Pending is zero and
+// Admitted == Completed + Dropped + Expired. Idempotent; concurrent
+// callers all get the same summary.
+func (s *Server) Drain() (*stream.Summary, error) {
+	s.drainOnce.Do(func() {
+		s.setDraining()
+		s.ingest.Wait()
+		s.src.Close()
+	})
+	return s.Wait()
+}
+
+// Stop is the hard stop: pending flows are abandoned where Drain would
+// finish them. The runtime still settles owed picks and joins its verify
+// goroutine, so the summary's accounting balances — Pending just need
+// not be zero.
+func (s *Server) Stop() (*stream.Summary, error) {
+	s.setDraining()
+	s.rt.Stop()
+	// Stop alone cannot interrupt a round loop parked on the idle feed;
+	// closing the source can.
+	s.src.Close()
+	return s.Wait()
+}
+
+// setDraining flips the ingest gate; handlers refuse new batches after
+// it returns.
+func (s *Server) setDraining() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// beginIngest joins the ingest WaitGroup unless the server is draining;
+// the caller must call s.ingest.Done() when it reports true.
+func (s *Server) beginIngest() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.ingest.Add(1)
+	return true
+}

@@ -1,0 +1,104 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"flowsched/internal/switchnet"
+)
+
+// maxIngestBody bounds one POST /flows body (1 MiB ≈ 20k flows).
+const maxIngestBody = 1 << 20
+
+// flowsRequest is the POST /flows body. Release rounds are assigned by
+// the scheduler (its clock is virtual rounds, which a client cannot
+// observe), so any release a client sets is ignored.
+type flowsRequest struct {
+	Flows []switchnet.Flow `json:"flows"`
+}
+
+// flowsResponse acknowledges an accepted batch.
+type flowsResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// handleFlows ingests one batch. The whole batch is validated against
+// the switch before anything is pushed: the runtime treats an
+// inadmissible flow as a fatal stream error (it would abort the run), so
+// garbage must be rejected at the door, atomically per batch.
+func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	if !s.beginIngest() {
+		http.Error(w, "draining: no new flows accepted", http.StatusServiceUnavailable)
+		return
+	}
+	defer s.ingest.Done()
+
+	var req flowsRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Flows) == 0 {
+		http.Error(w, `no flows in batch (want {"flows":[{"in":0,"out":1,"demand":1},...]})`, http.StatusBadRequest)
+		return
+	}
+	for i, f := range req.Flows {
+		f.Release = 0 // assigned at admission; validate what will run
+		if err := s.sw.ValidateFlow(f); err != nil {
+			http.Error(w, fmt.Sprintf("flow %d rejected: %v", i, err), http.StatusBadRequest)
+			return
+		}
+	}
+	for i, f := range req.Flows {
+		if !s.src.Push(f) {
+			// A concurrent Stop closed the feed mid-batch.
+			http.Error(w, fmt.Sprintf("stopping: %d of %d flows accepted", i, len(req.Flows)),
+				http.StatusServiceUnavailable)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(flowsResponse{Accepted: len(req.Flows)})
+}
+
+// handleHealthz reports liveness, and the drain state for orchestrators
+// that want to stop routing early.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{%q:%q}\n", "status", status)
+}
+
+// handleSnapshot serves the runtime's Summary as JSON.
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.rt.Snapshot())
+}
+
+// handleMetrics serves the Prometheus text exposition of the Summary.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeMetrics(w, s.rt.Snapshot())
+}
+
+// handleDrain triggers the graceful drain and responds with the final
+// summary once every accepted flow is accounted for. The response can
+// take as long as the backlog does; clients wanting progress can watch
+// GET /snapshot meanwhile.
+func (s *Server) handleDrain(w http.ResponseWriter, _ *http.Request) {
+	sum, err := s.Drain()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("drain failed: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(sum)
+}

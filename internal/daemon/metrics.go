@@ -1,0 +1,42 @@
+package daemon
+
+import (
+	"fmt"
+	"io"
+
+	"flowsched/internal/stream"
+)
+
+// writeMetrics encodes a Summary in the Prometheus text exposition
+// format (version 0.0.4). Every value comes from the runtime's lock-free
+// Snapshot path — atomics plus epoch-window sketches — so a scrape never
+// stalls the round loop. Response time is modelled as a summary metric:
+// cumulative _sum/_count over every completed flow, quantiles over the
+// sliding metrics window.
+func writeMetrics(w io.Writer, s stream.Summary) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("flowsched_rounds_total", "Scheduling rounds processed (idle gaps are jumped, not counted).", s.Rounds)
+	gauge("flowsched_round", "Current scheduler round (virtual time).", float64(s.Round))
+	gauge("flowsched_shards", "Runtime shards the input ports are partitioned across.", float64(s.Shards))
+	counter("flowsched_flows_admitted_total", "Flows consumed from the ingest feed, including shed ones.", s.Admitted)
+	counter("flowsched_flows_completed_total", "Flows scheduled to completion.", s.Completed)
+	counter("flowsched_flows_dropped_total", "Arrivals shed on a full pending set (admit mode drop).", s.Dropped)
+	counter("flowsched_flows_expired_total", "Pending flows expired past the deadline (admit mode deadline).", s.Expired)
+	counter("flowsched_flows_backpressured_total", "Flows admitted after their release round because the pending set was full.", s.Backpressured)
+	gauge("flowsched_pending_flows", "Flows currently resident in the pending set.", float64(s.Pending))
+	gauge("flowsched_pending_peak", "High-water mark of the pending set.", float64(s.PeakPending))
+	counter("flowsched_verify_windows_total", "Spot-check windows the verify oracle accepted.", s.WindowsVerified)
+	fmt.Fprintf(w, "# HELP flowsched_response_rounds Response time of completed flows in rounds (quantiles over the sliding window, sum/count cumulative).\n")
+	fmt.Fprintf(w, "# TYPE flowsched_response_rounds summary\n")
+	fmt.Fprintf(w, "flowsched_response_rounds{quantile=\"0.5\"} %g\n", s.P50)
+	fmt.Fprintf(w, "flowsched_response_rounds{quantile=\"0.9\"} %g\n", s.P90)
+	fmt.Fprintf(w, "flowsched_response_rounds{quantile=\"0.99\"} %g\n", s.P99)
+	fmt.Fprintf(w, "flowsched_response_rounds_sum %d\n", s.TotalResponse)
+	fmt.Fprintf(w, "flowsched_response_rounds_count %d\n", s.Completed)
+	gauge("flowsched_response_rounds_max", "Maximum response time over all completed flows.", float64(s.MaxResponse))
+}

@@ -1,0 +1,129 @@
+// Package daemon stands the streaming scheduler runtime up as a
+// long-running HTTP/JSON service: flows arrive over the network
+// (POST /flows, batched), feed the runtime through a concurrently-fed
+// ChanSource, and drain under a native streaming policy while the
+// service exposes live observability — GET /metrics (Prometheus text
+// fed from the lock-free Snapshot path), GET /snapshot (the JSON
+// Summary), GET /healthz — and a graceful shutdown path (POST /drain:
+// refuse new ingest, finish every pending flow, report the final
+// accounting).
+//
+// The split of responsibilities: cmd/flowschedd owns flags, listening
+// sockets, and signals; this package owns everything between an
+// http.Handler and the runtime — ingest validation and gating, the
+// drain protocol, and metrics encoding — so tests drive the full
+// service through httptest without a process or a port.
+package daemon
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	"flowsched/internal/stream"
+	"flowsched/internal/switchnet"
+	"flowsched/internal/workload"
+)
+
+// DefaultBuffer is the ingest queue depth when Config.Buffer is zero.
+const DefaultBuffer = 4096
+
+// Config assembles a Server. Switch, Policy, Shards, MaxPending, Admit,
+// Deadline, and VerifyEvery pass through to the runtime's stream.Config
+// (and are validated there); Buffer sets the ingest queue depth between
+// the HTTP handlers and the round loop.
+type Config struct {
+	Switch      switchnet.Switch
+	Policy      stream.Policy
+	Shards      int
+	MaxPending  int
+	Admit       stream.AdmitMode
+	Deadline    int
+	VerifyEvery int
+	Buffer      int
+}
+
+// Server couples one runtime, its live ingest source, and the HTTP
+// surface over both. Lifecycle: New, Start, serve Handler, then Drain
+// (graceful) or Stop (hard) — each returns the final Summary.
+type Server struct {
+	sw  switchnet.Switch
+	src *workload.ChanSource
+	rt  *stream.Runtime
+	mux *http.ServeMux
+
+	// mu guards the draining flag and its handshake with the ingest
+	// WaitGroup: a handler only joins the group while not draining, so
+	// after Drain flips the flag, ingest.Wait covers every Push that will
+	// ever happen.
+	mu       sync.Mutex
+	draining bool
+	ingest   sync.WaitGroup
+
+	startOnce sync.Once
+	drainOnce sync.Once
+	runDone   chan struct{}
+	sum       *stream.Summary
+	runErr    error
+}
+
+// New builds a Server; the runtime configuration is validated eagerly.
+func New(cfg Config) (*Server, error) {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = DefaultBuffer
+	}
+	src := workload.NewChanSource(cfg.Buffer)
+	rt, err := stream.New(src, stream.Config{
+		Switch:      cfg.Switch,
+		Policy:      cfg.Policy,
+		Shards:      cfg.Shards,
+		MaxPending:  cfg.MaxPending,
+		Admit:       cfg.Admit,
+		Deadline:    cfg.Deadline,
+		VerifyEvery: cfg.VerifyEvery,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
+	s := &Server{
+		sw:      cfg.Switch,
+		src:     src,
+		rt:      rt,
+		mux:     http.NewServeMux(),
+		runDone: make(chan struct{}),
+	}
+	s.mux.HandleFunc("POST /flows", s.handleFlows)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("POST /drain", s.handleDrain)
+	return s, nil
+}
+
+// Handler returns the service's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the runtime's round loop on its own goroutine.
+// Idempotent.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		go func() {
+			s.sum, s.runErr = s.rt.Run()
+			close(s.runDone)
+		}()
+	})
+}
+
+// Snapshot returns the runtime's current metrics (lock-free with respect
+// to the round loop).
+func (s *Server) Snapshot() stream.Summary { return s.rt.Snapshot() }
+
+// Done is closed once the round loop has returned (after Drain or Stop).
+func (s *Server) Done() <-chan struct{} { return s.runDone }
+
+// Wait blocks until the round loop has returned and reports its final
+// summary.
+func (s *Server) Wait() (*stream.Summary, error) {
+	<-s.runDone
+	return s.sum, s.runErr
+}

@@ -51,7 +51,7 @@ func (s *patternSource) Err() error { return nil }
 // WeightedISLIP's request/grant arrays) length-reset, and the metric path
 // (atomic counters plus the preallocated epoch window) never touches the
 // allocator.
-func testSteadyStateZeroAlloc(t *testing.T, shards int, pol Policy) {
+func testSteadyStateZeroAlloc(t *testing.T, shards int, pol Policy, admit AdmitMode, deadline int) {
 	t.Helper()
 	src := &patternSource{ports: 8, per: 12}
 	rt, err := New(src, Config{
@@ -59,6 +59,8 @@ func testSteadyStateZeroAlloc(t *testing.T, shards int, pol Policy) {
 		Policy:     pol,
 		Shards:     shards,
 		MaxPending: 512,
+		Admit:      admit,
+		Deadline:   deadline,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -76,8 +78,22 @@ func testSteadyStateZeroAlloc(t *testing.T, shards int, pol Policy) {
 			t.Fatal("unbounded source drained during warm-up")
 		}
 	}
-	if rt.peak != 512 {
+	if admit != AdmitDeadline && rt.peak != 512 {
 		t.Fatalf("pending set never reached the admission limit: peak %d", rt.peak)
+	}
+	switch admit {
+	case AdmitDrop:
+		if rt.mDropped.Load() == 0 {
+			t.Fatal("overloaded drop-mode warm-up shed nothing")
+		}
+	case AdmitDeadline:
+		var expired int64
+		for _, sh := range rt.shards {
+			expired += sh.expired.Load()
+		}
+		if expired == 0 {
+			t.Fatal("overloaded deadline-mode warm-up expired nothing")
+		}
 	}
 	allocs := testing.AllocsPerRun(512, func() {
 		if _, err := rt.step(); err != nil {
@@ -96,7 +112,28 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	for _, name := range []string{"RoundRobin", "OldestFirst", "WeightedISLIP"} {
 		for _, shards := range []int{1, 2} {
 			t.Run(fmt.Sprintf("%s/K%d", name, shards), func(t *testing.T) {
-				testSteadyStateZeroAlloc(t, shards, ByName(name))
+				testSteadyStateZeroAlloc(t, shards, ByName(name), AdmitLossless, 0)
+			})
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocAdmissionModes extends the allocation gate to
+// the shedding admission modes: a steady-state round that drops the
+// released backlog (AdmitDrop) or expires aged pending flows
+// (AdmitDeadline) must stay off the allocator exactly like the lossless
+// path.
+func TestSteadyStateZeroAllocAdmissionModes(t *testing.T) {
+	for _, tc := range []struct {
+		admit    AdmitMode
+		deadline int
+	}{
+		{AdmitDrop, 0},
+		{AdmitDeadline, 8},
+	} {
+		for _, shards := range []int{1, 2} {
+			t.Run(fmt.Sprintf("%s/K%d", tc.admit, shards), func(t *testing.T) {
+				testSteadyStateZeroAlloc(t, shards, ByName("RoundRobin"), tc.admit, tc.deadline)
 			})
 		}
 	}

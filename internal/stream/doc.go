@@ -124,14 +124,52 @@
 // Config.OnSchedule is always invoked from the coordinator goroutine, in
 // shard index order within a round, so callbacks need no locking.
 //
-// # Backpressure
+// # Admission modes
 //
-// When the pending set reaches Config.MaxPending the runtime stops
-// draining the source, so arrivals wait inside the source until a
-// departure frees a slot. Admission is lossless and order-preserving, and
-// response times are always charged from the flow's original release
-// round, so queueing delay under overload is visible in the metrics rather
-// than hidden by the admission control.
+// Config.Admit selects what happens when the pending set reaches
+// Config.MaxPending; the accounting invariant
+//
+//	Admitted == Completed + Pending + Dropped + Expired
+//
+// holds in every mode, at every Snapshot, so no flow is ever silently
+// lost:
+//
+//   - AdmitLossless (default): the runtime stops draining the source, so
+//     arrivals wait inside the source until a departure frees a slot.
+//     Admission is lossless and order-preserving, and response times are
+//     always charged from the flow's original release round, so queueing
+//     delay under overload is visible in the metrics rather than hidden
+//     by the admission control. Backpressured counts the late admissions.
+//   - AdmitDrop: arrivals that find the pending set full are validated,
+//     counted in Admitted and Dropped, and shed without ever entering a
+//     queue. The source is always drained at release time — overload
+//     costs flows, never feed stalls — which is the right contract for a
+//     live network feed that cannot be paused.
+//   - AdmitDeadline: admission stays lossless, but each round every shard
+//     expires the pending flows whose age exceeds Config.Deadline rounds
+//     (head-walks of the admission-order sublists — O(expired) per round,
+//     exploiting non-decreasing releases), counted in Expired. Completed
+//     flows therefore always have MaxResponse <= Deadline: the runtime
+//     trades completions for a hard response-time bound.
+//
+// Drop and expiry decisions are part of the deterministic round protocol
+// (drops on the coordinator's admission path, expiry inside the fused
+// phase before the policy proposes), so for a fixed K the counts replay
+// bit for bit and verification windows stay oracle-clean in every mode.
+//
+// # Live sources
+//
+// A Source additionally implementing LiveFeeder (LiveFeed() == true, e.g.
+// workload.ChanSource feeding the flowschedd daemon) is fed concurrently
+// with the run, so "the source has nothing" no longer means "the stream
+// ended". The runtime then admits exclusively through non-blocking
+// PullBatch calls and parks in a blocking Next only when the pending set
+// is empty — under lossless admission a full pending set simply stops
+// pulling (the feed buffers), and shutting down requires closing the
+// source (Runtime.Stop cannot interrupt a parked Next). Rounds are
+// virtual time: the clock advances per scheduling round and jumps on
+// idle gaps, so releases are stamped by the source at pull time, not by
+// the producer.
 //
 // # Verification
 //

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -30,6 +31,26 @@ type Source interface {
 type BatchSource interface {
 	Source
 	PullBatch(dst []switchnet.Flow, round, max int) []switchnet.Flow
+}
+
+// LiveFeeder marks a Source that is fed concurrently while the runtime
+// drains it — a network ingest queue rather than a finite backing store —
+// so running out of buffered flows does not mean the stream has ended.
+// The runtime treats such a source differently in two ways: admission
+// only ever drains what is immediately available (PullBatch must be
+// non-blocking; a live source must implement BatchSource, checked at
+// construction), and the blocking Next is consulted only when the
+// pending set is empty, so an idle runtime parks on the source instead
+// of spinning or terminating. Closing the source (Next returning
+// ok=false once the feed is shut and drained) ends the run; Stop alone
+// cannot interrupt a parked Next, so a shutdown path must close the
+// source as well. internal/workload.ChanSource is the canonical
+// implementation.
+type LiveFeeder interface {
+	Source
+	// LiveFeed reports whether the source is concurrently fed. It is
+	// consulted once, at construction.
+	LiveFeed() bool
 }
 
 // ID identifies an admitted flow in a shard's pending set. IDs are
@@ -86,6 +107,56 @@ const (
 	DefaultStallRounds  = 4096
 )
 
+// AdmitMode selects how the runtime behaves when it cannot serve every
+// arrival: lossless backpressure (the default), shedding on a full
+// pending set, or deadline expiry of aged pending flows. See the package
+// docs ("Admission modes") for the exact semantics and what each mode
+// counts.
+type AdmitMode int
+
+const (
+	// AdmitLossless stalls the source while the pending set is full:
+	// nothing is ever dropped, late admissions count as Backpressured,
+	// and response times stay charged from the original release round.
+	AdmitLossless AdmitMode = iota
+	// AdmitDrop sheds arrivals released while the pending set is full:
+	// they are consumed from the source, never scheduled, and counted in
+	// Summary.Dropped. The source is never stalled.
+	AdmitDrop
+	// AdmitDeadline expires pending flows that can no longer complete
+	// within Config.Deadline rounds of their release: they leave the
+	// pending set unscheduled and count in Summary.Expired, so every
+	// completed flow satisfies response <= Deadline.
+	AdmitDeadline
+)
+
+// String returns the mode's flag spelling ("lossless", "drop",
+// "deadline").
+func (m AdmitMode) String() string {
+	switch m {
+	case AdmitLossless:
+		return "lossless"
+	case AdmitDrop:
+		return "drop"
+	case AdmitDeadline:
+		return "deadline"
+	}
+	return fmt.Sprintf("AdmitMode(%d)", int(m))
+}
+
+// ParseAdmitMode resolves a flag spelling to its mode.
+func ParseAdmitMode(s string) (AdmitMode, error) {
+	switch s {
+	case "lossless", "":
+		return AdmitLossless, nil
+	case "drop":
+		return AdmitDrop, nil
+	case "deadline":
+		return AdmitDeadline, nil
+	}
+	return 0, fmt.Errorf("stream: unknown admission mode %q (lossless, drop, deadline)", s)
+}
+
 // Config tunes a Runtime.
 type Config struct {
 	// Switch describes the port structure; all source flows must fit it.
@@ -100,9 +171,20 @@ type Config struct {
 	// and 1 otherwise; the value is always capped at NumIn.
 	Shards int
 	// MaxPending bounds the resident pending set (admission control);
-	// <= 0 selects DefaultMaxPending. When the limit is reached the
-	// runtime exerts backpressure on the source instead of dropping.
+	// <= 0 selects DefaultMaxPending. What happens at the limit is
+	// Admit's choice: backpressure (AdmitLossless, the default) or
+	// shedding (AdmitDrop).
 	MaxPending int
+	// Admit selects the overload behavior: AdmitLossless (default)
+	// stalls the source at MaxPending, AdmitDrop sheds arrivals while
+	// the pending set is full, AdmitDeadline expires pending flows that
+	// can no longer meet Deadline.
+	Admit AdmitMode
+	// Deadline is the response-time bound in rounds for AdmitDeadline: a
+	// pending flow expires once completing in the current round would
+	// give it a response greater than Deadline. Required positive with
+	// AdmitDeadline, and must be zero with the other modes.
+	Deadline int
 	// VerifyEvery > 0 spot-checks each completed window of that many
 	// rounds through the verify oracle.
 	VerifyEvery int
@@ -133,16 +215,24 @@ type Summary struct {
 	// Shards is the number of runtime shards the input ports are
 	// partitioned across (1 = unsharded).
 	Shards int
-	// Admitted and Completed count flows in and out of the pending set;
-	// Pending is the current resident count and PeakPending its high
-	// water mark (never above MaxPending).
+	// Admitted counts every flow the runtime consumed from the source —
+	// including flows AdmitDrop shed — and Completed the flows scheduled
+	// to completion, so the accounting always balances:
+	// Admitted == Completed + Pending + Dropped + Expired. Pending is
+	// the current resident count and PeakPending its high water mark
+	// (never above MaxPending).
 	Admitted    int64
 	Completed   int64
 	Pending     int
 	PeakPending int
 	// Backpressured counts flows admitted after their release round
-	// because the pending set was full.
+	// because the pending set was full (AdmitLossless).
 	Backpressured int64
+	// Dropped counts arrivals shed on a full pending set (AdmitDrop);
+	// Expired counts pending flows that aged past the deadline and left
+	// unscheduled (AdmitDeadline). Both are zero in other modes.
+	Dropped int64
+	Expired int64
 	// TotalResponse, AvgResponse, MaxResponse are the paper's metrics
 	// over completed flows (C_e = round+1 convention).
 	TotalResponse int64
@@ -170,6 +260,15 @@ type Runtime struct {
 	batcher BatchSource
 	sw      switchnet.Switch
 	caps    []int
+
+	// live marks a concurrently-fed source (see LiveFeeder): admission
+	// never blocks and the round loop parks on Next only when idle.
+	// deadline caches Config.Deadline for the shards' expiry walk.
+	live     bool
+	deadline int
+
+	// stop requests a clean stop of Run between rounds (see Stop).
+	stop atomic.Bool
 
 	nshards int
 	shards  []*shard
@@ -212,6 +311,7 @@ type Runtime struct {
 	mRounds        atomic.Int64
 	mAdmitted      atomic.Int64
 	mBackpressured atomic.Int64
+	mDropped       atomic.Int64
 	mPeak          atomic.Int64
 	mWindows       atomic.Int64
 
@@ -262,6 +362,18 @@ func New(src Source, cfg Config) (*Runtime, error) {
 	if cfg.MaxPending <= 0 {
 		cfg.MaxPending = DefaultMaxPending
 	}
+	switch cfg.Admit {
+	case AdmitLossless, AdmitDrop:
+		if cfg.Deadline != 0 {
+			return nil, fmt.Errorf("stream: Deadline %d is set but Admit is %s (deadlines need AdmitDeadline)", cfg.Deadline, cfg.Admit)
+		}
+	case AdmitDeadline:
+		if cfg.Deadline <= 0 {
+			return nil, fmt.Errorf("stream: AdmitDeadline needs a positive Deadline, got %d", cfg.Deadline)
+		}
+	default:
+		return nil, fmt.Errorf("stream: unknown admission mode %d", int(cfg.Admit))
+	}
 	if cfg.WindowRounds <= 0 {
 		cfg.WindowRounds = DefaultWindowRounds
 	}
@@ -286,15 +398,22 @@ func New(src Source, cfg Config) (*Runtime, error) {
 			cfg.Policy.Name())
 	}
 	rt := &Runtime{
-		cfg:     cfg,
-		src:     src,
-		sw:      cfg.Switch,
-		caps:    cfg.Switch.Caps(),
-		nshards: cfg.Shards,
-		shards:  make([]*shard, cfg.Shards),
-		vdone:   make(chan error, 1),
+		cfg:      cfg,
+		src:      src,
+		sw:       cfg.Switch,
+		caps:     cfg.Switch.Caps(),
+		deadline: cfg.Deadline,
+		nshards:  cfg.Shards,
+		shards:   make([]*shard, cfg.Shards),
+		vdone:    make(chan error, 1),
 	}
 	rt.batcher, _ = src.(BatchSource)
+	if lf, ok := src.(LiveFeeder); ok && lf.LiveFeed() {
+		if rt.batcher == nil {
+			return nil, fmt.Errorf("stream: live source %T must implement BatchSource (admission from a live feed cannot block)", src)
+		}
+		rt.live = true
+	}
 	if rt.nshards > 1 {
 		rt.leftover = make([]int, mOut)
 		for _, c := range cfg.Switch.OutCaps {
@@ -327,16 +446,26 @@ func (rt *Runtime) pull() {
 	rt.look, rt.haveLook = f, true
 }
 
+// checkFlow validates the stream contract for a consumed flow — releases
+// non-decreasing, flow admissible on the switch — whether it is routed or
+// shed, so a malformed source fails the run even under AdmitDrop.
+func (rt *Runtime) checkFlow(f switchnet.Flow) error {
+	if f.Release < rt.lastRel {
+		return fmt.Errorf("stream: source yielded release %d after %d (must be non-decreasing)", f.Release, rt.lastRel)
+	}
+	rt.lastRel = f.Release
+	if err := rt.sw.ValidateFlow(f); err != nil {
+		return fmt.Errorf("stream: inadmissible flow: %w", err)
+	}
+	return nil
+}
+
 // route validates f, assigns its admission sequence number, and queues it
 // on its input port's shard; the shard threads it during the next round
 // phase. Returns the number backpressured (0 or 1) for metric batching.
 func (rt *Runtime) route(f switchnet.Flow) (int, error) {
-	if f.Release < rt.lastRel {
-		return 0, fmt.Errorf("stream: source yielded release %d after %d (must be non-decreasing)", f.Release, rt.lastRel)
-	}
-	rt.lastRel = f.Release
-	if err := rt.sw.ValidateFlow(f); err != nil {
-		return 0, fmt.Errorf("stream: inadmissible flow: %w", err)
+	if err := rt.checkFlow(f); err != nil {
+		return 0, err
 	}
 	sh := rt.shards[f.In%rt.nshards]
 	sh.inbox = append(sh.inbox, arrival{flow: f, seq: rt.seq})
@@ -348,13 +477,68 @@ func (rt *Runtime) route(f switchnet.Flow) (int, error) {
 	return 0, nil
 }
 
-// admit drains every currently-released arrival the admission limit
+// dropChunk is the batch size for shedding a released backlog under
+// AdmitDrop: large enough to amortize the interface call, small enough
+// that the reused batch buffer stays cache-resident.
+const dropChunk = 512
+
+// admitted batches one admission pass's counter updates into the
+// snapshot-visible atomics.
+func (rt *Runtime) admitted(arrived, backpressured, dropped int) {
+	if arrived == 0 {
+		return
+	}
+	rt.mAdmitted.Add(int64(arrived))
+	if backpressured > 0 {
+		rt.mBackpressured.Add(int64(backpressured))
+	}
+	if dropped > 0 {
+		rt.mDropped.Add(int64(dropped))
+	}
+	if rt.count > rt.peak {
+		rt.peak = rt.count
+		rt.mPeak.Store(int64(rt.peak))
+	}
+}
+
+// admit drains every currently-released arrival the admission mode
 // allows into the shard inboxes, one batch call when the source supports
-// it.
+// it. Under AdmitDrop a full pending set sheds the released backlog
+// instead of stalling the source.
 func (rt *Runtime) admit() error {
+	if rt.live {
+		return rt.admitLive()
+	}
 	rt.pull()
-	arrived, backpressured := 0, 0
-	for rt.count < rt.cfg.MaxPending && rt.haveLook && rt.look.Release <= rt.round {
+	arrived, backpressured, dropped := 0, 0, 0
+	drop := rt.cfg.Admit == AdmitDrop
+	for rt.haveLook && rt.look.Release <= rt.round {
+		if rt.count >= rt.cfg.MaxPending {
+			if !drop {
+				break
+			}
+			if err := rt.checkFlow(rt.look); err != nil {
+				return err
+			}
+			arrived++
+			dropped++
+			rt.haveLook = false
+			for rt.batcher != nil {
+				rt.batch = rt.batcher.PullBatch(rt.batch[:0], rt.round, dropChunk)
+				for _, f := range rt.batch {
+					if err := rt.checkFlow(f); err != nil {
+						return err
+					}
+				}
+				arrived += len(rt.batch)
+				dropped += len(rt.batch)
+				if len(rt.batch) < dropChunk {
+					break
+				}
+			}
+			rt.pull()
+			continue
+		}
 		bp, err := rt.route(rt.look)
 		if err != nil {
 			return err
@@ -375,14 +559,58 @@ func (rt *Runtime) admit() error {
 		}
 		rt.pull()
 	}
-	if arrived > 0 {
-		rt.mAdmitted.Add(int64(arrived))
-		rt.mBackpressured.Add(int64(backpressured))
-		if rt.count > rt.peak {
-			rt.peak = rt.count
-			rt.mPeak.Store(int64(rt.peak))
+	rt.admitted(arrived, backpressured, dropped)
+	return nil
+}
+
+// admitLive is the admission pass for concurrently-fed sources: it
+// drains only what the feed has immediately available (PullBatch never
+// blocks on a LiveFeeder) and never terminates the stream — end of feed
+// is detected by the idle park in step, not here.
+func (rt *Runtime) admitLive() error {
+	arrived, backpressured, dropped := 0, 0, 0
+	drop := rt.cfg.Admit == AdmitDrop
+	if rt.haveLook {
+		// A flow the idle park pulled: admit it ahead of the batch. The
+		// park only returns with an empty pending set, so there is always
+		// room.
+		bp, err := rt.route(rt.look)
+		if err != nil {
+			return err
+		}
+		arrived++
+		backpressured += bp
+		rt.haveLook = false
+	}
+	for !rt.srcDone {
+		want := rt.cfg.MaxPending - rt.count
+		if want <= 0 {
+			if !drop {
+				break
+			}
+			want = dropChunk
+		}
+		rt.batch = rt.batcher.PullBatch(rt.batch[:0], rt.round, want)
+		for _, f := range rt.batch {
+			if rt.count < rt.cfg.MaxPending {
+				bp, err := rt.route(f)
+				if err != nil {
+					return err
+				}
+				backpressured += bp
+			} else {
+				if err := rt.checkFlow(f); err != nil {
+					return err
+				}
+				dropped++
+			}
+		}
+		arrived += len(rt.batch)
+		if len(rt.batch) < want {
+			break
 		}
 	}
+	rt.admitted(arrived, backpressured, dropped)
 	return nil
 }
 
@@ -569,6 +797,9 @@ func (rt *Runtime) step() (done bool, err error) {
 	if rt.count == 0 {
 		rt.applyPending()
 		if !rt.haveLook {
+			if rt.live && !rt.srcDone {
+				return rt.park()
+			}
 			if err := rt.src.Err(); err != nil {
 				return false, err
 			}
@@ -590,12 +821,15 @@ func (rt *Runtime) step() (done bool, err error) {
 		return false, err
 	}
 
-	total := 0
+	total, expired := 0, 0
 	for _, sh := range rt.shards {
 		total += len(sh.takes)
+		if rt.deadline > 0 {
+			expired += sh.expRound
+		}
 	}
 	rt.mRounds.Add(1)
-	if total == 0 {
+	if total == 0 && expired == 0 {
 		rt.stalled++
 		if rt.stalled >= rt.cfg.StallRounds {
 			return false, fmt.Errorf("stream: policy %q scheduled nothing for %d consecutive rounds with %d flows pending",
@@ -616,12 +850,37 @@ func (rt *Runtime) step() (done bool, err error) {
 			}
 		}
 	}
-	rt.count -= total
+	rt.count -= total + expired
 	return false, rt.setRound(rt.round + 1)
 }
 
+// park blocks an idle live runtime on the source's Next until the feed
+// produces a flow or closes. A stop requested before the park is honored
+// without blocking, but Stop cannot interrupt the block itself — a
+// shutdown path must close the source too (see LiveFeeder).
+func (rt *Runtime) park() (done bool, err error) {
+	if rt.stop.Load() {
+		return true, nil
+	}
+	f, ok := rt.src.Next()
+	if !ok {
+		rt.srcDone = true
+		if err := rt.src.Err(); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	rt.look, rt.haveLook = f, true
+	if f.Release > rt.round {
+		return false, rt.setRound(f.Release)
+	}
+	return false, nil
+}
+
 // Run drains the source: it advances round by round until the source is
-// exhausted and the pending set is empty, then returns the final summary.
+// exhausted and the pending set is empty — or until Stop is called — then
+// returns the final summary. On either exit every owed pick is settled,
+// the verify goroutine is joined, and the shard worker pool is shut down.
 // It is not restartable.
 func (rt *Runtime) Run() (*Summary, error) {
 	if err := rt.firstErr(); err != nil {
@@ -629,7 +888,7 @@ func (rt *Runtime) Run() (*Summary, error) {
 	}
 	rt.startWorkers()
 	defer rt.stopWorkers()
-	for {
+	for !rt.stop.Load() {
 		done, err := rt.step()
 		if err != nil {
 			return nil, err
@@ -638,6 +897,10 @@ func (rt *Runtime) Run() (*Summary, error) {
 			break
 		}
 	}
+	// A stop can land between a fused phase and its deferred retirement;
+	// settle so the final summary reflects every pick taken. (No-op on the
+	// drained path — step settles before reporting done.)
+	rt.applyPending()
 	if rt.cfg.VerifyEvery > 0 {
 		if err := rt.flushWindow(); err != nil {
 			return nil, err
@@ -648,6 +911,25 @@ func (rt *Runtime) Run() (*Summary, error) {
 	}
 	s := rt.Snapshot()
 	return &s, nil
+}
+
+// Stop requests a clean stop: Run finishes the iteration in flight,
+// settles owed picks, joins the verify goroutine, and returns the final
+// Summary with a nil error. Safe to call from any goroutine, before or
+// during Run, and idempotent. It does not interrupt a live source parked
+// in Next — a shutdown path for a LiveFeeder must close the source too.
+func (rt *Runtime) Stop() { rt.stop.Store(true) }
+
+// RunContext is Run with context cancellation wired to Stop: cancelling
+// ctx stops the run cleanly, returning the final Summary (not ctx.Err()).
+func (rt *Runtime) RunContext(ctx context.Context) (*Summary, error) {
+	if ctx.Err() != nil {
+		// AfterFunc runs its callback asynchronously even for an
+		// already-cancelled context; stop synchronously so no work starts.
+		rt.Stop()
+	}
+	defer context.AfterFunc(ctx, rt.Stop)()
+	return rt.Run()
 }
 
 // Snapshot returns the current streaming metrics, merging the per-shard
@@ -661,10 +943,11 @@ func (rt *Runtime) Snapshot() Summary {
 	defer rt.snapMu.Unlock()
 	round := int(rt.mRound.Load())
 	rt.scratch.Reset()
-	var completed, totalResp int64
+	var completed, totalResp, expired int64
 	maxResp := 0
 	for _, sh := range rt.shards {
 		completed += sh.completed.Load()
+		expired += sh.expired.Load()
 		totalResp += sh.totalResp.Load()
 		if m := int(sh.maxResp.Load()); m > maxResp {
 			maxResp = m
@@ -672,8 +955,11 @@ func (rt *Runtime) Snapshot() Summary {
 		sh.win.ReadInto(&rt.shardScratch, round)
 		rt.scratch.Merge(&rt.shardScratch)
 	}
-	// Admitted loads after completed: it only grows, so the invariant
-	// Completed <= Admitted holds in every snapshot.
+	// Admitted loads after the outcome counters: it only grows and is
+	// always at least their sum on the writer side, so
+	// Completed + Dropped + Expired <= Admitted (and Pending >= 0) holds
+	// in every snapshot.
+	dropped := rt.mDropped.Load()
 	admitted := rt.mAdmitted.Load()
 	s := Summary{
 		Round:           round,
@@ -681,9 +967,11 @@ func (rt *Runtime) Snapshot() Summary {
 		Shards:          rt.nshards,
 		Admitted:        admitted,
 		Completed:       completed,
-		Pending:         int(admitted - completed),
+		Pending:         int(admitted - completed - dropped - expired),
 		PeakPending:     int(rt.mPeak.Load()),
 		Backpressured:   rt.mBackpressured.Load(),
+		Dropped:         dropped,
+		Expired:         expired,
 		TotalResponse:   totalResp,
 		MaxResponse:     maxResp,
 		WindowsVerified: rt.mWindows.Load(),

@@ -100,9 +100,12 @@ type shard struct {
 
 	// takes holds the round's settled picks until the next phaseRound (or
 	// an explicit phaseApply) retires them; takesRound is the round they
-	// were picked in.
+	// were picked in. expRound counts the flows the round phase expired
+	// (AdmitDeadline); the coordinator reads it after the barrier to keep
+	// its global pending count in step.
 	takes      []int32
 	takesRound int
+	expRound   int
 	cscratch   []int32
 	view       View
 	phase      int
@@ -121,6 +124,7 @@ type shard struct {
 	// updated once per applied round; the window sketch is an epoch
 	// (seqlock) window readers merge without stalling the shard.
 	completed atomic.Int64
+	expired   atomic.Int64
 	totalResp atomic.Int64
 	maxResp   atomic.Int64
 	win       *stats.EpochWindow
@@ -254,12 +258,37 @@ func (sh *shard) do(ph int) {
 		sh.apply()
 		sh.admitAll()
 		sh.takesRound = sh.rt.round
+		if sh.rt.deadline > 0 {
+			sh.expire()
+		}
 		if sh.count > 0 {
 			sh.phase = pickBudget
 			sh.pol.Pick(&sh.view)
 		}
 	case phaseApply:
 		sh.apply()
+	}
+}
+
+// expire unthreads pending flows that can no longer meet the deadline:
+// completing a flow this round gives it response round+1-release, so any
+// flow with round+1-release > Deadline is past saving. The admission
+// sublist follows source order and releases are non-decreasing along it,
+// so walking from the head and stopping at the first survivor sees every
+// expirable flow. Runs inside the round phase after apply (no retired
+// flow is still threaded) and before Pick (an expired flow is never
+// scheduled), which keeps the schedule verifier-clean and deterministic.
+func (sh *shard) expire() {
+	a := &sh.ar
+	horizon := int64(sh.rt.round + 1 - sh.rt.deadline)
+	n := 0
+	for sh.head != noID && a.rec[sh.head].rel < horizon {
+		sh.depart(sh.head)
+		n++
+	}
+	sh.expRound = n
+	if n > 0 {
+		sh.expired.Add(int64(n))
 	}
 }
 

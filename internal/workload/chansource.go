@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"sync"
+
+	"flowsched/internal/switchnet"
+)
+
+// ChanSource adapts a concurrently-fed channel of flows into a streaming
+// source: producers Push flows from any number of goroutines (a network
+// ingest path, typically) while a single consumer — the runtime — drains
+// them. It implements the stream runtime's LiveFeeder contract: PullBatch
+// never blocks, Next blocks until a flow arrives or the source is closed,
+// and LiveFeed reports true so the runtime parks on Next only when idle.
+//
+// Release rounds are assigned by the source, not the producers: scheduler
+// time is virtual (rounds advance as fast as the round loop spins, and
+// freeze while it is parked), so a producer cannot know the current
+// round. Each drained flow is stamped with the latest round the runtime
+// has announced through PullBatch, clamped to keep releases
+// non-decreasing; any Release a producer set is overwritten.
+type ChanSource struct {
+	ch   chan switchnet.Flow
+	done chan struct{}
+	once sync.Once
+
+	// Consumer-side state, touched only by the runtime's goroutine.
+	lastRound int
+	lastRel   int
+}
+
+// NewChanSource returns a live source whose feed buffers up to buf pushed
+// flows (minimum 1).
+func NewChanSource(buf int) *ChanSource {
+	if buf < 1 {
+		buf = 1
+	}
+	return &ChanSource{
+		ch:   make(chan switchnet.Flow, buf),
+		done: make(chan struct{}),
+	}
+}
+
+// Push feeds one flow, blocking while the buffer is full. It returns
+// false — without delivering — once the source is closed. Safe for
+// concurrent use.
+func (s *ChanSource) Push(f switchnet.Flow) bool {
+	select {
+	case <-s.done:
+		return false
+	default:
+	}
+	select {
+	case s.ch <- f:
+		return true
+	case <-s.done:
+		return false
+	}
+}
+
+// Close ends the feed: pending buffered flows are still drained, then the
+// stream reports a clean end. Idempotent and safe to call concurrently
+// with Push.
+func (s *ChanSource) Close() { s.once.Do(func() { close(s.done) }) }
+
+// Next implements FlowSource: it blocks until a flow is pushed or the
+// source is closed and drained.
+func (s *ChanSource) Next() (switchnet.Flow, bool) {
+	select {
+	case f := <-s.ch:
+		return s.stamp(f), true
+	default:
+	}
+	select {
+	case f := <-s.ch:
+		return s.stamp(f), true
+	case <-s.done:
+		// Closed: drain anything that raced in before the close.
+		select {
+		case f := <-s.ch:
+			return s.stamp(f), true
+		default:
+			return switchnet.Flow{}, false
+		}
+	}
+}
+
+// PullBatch implements BatchFlowSource without ever blocking: it drains
+// at most max immediately-available flows, stamped with the given round.
+func (s *ChanSource) PullBatch(dst []switchnet.Flow, round, max int) []switchnet.Flow {
+	if round > s.lastRound {
+		s.lastRound = round
+	}
+	for n := 0; n < max; n++ {
+		select {
+		case f := <-s.ch:
+			dst = append(dst, s.stamp(f))
+		default:
+			return dst
+		}
+	}
+	return dst
+}
+
+// Err implements FlowSource: a closed feed is always a clean end.
+func (s *ChanSource) Err() error { return nil }
+
+// LiveFeed marks the source as concurrently fed (stream.LiveFeeder).
+func (s *ChanSource) LiveFeed() bool { return true }
+
+// stamp assigns the flow's release round: the latest round announced via
+// PullBatch, clamped non-decreasing.
+func (s *ChanSource) stamp(f switchnet.Flow) switchnet.Flow {
+	rel := s.lastRound
+	if rel < s.lastRel {
+		rel = s.lastRel
+	}
+	s.lastRel = rel
+	f.Release = rel
+	return f
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"sync"
+	"testing"
+
+	"flowsched/internal/switchnet"
+)
+
+func TestChanSourceStampAndDrain(t *testing.T) {
+	s := NewChanSource(8)
+	for i := 0; i < 3; i++ {
+		if !s.Push(switchnet.Flow{In: i, Out: i, Demand: 1, Release: 99}) {
+			t.Fatalf("push %d rejected before close", i)
+		}
+	}
+	got := s.PullBatch(nil, 5, 10)
+	if len(got) != 3 {
+		t.Fatalf("PullBatch drained %d flows, want 3", len(got))
+	}
+	for i, f := range got {
+		if f.Release != 5 {
+			t.Fatalf("flow %d stamped release %d, want round 5 (producer value must be overwritten)", i, f.Release)
+		}
+	}
+	// A later batch at an earlier round must not regress releases.
+	s.Push(switchnet.Flow{In: 0, Out: 1, Demand: 1})
+	got = s.PullBatch(nil, 2, 10)
+	if len(got) != 1 || got[0].Release != 5 {
+		t.Fatalf("got %+v, want one flow clamped to release 5", got)
+	}
+	// Empty feed: PullBatch never blocks.
+	if got := s.PullBatch(nil, 6, 10); len(got) != 0 {
+		t.Fatalf("empty feed yielded %d flows", len(got))
+	}
+}
+
+func TestChanSourceCloseSemantics(t *testing.T) {
+	s := NewChanSource(4)
+	s.Push(switchnet.Flow{In: 1, Out: 2, Demand: 1})
+	s.Close()
+	s.Close() // idempotent
+	if s.Push(switchnet.Flow{In: 0, Out: 0, Demand: 1}) {
+		t.Fatal("push accepted after close")
+	}
+	// The buffered flow survives the close.
+	f, ok := s.Next()
+	if !ok || f.In != 1 || f.Out != 2 {
+		t.Fatalf("Next after close = %+v, %v; want the buffered flow", f, ok)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("Next yielded a flow from a closed, drained feed")
+	}
+	if err := s.Err(); err != nil {
+		t.Fatalf("closed feed reports error %v", err)
+	}
+}
+
+func TestChanSourceNextBlocksUntilPushOrClose(t *testing.T) {
+	s := NewChanSource(1)
+	done := make(chan switchnet.Flow, 1)
+	go func() {
+		f, ok := s.Next()
+		if !ok {
+			f = switchnet.Flow{In: -1}
+		}
+		done <- f
+	}()
+	s.Push(switchnet.Flow{In: 7, Out: 3, Demand: 2})
+	if f := <-done; f.In != 7 {
+		t.Fatalf("parked Next returned %+v, want the pushed flow", f)
+	}
+
+	ended := make(chan bool, 1)
+	go func() {
+		_, ok := s.Next()
+		ended <- ok
+	}()
+	s.Close()
+	if ok := <-ended; ok {
+		t.Fatal("parked Next did not end after close")
+	}
+}
+
+func TestChanSourceConcurrentProducers(t *testing.T) {
+	s := NewChanSource(16)
+	const producers, each = 8, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.Push(switchnet.Flow{In: p, Out: p, Demand: 1})
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		s.Close()
+	}()
+	n, lastRel, round := 0, 0, 0
+	for {
+		batch := s.PullBatch(nil, round, 64)
+		for _, f := range batch {
+			if f.Release < lastRel {
+				t.Fatalf("release %d after %d", f.Release, lastRel)
+			}
+			lastRel = f.Release
+			n++
+		}
+		round++
+		if len(batch) == 0 {
+			// Park like the runtime does when idle.
+			if _, ok := s.Next(); !ok {
+				break
+			}
+			n++
+		}
+	}
+	if n != producers*each {
+		t.Fatalf("drained %d flows, want %d", n, producers*each)
+	}
+}
+
+func TestLimitCapsStream(t *testing.T) {
+	inst := &switchnet.Instance{
+		Switch: switchnet.NewSwitch(4, 4, 1),
+	}
+	for i := 0; i < 10; i++ {
+		inst.Flows = append(inst.Flows, switchnet.Flow{In: i % 4, Out: i % 4, Demand: 1, Release: 0})
+	}
+	lim := NewLimit(NewInstanceSource(inst), 6)
+	got := lim.PullBatch(nil, 0, 4)
+	if len(got) != 4 {
+		t.Fatalf("first batch %d flows, want 4", len(got))
+	}
+	if f, ok := lim.Next(); !ok || f.Demand != 1 {
+		t.Fatalf("Next after batch = %+v, %v", f, ok)
+	}
+	got = lim.PullBatch(nil, 0, 4)
+	if len(got) != 1 {
+		t.Fatalf("capped batch %d flows, want 1 (6-flow limit)", len(got))
+	}
+	if _, ok := lim.Next(); ok {
+		t.Fatal("Next yielded past the cap")
+	}
+	if err := lim.Err(); err != nil {
+		t.Fatalf("clean capped stream reports %v", err)
+	}
+}

@@ -45,6 +45,8 @@ var (
 	_ BatchFlowSource = (*TraceSource)(nil)
 	_ BatchFlowSource = (*InstanceSource)(nil)
 	_ BatchFlowSource = (*ChurnSource)(nil)
+	_ BatchFlowSource = (*ChanSource)(nil)
+	_ BatchFlowSource = (*Limit)(nil)
 )
 
 // ArrivalConfig describes a generator-driven arrival process: Poisson(M)
