@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"flowsched/internal/core"
+	"flowsched/internal/obs"
 	"flowsched/internal/stream"
 	"flowsched/internal/switchnet"
 	"flowsched/internal/workload"
@@ -564,9 +565,10 @@ type streamBenchResult struct {
 // rewritten after every sub-benchmark so partial runs still leave a valid
 // baseline. Failure to write is not a benchmark failure.
 var streamBaseline = struct {
-	Results  []streamBenchResult `json:"results"`
-	Sharded  []streamBenchResult `json:"sharded"`
-	Policies []streamBenchResult `json:"policies"`
+	Results      []streamBenchResult `json:"results"`
+	Sharded      []streamBenchResult `json:"sharded"`
+	Policies     []streamBenchResult `json:"policies"`
+	Instrumented []streamBenchResult `json:"instrumented"`
 }{}
 
 // setStreamRow writes a row at a fixed index: the benchmark harness may
@@ -583,11 +585,12 @@ func setStreamRow(rows *[]streamBenchResult, i int, r streamBenchResult) {
 func writeStreamBaseline(b *testing.B) {
 	b.Helper()
 	if data, err := json.MarshalIndent(map[string]any{
-		"benchmark":  "BenchmarkStreamRuntime",
-		"gomaxprocs": runtime.GOMAXPROCS(0),
-		"results":    streamBaseline.Results,
-		"sharded":    streamBaseline.Sharded,
-		"policies":   streamBaseline.Policies,
+		"benchmark":    "BenchmarkStreamRuntime",
+		"gomaxprocs":   runtime.GOMAXPROCS(0),
+		"results":      streamBaseline.Results,
+		"sharded":      streamBaseline.Sharded,
+		"policies":     streamBaseline.Policies,
+		"instrumented": streamBaseline.Instrumented,
 	}, "", "  "); err == nil {
 		if err := os.WriteFile("BENCH_stream.json", append(data, '\n'), 0o644); err != nil {
 			b.Logf("baseline not written: %v", err)
@@ -600,6 +603,14 @@ func writeStreamBaseline(b *testing.B) {
 // throughput row. maxPending sets the admission limit (and with it the
 // steady-state resident backlog the policy works against each round).
 func drainStream(b *testing.B, policy string, totalFlows int64, shards, verifyEvery, maxPending int) streamBenchResult {
+	b.Helper()
+	return drainStreamRec(b, policy, totalFlows, shards, verifyEvery, maxPending, nil)
+}
+
+// drainStreamRec is drainStream with an optional flight recorder attached
+// to the runtime, so the instrumented round loop can be benchmarked
+// against the plain one on identical arrivals.
+func drainStreamRec(b *testing.B, policy string, totalFlows int64, shards, verifyEvery, maxPending int, rec *obs.FlightRecorder) streamBenchResult {
 	b.Helper()
 	pol := stream.ByName(policy)
 	if pol == nil {
@@ -615,6 +626,7 @@ func drainStream(b *testing.B, policy string, totalFlows int64, shards, verifyEv
 		Shards:      shards,
 		MaxPending:  maxPending,
 		VerifyEvery: verifyEvery,
+		Recorder:    rec,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -744,6 +756,40 @@ func BenchmarkStreamRuntimePolicies(b *testing.B) {
 			b.ReportMetric(last.FlowsPerSec, "flows/s")
 			b.ReportMetric(last.AllocsPerRound, "allocs/round")
 			setStreamRow(&streamBaseline.Policies, pi, last)
+			writeStreamBaseline(b)
+		})
+	}
+}
+
+// BenchmarkStreamRuntimeRecorded prices the flight recorder: the same
+// seeded 256k-flow drain runs plain and with a recorder attached, and the
+// pair of rows in BENCH_stream.json's instrumented section is the
+// observability tax — the recorder's word-atomic ring writes plus the
+// per-phase clock reads its presence enables (the uninstrumented path
+// takes none). The recorder adds zero allocations per round by
+// construction (pinned by TestSteadyStateZeroAllocRecorded); this
+// benchmark pins the time side, and cmd/benchgate holds the recorded
+// ns/round to a bounded ratio of the plain run.
+func BenchmarkStreamRuntimeRecorded(b *testing.B) {
+	const totalFlows = 1 << 18
+	for vi, variant := range []string{"RoundRobin", "RoundRobin+recorder"} {
+		b.Run(variant, func(b *testing.B) {
+			var last streamBenchResult
+			for i := 0; i < b.N; i++ {
+				var rec *obs.FlightRecorder
+				if vi == 1 {
+					rec = obs.NewFlightRecorder(0)
+				}
+				last = drainStreamRec(b, "RoundRobin", totalFlows, 1, 0, 1<<16, rec)
+				if rec != nil && rec.Written() == 0 {
+					b.Fatal("recorder attached but nothing recorded")
+				}
+			}
+			b.ReportMetric(last.NsPerRound, "ns/round")
+			b.ReportMetric(last.AllocsPerRound, "allocs/round")
+			last.Policy = variant
+			last.Shards = 0
+			setStreamRow(&streamBaseline.Instrumented, vi, last)
 			writeStreamBaseline(b)
 		})
 	}

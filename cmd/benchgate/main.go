@@ -23,6 +23,11 @@
 //     ideal speedup depends on the serial verification fraction). Any
 //     row with K greater than the run's gomaxprocs is skipped: a sweep
 //     on fewer cores than shards measures barrier overhead, not speedup.
+//   - recorder overhead: within the new run's instrumented section, the
+//     "+recorder" row's ns/round may not exceed -maxrecorder (default
+//     1.30) times its plain counterpart. This gate compares two rows of
+//     the same run on the same machine, so it applies even when the
+//     gomaxprocs mismatch disables the absolute gates.
 //
 // Steady-state allocations are gated separately and exactly by the
 // TestSteadyStateZeroAlloc tests in internal/stream; the allocs_per_round
@@ -35,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 type row struct {
@@ -56,11 +62,12 @@ func (r row) key() string {
 }
 
 type baseline struct {
-	Benchmark  string `json:"benchmark"`
-	GoMaxProcs int    `json:"gomaxprocs"`
-	Results    []row  `json:"results"`
-	Sharded    []row  `json:"sharded"`
-	Policies   []row  `json:"policies"`
+	Benchmark    string `json:"benchmark"`
+	GoMaxProcs   int    `json:"gomaxprocs"`
+	Results      []row  `json:"results"`
+	Sharded      []row  `json:"sharded"`
+	Policies     []row  `json:"policies"`
+	Instrumented []row  `json:"instrumented"`
 }
 
 func load(path string) (*baseline, error) {
@@ -79,6 +86,7 @@ func main() {
 	oldPath := flag.String("old", "", "committed baseline JSON")
 	newPath := flag.String("new", "BENCH_stream.json", "freshly generated JSON")
 	maxRegress := flag.Float64("maxregress", 1.25, "max allowed ns/round ratio new/old per matched row")
+	maxRecorder := flag.Float64("maxrecorder", 1.30, "max allowed ns/round ratio recorder/plain within the new run's instrumented section")
 	flag.Parse()
 	if *oldPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -old is required")
@@ -130,6 +138,33 @@ func main() {
 	check("flows", oldB.Results, newB.Results)
 	check("shards", oldB.Sharded, newB.Sharded)
 	check("policy", oldB.Policies, newB.Policies)
+	check("instr", oldB.Instrumented, newB.Instrumented)
+
+	// The recorder-overhead gate is a within-run ratio: pair each
+	// "<policy>+recorder" row with its plain sibling of the same shape.
+	plain := make(map[string]row, len(newB.Instrumented))
+	for _, n := range newB.Instrumented {
+		plain[n.key()] = n
+	}
+	for _, n := range newB.Instrumented {
+		base, isRec := strings.CutSuffix(n.Policy, "+recorder")
+		if !isRec || base == "" {
+			continue
+		}
+		p, ok := plain[row{Policy: base, Shards: n.Shards, Flows: n.Flows}.key()]
+		if !ok || p.NsPerRound <= 0 {
+			fmt.Printf("recorder  %-32s  (no plain counterpart)\n", n.key())
+			continue
+		}
+		ratio := n.NsPerRound / p.NsPerRound
+		verdict := "ok"
+		if ratio > *maxRecorder {
+			verdict = "OVER BUDGET"
+			failures++
+		}
+		fmt.Printf("recorder  %-32s  %10.0f -> %10.0f ns/round  (x%.3f, cap %.2f)  %s\n",
+			n.key(), p.NsPerRound, n.NsPerRound, ratio, *maxRecorder, verdict)
+	}
 
 	for _, n := range newB.Sharded {
 		if n.Shards <= 1 || n.SpeedupVsK1 == 0 {

@@ -6,16 +6,20 @@
 // Endpoints:
 //
 //	POST /flows    ingest a batch: {"flows":[{"in":0,"out":1,"demand":1},...]}
-//	GET  /metrics  Prometheus text exposition of the streaming metrics
+//	GET  /metrics  Prometheus text exposition: runtime, phase histograms, SLO burn rates, pilot gauges
 //	GET  /snapshot current stream.Summary as JSON
-//	GET  /healthz  {"status":"ok"} (or "draining")
+//	GET  /trace    flight recorder: last rounds as JSONL (?last=N)
+//	GET  /slo      burn-rate engine state as JSON
+//	GET  /pilot    live competitive-ratio estimates (404 unless -pilotevery > 0)
+//	GET  /healthz  {"status":"ok"}; "degraded" (200) on SLO fast-burn breach; "draining" (503) after drain
 //	POST /drain    graceful shutdown: finish the backlog, return the final summary
 //
 // Example session:
 //
-//	flowschedd -addr :8080 -ports 16 -policy OldestFirst -admit drop -maxpending 4096 &
+//	flowschedd -addr :8080 -ports 16 -policy OldestFirst -admit drop -maxpending 4096 -slobound 64 &
 //	curl -s -X POST localhost:8080/flows -d '{"flows":[{"in":0,"out":1,"demand":1}]}'
-//	curl -s localhost:8080/metrics | grep flowsched_flows
+//	curl -s localhost:8080/metrics | grep flowsched_slo
+//	curl -s localhost:8080/trace?last=64
 //	curl -s -X POST localhost:8080/drain
 //
 // SIGINT/SIGTERM trigger the same graceful drain as POST /drain; the
@@ -30,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,6 +57,16 @@ func main() {
 		deadline    = flag.Int("deadline", 0, "response-time bound in rounds (admit mode deadline)")
 		verifyEvery = flag.Int("verifyevery", 0, "spot-check window in rounds fed to the verify oracle (0 = off)")
 		buffer      = flag.Int("buffer", daemon.DefaultBuffer, "ingest queue depth between HTTP handlers and the round loop")
+
+		traceRounds = flag.Int("tracerounds", 0, "flight recorder ring size behind GET /trace (0 = default)")
+		sloBound    = flag.Int("slobound", 0, "response-time SLO bound in rounds; enables the response_within_bound target (0 = delivery target only)")
+		sloObj      = flag.Float64("sloobjective", 0, "good-event fraction the SLO targets aim for, in (0,1) (0 = default)")
+		sloEvery    = flag.Duration("sloevery", 0, "burn-rate engine sample cadence (0 = default)")
+		sloFast     = flag.Duration("slofast", 0, "fast burn-rate window (0 = default)")
+		sloSlow     = flag.Duration("sloslow", 0, "slow burn-rate window (0 = default)")
+		pilotEvery  = flag.Duration("pilotevery", 0, "optimality pilot evaluation cadence (0 = pilot off)")
+		pilotWindow = flag.Int("pilotwindow", 0, "pilot completion window in flows (0 = default)")
+		pprofAddr   = flag.String("pprof", "", "side listener for net/http/pprof (empty = off)")
 	)
 	flag.Parse()
 
@@ -72,11 +87,32 @@ func main() {
 		Deadline:    *deadline,
 		VerifyEvery: *verifyEvery,
 		Buffer:      *buffer,
+
+		TraceRounds:    *traceRounds,
+		ResponseBound:  *sloBound,
+		SLOObjective:   *sloObj,
+		SLOSampleEvery: *sloEvery,
+		SLOFastWindow:  *sloFast,
+		SLOSlowWindow:  *sloSlow,
+		PilotEvery:     *pilotEvery,
+		PilotWindow:    *pilotWindow,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	srv.Start()
+
+	if *pprofAddr != "" {
+		// The pprof handlers self-register on http.DefaultServeMux; keep
+		// them off the service listener so profiling never rides the same
+		// socket as ingest.
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "flowschedd: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "flowschedd: pprof on %s/debug/pprof/\n", *pprofAddr)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	httpErr := make(chan error, 1)

@@ -27,6 +27,11 @@
 //	flowsim -stream -flows 200000 -alpha 1.3 -dmax 8 -policy MaxWeight -verifyevery 64
 //	flowsim -stream -flows 500000 -ports 64 -M 128 -policy all
 //	flowsim -stream -flows 200000 -maxpending 1024 -admit drop -policy RoundRobin
+//	flowsim -stream -flows 200000 -policy OldestFirst -roundlog rounds.jsonl
+//
+// -roundlog attaches the internal/obs flight recorder to the drain and
+// writes its last rounds (counts plus per-phase timings) as JSONL; a
+// -policy all sweep suffixes the file with each policy name.
 //
 // With -stream -policy all every native policy drains sequentially over
 // identical arrivals (same seed or trace). With -trace, -flows caps the
@@ -48,6 +53,7 @@ import (
 	"flowsched/internal/core"
 	"flowsched/internal/engine"
 	"flowsched/internal/heuristics"
+	"flowsched/internal/obs"
 	"flowsched/internal/sim"
 	"flowsched/internal/stats"
 	"flowsched/internal/stream"
@@ -80,6 +86,8 @@ func main() {
 		maxPending  = flag.Int("maxpending", stream.DefaultMaxPending, "stream: admission limit on the resident pending set")
 		window      = flag.Int("window", stream.DefaultWindowRounds, "stream: sliding metrics window in rounds")
 		verifyEvery = flag.Int("verifyevery", 0, "stream: spot-check window in rounds fed to the verify oracle (0 = off)")
+		roundLog    = flag.String("roundlog", "", "stream: write the flight recorder's last rounds as JSONL to this file (policy-suffixed when sweeping)")
+		logRounds   = flag.Int("logrounds", 0, "stream: flight recorder ring size for -roundlog (0 = default)")
 	)
 	flag.Parse()
 
@@ -96,6 +104,7 @@ func main() {
 			maxPending: *maxPending, admit: *admit, deadline: *deadlineF,
 			window: *window, verifyEvery: *verifyEvery, shards: *shards,
 			cpuProfile: *cpuProfile, memProfile: *memProfile,
+			roundLog: *roundLog, logRounds: *logRounds,
 		})
 		return
 	}
@@ -225,6 +234,8 @@ type streamOpts struct {
 	shards      int
 	cpuProfile  string
 	memProfile  string
+	roundLog    string
+	logRounds   int
 }
 
 // streamPolicy resolves -policy against the native streaming registry
@@ -305,7 +316,13 @@ func runStream(o streamOpts) {
 		if i > 0 {
 			fmt.Println()
 		}
-		drainStream(o, pol, mode)
+		logFile := o.roundLog
+		if logFile != "" && len(pols) > 1 {
+			// A sweep writes one trace per policy: suffix the file name so
+			// drains don't clobber each other.
+			logFile = logFile + "." + pol.Name()
+		}
+		drainStream(o, pol, mode, logFile)
 	}
 	if o.memProfile != "" {
 		f, err := os.Create(o.memProfile)
@@ -321,8 +338,9 @@ func runStream(o streamOpts) {
 }
 
 // drainStream runs one policy to completion over a fresh source and
-// prints its metrics block.
-func drainStream(o streamOpts, pol stream.Policy, mode stream.AdmitMode) {
+// prints its metrics block. A non-empty logFile attaches a flight
+// recorder to the drain and dumps its last rounds as JSONL afterwards.
+func drainStream(o streamOpts, pol stream.Policy, mode stream.AdmitMode, logFile string) {
 	capacity := o.dmax
 	if capacity < 1 {
 		capacity = 1
@@ -330,6 +348,10 @@ func drainStream(o streamOpts, pol stream.Policy, mode stream.AdmitMode) {
 	sw := switchnet.NewSwitch(o.ports, o.ports, capacity)
 	src, closeSrc := streamSource(o, sw, capacity)
 	defer closeSrc()
+	var rec *obs.FlightRecorder
+	if logFile != "" {
+		rec = obs.NewFlightRecorder(o.logRounds)
+	}
 	rt, err := stream.New(src, stream.Config{
 		Switch:       sw,
 		Policy:       pol,
@@ -339,6 +361,7 @@ func drainStream(o streamOpts, pol stream.Policy, mode stream.AdmitMode) {
 		Deadline:     o.deadline,
 		WindowRounds: o.window,
 		VerifyEvery:  o.verifyEvery,
+		Recorder:     rec,
 	})
 	if err != nil {
 		fatal(err)
@@ -379,6 +402,21 @@ func drainStream(o streamOpts, pol stream.Policy, mode stream.AdmitMode) {
 	}
 	if o.verifyEvery > 0 {
 		fmt.Printf("verified        %d windows of %d rounds\n", sum.WindowsVerified, o.verifyEvery)
+	}
+	if rec != nil {
+		f, err := os.Create(logFile)
+		if err != nil {
+			fatal(err)
+		}
+		written, err := rec.WriteJSONL(f, rec.Cap())
+		if err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("round log       %s (%d of %d recorded rounds)\n", logFile, written, rec.Written())
 	}
 }
 

@@ -88,6 +88,20 @@
 //     gracefully finishes the backlog and returns the final summary with
 //     nothing left pending.
 //
+//   - Observability (internal/obs, internal/slo, internal/pilot): a
+//     round flight recorder — a fixed single-writer ring of per-round
+//     records (counts plus per-phase timings) written by the round loop
+//     with zero allocations and zero cost when absent, read concurrently,
+//     served as JSONL (GET /trace, flowsim -roundlog) and as sliding
+//     per-phase histograms in GET /metrics; a multi-window burn-rate SLO
+//     engine (fast window pages, slow window warns) over declarative
+//     delivery and response-bound targets, driving flowsched_slo_* gauges,
+//     GET /slo, and healthz degradation; and an optimality pilot that
+//     replays the live runtime's completion window and pending-set
+//     snapshots through the paper's lower bounds (SRPTLowerBound,
+//     TrivialMRTLowerBound) to publish live competitive-ratio estimates
+//     (GET /pilot) that are always >= 1 by restriction-feasibility.
+//
 // The LP solver, matching algorithms, edge coloring, rounding theorem, and
 // simulator are all implemented in this repository with no external
 // dependencies; see DESIGN.md for the system inventory and EXPERIMENTS.md

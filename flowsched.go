@@ -8,6 +8,7 @@ import (
 	"flowsched/internal/core"
 	"flowsched/internal/engine"
 	"flowsched/internal/heuristics"
+	"flowsched/internal/obs"
 	"flowsched/internal/sim"
 	"flowsched/internal/stream"
 	"flowsched/internal/switchnet"
@@ -317,6 +318,22 @@ func ParseStreamAdmitMode(s string) (StreamAdmitMode, error) { return stream.Par
 func NewStreamRuntime(src StreamSource, cfg StreamConfig) (*StreamRuntime, error) {
 	return stream.New(src, cfg)
 }
+
+// Round flight recorder (see internal/obs): a fixed-size single-writer
+// ring of per-round records the round loop writes with zero allocations
+// when attached via StreamConfig.Recorder — counts plus per-phase wall
+// time, readable concurrently and exportable as JSONL (the daemon's
+// GET /trace, flowsim -roundlog).
+type (
+	// FlightRecorder is the per-round ring buffer.
+	FlightRecorder = obs.FlightRecorder
+	// RoundRecord is one scheduling round's counts and phase timings.
+	RoundRecord = obs.RoundRecord
+)
+
+// NewFlightRecorder returns a recorder holding the last rounds records
+// (rounds <= 0 selects the default capacity).
+func NewFlightRecorder(rounds int) *FlightRecorder { return obs.NewFlightRecorder(rounds) }
 
 // StreamRoundRobin returns the native incremental policy: virtual output
 // queues served oldest-first with iSLIP-style per-input pointers rotating

@@ -148,7 +148,8 @@ func TestDaemonEndToEnd(t *testing.T) {
 			sum.Admitted, sum.Completed, sum.Dropped, sum.Expired)
 	}
 
-	// Post-drain: ingest refused, health reports draining, Wait agrees.
+	// Post-drain: ingest refused, health reports draining with 503 so a
+	// load balancer stops routing here, Wait agrees.
 	if code, _ := postFlows(t, ts.URL, []switchnet.Flow{{In: 0, Out: 1, Demand: 1}}); code != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain ingest status %d, want 503", code)
 	}
@@ -158,8 +159,8 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	hb, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || !strings.Contains(string(hb), "draining") {
-		t.Fatalf("post-drain healthz: status %d, body %q", resp.StatusCode, hb)
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(hb), "draining") {
+		t.Fatalf("post-drain healthz: status %d, body %q (want 503 draining)", resp.StatusCode, hb)
 	}
 	final, err := srv.Wait()
 	if err != nil {
@@ -292,6 +293,13 @@ func TestMetricsFormat(t *testing.T) {
 		"flowsched_flows_expired_total 0",
 		`flowsched_response_rounds{quantile="0.99"}`,
 		"flowsched_response_rounds_count 0",
+		"flowsched_response_slow_total 0",
+		"# TYPE flowsched_phase_seconds histogram",
+		`flowsched_phase_seconds_bucket{phase="propose",le="+Inf"} 0`,
+		`flowsched_phase_seconds_count{phase="verify"} 0`,
+		"# TYPE flowsched_slo_burn_rate gauge",
+		`flowsched_slo_breach{target="delivery"} 0`,
+		`flowsched_slo_objective{target="delivery"} 0.999`,
 	} {
 		if !strings.Contains(string(b), want) {
 			t.Errorf("metrics output missing %q", want)

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"flowsched/internal/switchnet"
 )
@@ -63,18 +64,77 @@ func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(flowsResponse{Accepted: len(req.Flows)})
 }
 
-// handleHealthz reports liveness, and the drain state for orchestrators
-// that want to stop routing early.
+// healthzResponse is the GET /healthz body.
+type healthzResponse struct {
+	Status string `json:"status"`
+	// Breaching lists the SLO targets in fast-burn breach when the
+	// status is degraded.
+	Breaching []string `json:"breaching,omitempty"`
+}
+
+// handleHealthz reports liveness and routing advice. A draining daemon
+// answers 503 so load balancers stop routing to it — it is deliberately
+// leaving the pool, and every rejected POST /flows would otherwise count
+// against the caller. A daemon whose fast SLO burn rate breaches reports
+// "degraded" with the breaching target names but stays 200: an
+// overloaded scheduler still serves, and pulling degraded replicas from
+// a pool under load would cascade the overload onto the survivors.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	status := "ok"
-	if draining {
-		status = "draining"
+	resp := healthzResponse{Status: "ok"}
+	code := http.StatusOK
+	switch {
+	case draining:
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	default:
+		if names := s.slo.Breaching(); len(names) > 0 {
+			resp.Status = "degraded"
+			resp.Breaching = names
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{%q:%q}\n", "status", status)
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// maxTraceDefault is GET /trace's record count when ?last is absent.
+const maxTraceDefault = 256
+
+// handleTrace serves the flight recorder's most recent rounds as JSON
+// Lines (one RoundRecord object per line, oldest first). ?last=N bounds
+// the count; it is clamped to the ring capacity.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := maxTraceDefault
+	if q := r.URL.Query().Get("last"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, fmt.Sprintf("bad last=%q: want a non-negative integer", q), http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	s.rec.WriteJSONL(w, n)
+}
+
+// handleSLO serves the burn-rate engine's latest evaluation as JSON.
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.slo.Status())
+}
+
+// handlePilot serves the optimality pilot's latest evaluation, or 404
+// when the pilot is not enabled (Config.PilotEvery == 0).
+func (s *Server) handlePilot(w http.ResponseWriter, _ *http.Request) {
+	if s.pilot == nil {
+		http.Error(w, "optimality pilot disabled (start the daemon with a pilot cadence)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.pilot.Status())
 }
 
 // handleSnapshot serves the runtime's Summary as JSON.
@@ -83,10 +143,18 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	json.NewEncoder(w).Encode(s.rt.Snapshot())
 }
 
-// handleMetrics serves the Prometheus text exposition of the Summary.
+// handleMetrics serves the Prometheus text exposition: the runtime
+// Summary, the per-phase timing histograms recomputed from the flight
+// recorder at scrape time, the SLO burn-rate gauges, and (when enabled)
+// the pilot's optimality gauges.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	writeMetrics(w, s.rt.Snapshot())
+	writePhaseMetrics(w, s.rec)
+	writeSLOMetrics(w, s.slo.Status())
+	if s.pilot != nil {
+		writePilotMetrics(w, s.pilot.Status())
+	}
 }
 
 // handleDrain triggers the graceful drain and responds with the final

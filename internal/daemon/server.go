@@ -3,10 +3,13 @@
 // (POST /flows, batched), feed the runtime through a concurrently-fed
 // ChanSource, and drain under a native streaming policy while the
 // service exposes live observability — GET /metrics (Prometheus text
-// fed from the lock-free Snapshot path), GET /snapshot (the JSON
-// Summary), GET /healthz — and a graceful shutdown path (POST /drain:
-// refuse new ingest, finish every pending flow, report the final
-// accounting).
+// fed from the lock-free Snapshot path, including SLO burn rates,
+// per-phase timing histograms, and the optimality pilot's gauges),
+// GET /snapshot (the JSON Summary), GET /trace (the flight recorder's
+// per-round JSONL), GET /slo (burn-rate state), GET /pilot (live
+// competitive-ratio estimates), GET /healthz (drain/degraded aware) —
+// and a graceful shutdown path (POST /drain: refuse new ingest, finish
+// every pending flow, report the final accounting).
 //
 // The split of responsibilities: cmd/flowschedd owns flags, listening
 // sockets, and signals; this package owns everything between an
@@ -16,22 +19,32 @@
 package daemon
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
+	"flowsched/internal/obs"
+	"flowsched/internal/pilot"
+	"flowsched/internal/slo"
 	"flowsched/internal/stream"
 	"flowsched/internal/switchnet"
 	"flowsched/internal/workload"
 )
 
-// DefaultBuffer is the ingest queue depth when Config.Buffer is zero.
-const DefaultBuffer = 4096
+// DefaultBuffer is the ingest queue depth when Config.Buffer is zero;
+// DefaultSLOObjective the good fraction both SLO targets default to.
+const (
+	DefaultBuffer       = 4096
+	DefaultSLOObjective = 0.999
+)
 
 // Config assembles a Server. Switch, Policy, Shards, MaxPending, Admit,
-// Deadline, and VerifyEvery pass through to the runtime's stream.Config
-// (and are validated there); Buffer sets the ingest queue depth between
-// the HTTP handlers and the round loop.
+// Deadline, VerifyEvery, and ResponseBound pass through to the runtime's
+// stream.Config (and are validated there); Buffer sets the ingest queue
+// depth between the HTTP handlers and the round loop; the rest tunes the
+// observability layer.
 type Config struct {
 	Switch      switchnet.Switch
 	Policy      stream.Policy
@@ -41,6 +54,29 @@ type Config struct {
 	Deadline    int
 	VerifyEvery int
 	Buffer      int
+
+	// TraceRounds sizes the flight recorder ring behind GET /trace and
+	// the phase histograms (<= 0 selects obs.DefaultRounds).
+	TraceRounds int
+	// ResponseBound, when > 0, defines the response-time objective in
+	// rounds: completions slower than it count against the
+	// "response_within_bound" SLO target. Zero disables that target
+	// (the delivery target always runs).
+	ResponseBound int
+	// SLOObjective is the good-event fraction both targets aim for,
+	// in (0, 1); <= 0 selects DefaultSLOObjective.
+	SLOObjective float64
+	// SLOSampleEvery, SLOFastWindow, SLOSlowWindow tune the burn-rate
+	// engine's sampler and windows (zero selects the slo package
+	// defaults).
+	SLOSampleEvery time.Duration
+	SLOFastWindow  time.Duration
+	SLOSlowWindow  time.Duration
+	// PilotEvery > 0 enables the optimality pilot at that evaluation
+	// cadence; PilotWindow sets its completion window (<= 0 selects the
+	// pilot package default).
+	PilotEvery  time.Duration
+	PilotWindow int
 }
 
 // Server couples one runtime, its live ingest source, and the HTTP
@@ -51,6 +87,14 @@ type Server struct {
 	src *workload.ChanSource
 	rt  *stream.Runtime
 	mux *http.ServeMux
+
+	// Observability layer: the flight recorder behind /trace and the
+	// phase histograms, the burn-rate engine behind /slo and healthz
+	// degradation, and (optionally) the optimality pilot behind /pilot.
+	rec         *obs.FlightRecorder
+	slo         *slo.Engine
+	pilot       *pilot.Pilot
+	sampleEvery time.Duration
 
 	// mu guards the draining flag and its handshake with the ingest
 	// WaitGroup: a handler only joins the group while not draining, so
@@ -63,8 +107,13 @@ type Server struct {
 	startOnce sync.Once
 	drainOnce sync.Once
 	runDone   chan struct{}
-	sum       *stream.Summary
-	runErr    error
+	// sampleDone and pilotDone close when the sampler and pilot
+	// goroutines have taken their final observation after the round loop
+	// ended; Wait joins them so post-drain scrapes are settled.
+	sampleDone chan struct{}
+	pilotDone  chan struct{}
+	sum        *stream.Summary
+	runErr     error
 }
 
 // New builds a Server; the runtime configuration is validated eagerly.
@@ -72,30 +121,94 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = DefaultBuffer
 	}
+	if cfg.SLOObjective <= 0 {
+		cfg.SLOObjective = DefaultSLOObjective
+	}
+	rec := obs.NewFlightRecorder(cfg.TraceRounds)
+	var pi *pilot.Pilot
+	var onSchedule func(seq int64, f switchnet.Flow, round int)
+	if cfg.PilotEvery > 0 {
+		var err error
+		pi, err = pilot.New(cfg.Switch, pilot.Config{
+			Window: cfg.PilotWindow,
+			Every:  cfg.PilotEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("daemon: %w", err)
+		}
+		onSchedule = pi.OnSchedule
+	}
 	src := workload.NewChanSource(cfg.Buffer)
 	rt, err := stream.New(src, stream.Config{
-		Switch:      cfg.Switch,
-		Policy:      cfg.Policy,
-		Shards:      cfg.Shards,
-		MaxPending:  cfg.MaxPending,
-		Admit:       cfg.Admit,
-		Deadline:    cfg.Deadline,
-		VerifyEvery: cfg.VerifyEvery,
+		Switch:        cfg.Switch,
+		Policy:        cfg.Policy,
+		Shards:        cfg.Shards,
+		MaxPending:    cfg.MaxPending,
+		Admit:         cfg.Admit,
+		Deadline:      cfg.Deadline,
+		VerifyEvery:   cfg.VerifyEvery,
+		Recorder:      rec,
+		ResponseBound: cfg.ResponseBound,
+		OnSchedule:    onSchedule,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("daemon: %w", err)
 	}
+	if pi != nil {
+		pi.Bind(rt)
+	}
+	// The delivery target judges shedding (drops and expiries against
+	// admissions); the response target judges completions against the
+	// configured bound and only exists when a bound is set.
+	targets := []slo.Target{{
+		Name:      "delivery",
+		Objective: cfg.SLOObjective,
+		SLI: func(sum stream.Summary) (int64, int64) {
+			return sum.Admitted - sum.Dropped - sum.Expired, sum.Admitted
+		},
+	}}
+	if cfg.ResponseBound > 0 {
+		targets = append(targets, slo.Target{
+			Name:      "response_within_bound",
+			Objective: cfg.SLOObjective,
+			SLI: func(sum stream.Summary) (int64, int64) {
+				return sum.Completed - sum.SlowResponses, sum.Completed
+			},
+		})
+	}
+	sloEngine, err := slo.New(slo.Config{
+		Targets:     targets,
+		SampleEvery: cfg.SLOSampleEvery,
+		FastWindow:  cfg.SLOFastWindow,
+		SlowWindow:  cfg.SLOSlowWindow,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("daemon: %w", err)
+	}
+	sampleEvery := cfg.SLOSampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = slo.DefaultSampleEvery
+	}
 	s := &Server{
-		sw:      cfg.Switch,
-		src:     src,
-		rt:      rt,
-		mux:     http.NewServeMux(),
-		runDone: make(chan struct{}),
+		sw:          cfg.Switch,
+		src:         src,
+		rt:          rt,
+		mux:         http.NewServeMux(),
+		rec:         rec,
+		slo:         sloEngine,
+		pilot:       pi,
+		sampleEvery: sampleEvery,
+		runDone:     make(chan struct{}),
+		sampleDone:  make(chan struct{}),
+		pilotDone:   make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /flows", s.handleFlows)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /trace", s.handleTrace)
+	s.mux.HandleFunc("GET /slo", s.handleSLO)
+	s.mux.HandleFunc("GET /pilot", s.handlePilot)
 	s.mux.HandleFunc("POST /drain", s.handleDrain)
 	return s, nil
 }
@@ -103,15 +216,44 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the service's HTTP surface.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Start launches the runtime's round loop on its own goroutine.
-// Idempotent.
+// Start launches the runtime's round loop, the SLO sampler, and (when
+// enabled) the optimality pilot, each on its own goroutine. Idempotent.
 func (s *Server) Start() {
 	s.startOnce.Do(func() {
 		go func() {
 			s.sum, s.runErr = s.rt.Run()
 			close(s.runDone)
 		}()
+		go s.sampleLoop()
+		if s.pilot != nil {
+			go func() {
+				ctx, cancel := context.WithCancel(context.Background())
+				go func() { <-s.runDone; cancel() }()
+				s.pilot.Run(ctx)
+				close(s.pilotDone)
+			}()
+		} else {
+			close(s.pilotDone)
+		}
 	})
+}
+
+// sampleLoop feeds the burn-rate engine one cumulative sample per tick,
+// plus a final sample once the round loop ends so post-drain state is
+// settled.
+func (s *Server) sampleLoop() {
+	defer close(s.sampleDone)
+	t := time.NewTicker(s.sampleEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.runDone:
+			s.slo.Observe(time.Now(), s.rt.Snapshot())
+			return
+		case <-t.C:
+			s.slo.Observe(time.Now(), s.rt.Snapshot())
+		}
+	}
 }
 
 // Snapshot returns the runtime's current metrics (lock-free with respect
@@ -121,9 +263,13 @@ func (s *Server) Snapshot() stream.Summary { return s.rt.Snapshot() }
 // Done is closed once the round loop has returned (after Drain or Stop).
 func (s *Server) Done() <-chan struct{} { return s.runDone }
 
-// Wait blocks until the round loop has returned and reports its final
-// summary.
+// Wait blocks until the round loop has returned — and the sampler and
+// pilot have taken their final observations — then reports the final
+// summary. (Before Start, it blocks until the server is started and
+// stopped.)
 func (s *Server) Wait() (*stream.Summary, error) {
 	<-s.runDone
+	<-s.sampleDone
+	<-s.pilotDone
 	return s.sum, s.runErr
 }

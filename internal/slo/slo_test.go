@@ -1,0 +1,175 @@
+package slo
+
+import (
+	"testing"
+	"time"
+
+	"flowsched/internal/stream"
+)
+
+// delivery is the daemon's shedding SLI shape: good = admitted − dropped,
+// total = admitted.
+func delivery(s stream.Summary) (int64, int64) {
+	return s.Admitted - s.Dropped, s.Admitted
+}
+
+func newTestEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Targets:     []Target{{Name: "delivery", Objective: 0.99, SLI: delivery}},
+		SampleEvery: time.Second,
+		FastWindow:  5 * time.Second,
+		SlowWindow:  30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineValidation(t *testing.T) {
+	cases := []Config{
+		{},
+		{Targets: []Target{{Name: "", Objective: 0.9, SLI: delivery}}},
+		{Targets: []Target{{Name: "x", Objective: 0, SLI: delivery}}},
+		{Targets: []Target{{Name: "x", Objective: 1, SLI: delivery}}},
+		{Targets: []Target{{Name: "x", Objective: 0.9}}},
+		{Targets: []Target{
+			{Name: "x", Objective: 0.9, SLI: delivery},
+			{Name: "x", Objective: 0.5, SLI: delivery},
+		}},
+		{
+			Targets:    []Target{{Name: "x", Objective: 0.9, SLI: delivery}},
+			FastWindow: time.Minute, SlowWindow: time.Second,
+		},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+// TestEngineBurnRateFlips drives the full alert lifecycle on virtual
+// time: healthy traffic arms nothing, a 50% error burst breaches the
+// fast window within one sample (burn 50x against a 1% budget), recovery
+// clears the breach once the burst ages out of the fast window while the
+// slow window keeps the warning asserted longer.
+func TestEngineBurnRateFlips(t *testing.T) {
+	e := newTestEngine(t)
+	t0 := time.Unix(1000, 0)
+	var admitted, dropped int64
+	obs := func(sec int) Status {
+		e.Observe(t0.Add(time.Duration(sec)*time.Second), stream.Summary{Admitted: admitted, Dropped: dropped})
+		return e.Status()
+	}
+	// 10s healthy: 1000 events/s, no drops.
+	var st Status
+	for s := 0; s < 10; s++ {
+		admitted += 1000
+		st = obs(s)
+	}
+	tg := st.Targets[0]
+	if tg.Breaching || tg.Warning || tg.FastBurnRate != 0 {
+		t.Fatalf("healthy traffic alerted: %+v", tg)
+	}
+	// 3s burst at 50% drops: fast error rate 0.5, burn 50 >= 14.4.
+	for s := 10; s < 13; s++ {
+		admitted += 1000
+		dropped += 500
+		st = obs(s)
+	}
+	tg = st.Targets[0]
+	if !tg.Breaching {
+		t.Fatalf("50%% drop burst did not breach: %+v", tg)
+	}
+	if !tg.Warning {
+		t.Fatalf("burst breached fast but not slow: %+v", tg)
+	}
+	if tg.FastBurnRate < 14.4 {
+		t.Fatalf("fast burn %v below threshold yet breaching", tg.FastBurnRate)
+	}
+	// Recovery: clean traffic. The burst leaves the 5s fast window after
+	// 5 more seconds, clearing the breach; the 30s slow window holds the
+	// warning (1500 bad of ~30000 = 5% >> 3% budget-rate threshold x1%).
+	for s := 13; s < 20; s++ {
+		admitted += 1000
+		st = obs(s)
+	}
+	tg = st.Targets[0]
+	if tg.Breaching {
+		t.Fatalf("breach did not clear after burst aged out of fast window: %+v", tg)
+	}
+	if !tg.Warning {
+		t.Fatalf("slow window forgot the burst too quickly: %+v", tg)
+	}
+	// Long recovery: the slow window eventually clears too.
+	for s := 20; s < 50; s++ {
+		admitted += 1000
+		st = obs(s)
+	}
+	tg = st.Targets[0]
+	if tg.Breaching || tg.Warning {
+		t.Fatalf("alerts still asserted after full recovery: %+v", tg)
+	}
+	if tg.Good != admitted-dropped || tg.Total != admitted {
+		t.Fatalf("cumulative counts drifted: %+v", tg)
+	}
+}
+
+// TestEngineColdStart: errors in the very first intervals must alert —
+// the window falls back to the oldest retained sample instead of
+// reporting nothing.
+func TestEngineColdStart(t *testing.T) {
+	e := newTestEngine(t)
+	t0 := time.Unix(0, 0)
+	e.Observe(t0, stream.Summary{})
+	if st := e.Status(); st.Targets[0].Breaching {
+		t.Fatalf("single sample breached with no interval: %+v", st.Targets[0])
+	}
+	e.Observe(t0.Add(time.Second), stream.Summary{Admitted: 1000, Dropped: 900})
+	tg := e.Status().Targets[0]
+	if !tg.Breaching {
+		t.Fatalf("90%% drops on cold start did not breach: %+v", tg)
+	}
+}
+
+// TestEngineIdle: samples with no new events keep rates at zero rather
+// than dividing by nothing.
+func TestEngineIdle(t *testing.T) {
+	e := newTestEngine(t)
+	t0 := time.Unix(0, 0)
+	for s := 0; s < 10; s++ {
+		e.Observe(t0.Add(time.Duration(s)*time.Second), stream.Summary{Admitted: 500, Dropped: 100})
+	}
+	tg := e.Status().Targets[0]
+	if tg.FastErrorRate != 0 || tg.SlowErrorRate != 0 || tg.Breaching || tg.Warning {
+		t.Fatalf("idle stream alerted: %+v", tg)
+	}
+}
+
+// TestEngineBreachingNames checks the healthz helper's view.
+func TestEngineBreachingNames(t *testing.T) {
+	e := newTestEngine(t)
+	if names := e.Breaching(); names != nil {
+		t.Fatalf("fresh engine breaching %v", names)
+	}
+	t0 := time.Unix(0, 0)
+	e.Observe(t0, stream.Summary{})
+	e.Observe(t0.Add(time.Second), stream.Summary{Admitted: 100, Dropped: 100})
+	if names := e.Breaching(); len(names) != 1 || names[0] != "delivery" {
+		t.Fatalf("breaching = %v, want [delivery]", names)
+	}
+}
+
+// TestEngineStatusCopy: mutating a returned Status must not leak into
+// the engine.
+func TestEngineStatusCopy(t *testing.T) {
+	e := newTestEngine(t)
+	e.Observe(time.Unix(0, 0), stream.Summary{Admitted: 10})
+	st := e.Status()
+	st.Targets[0].Name = "mangled"
+	if got := e.Status().Targets[0].Name; got != "delivery" {
+		t.Fatalf("Status aliases engine state: %q", got)
+	}
+}

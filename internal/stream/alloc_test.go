@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"flowsched/internal/obs"
 	"flowsched/internal/switchnet"
 )
 
@@ -51,7 +52,7 @@ func (s *patternSource) Err() error { return nil }
 // WeightedISLIP's request/grant arrays) length-reset, and the metric path
 // (atomic counters plus the preallocated epoch window) never touches the
 // allocator.
-func testSteadyStateZeroAlloc(t *testing.T, shards int, pol Policy, admit AdmitMode, deadline int) {
+func testSteadyStateZeroAlloc(t *testing.T, shards int, pol Policy, admit AdmitMode, deadline int, rec *obs.FlightRecorder) {
 	t.Helper()
 	src := &patternSource{ports: 8, per: 12}
 	rt, err := New(src, Config{
@@ -61,6 +62,7 @@ func testSteadyStateZeroAlloc(t *testing.T, shards int, pol Policy, admit AdmitM
 		MaxPending: 512,
 		Admit:      admit,
 		Deadline:   deadline,
+		Recorder:   rec,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -112,7 +114,7 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 	for _, name := range []string{"RoundRobin", "OldestFirst", "WeightedISLIP"} {
 		for _, shards := range []int{1, 2} {
 			t.Run(fmt.Sprintf("%s/K%d", name, shards), func(t *testing.T) {
-				testSteadyStateZeroAlloc(t, shards, ByName(name), AdmitLossless, 0)
+				testSteadyStateZeroAlloc(t, shards, ByName(name), AdmitLossless, 0, nil)
 			})
 		}
 	}
@@ -133,8 +135,30 @@ func TestSteadyStateZeroAllocAdmissionModes(t *testing.T) {
 	} {
 		for _, shards := range []int{1, 2} {
 			t.Run(fmt.Sprintf("%s/K%d", tc.admit, shards), func(t *testing.T) {
-				testSteadyStateZeroAlloc(t, shards, ByName("RoundRobin"), tc.admit, tc.deadline)
+				testSteadyStateZeroAlloc(t, shards, ByName("RoundRobin"), tc.admit, tc.deadline, nil)
 			})
 		}
+	}
+}
+
+// TestSteadyStateZeroAllocRecorded extends the allocation gate to the
+// instrumented path: with a flight recorder attached, a steady-state
+// round still performs zero heap allocations — Record stores into the
+// preallocated atomic ring and the timing hooks read the monotonic clock
+// without touching the allocator. The ring is smaller than the measured
+// iteration count, so wrap-around is exercised inside the gate too.
+func TestSteadyStateZeroAllocRecorded(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		t.Run(fmt.Sprintf("K%d", shards), func(t *testing.T) {
+			rec := obs.NewFlightRecorder(256)
+			testSteadyStateZeroAlloc(t, shards, ByName("RoundRobin"), AdmitLossless, 0, rec)
+			if rec.Written() == 0 {
+				t.Fatal("recorder saw no rounds")
+			}
+			last := rec.Last(nil, 1)
+			if len(last) != 1 || last[0].Scheduled == 0 {
+				t.Fatalf("steady-state record looks wrong: %+v", last)
+			}
+		})
 	}
 }

@@ -183,6 +183,47 @@
 // off the round loop's critical path; a failure surfaces one window late,
 // but the schedule itself never depends on the verdict.
 //
+// # Observability
+//
+// Config.Recorder attaches an obs.FlightRecorder to the round loop: the
+// coordinator writes one RoundRecord per scheduling round — admission,
+// scheduling, shedding, and backlog counts plus per-phase wall time —
+// into the recorder's fixed ring with zero allocations (the same
+// single-writer word-atomic discipline as the stats.EpochWindow
+// sketches), and readers drain the last N rounds concurrently without
+// ever stalling the writer. The contract:
+//
+//   - No recorder, no cost. Every clock read is gated on the recorder's
+//     presence; an uninstrumented runtime takes zero time.Now calls per
+//     round, and the instrumented path is benchmarked against the plain
+//     one (BenchmarkStreamRuntimeRecorded) and gated by cmd/benchgate.
+//   - Phase semantics. ProposeNS times the fused barrier phase (retire,
+//     admit, propose), ReconcileNS the serial leftover-capacity pass,
+//     ApplyNS any out-of-cadence forced retirement (verification
+//     flushes, idle jumps), and VerifyNS only the blocking join on the
+//     verify oracle — overlap with the next window's rounds is the
+//     oracle's normal, invisible case. Work landing between scheduling
+//     rounds is charged to the next emitted record.
+//   - Only scheduling rounds emit, so the recorded round numbers are
+//     strictly increasing — idle jumps leave gaps, never duplicates.
+//   - Record emission precedes the round-counter publish, so a record
+//     for round r is visible no later than a Snapshot that includes r.
+//
+// Config.ResponseBound > 0 additionally counts completions slower than
+// the bound (Summary.SlowResponses, exact, not sketch-resolution) — the
+// error term of the daemon's response-time SLO.
+//
+// Runtime.PendingFlows snapshots the resident pending set off the hot
+// path: the request parks in a one-slot mailbox the coordinator services
+// at the top of its next step, after forcing any owed retirement, so the
+// copy observes quiescent per-shard state mid-run without a lock on the
+// round path. After Run returns the runtime answers directly. Callers
+// bound the wait with the context: a live-fed runtime parked on an empty
+// pending set answers nothing until work arrives (its pending set is
+// empty then anyway), and a run that aborted mid-round may leave the
+// mailbox unserviced. The internal/pilot optimality estimator is the
+// canonical consumer.
+//
 // # Performance model
 //
 // The round loop is allocation-free at steady state and its memory

@@ -7,7 +7,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"flowsched/internal/obs"
 	"flowsched/internal/stats"
 	"flowsched/internal/switchnet"
 	"flowsched/internal/verify"
@@ -202,6 +204,21 @@ type Config struct {
 	// is always invoked from the goroutine driving Run, in shard index
 	// order within a round.
 	OnSchedule func(seq int64, f switchnet.Flow, round int)
+	// Recorder, when non-nil, receives one obs.RoundRecord per scheduling
+	// round, written by the coordinator inside the round loop: per-round
+	// arrival/schedule/drop/expiry/pending counts plus per-phase
+	// nanoseconds (propose, reconcile, apply, verify-join). Recording
+	// adds no allocations to the steady-state round (asserted by
+	// TestSteadyStateZeroAllocRecorded) and only two monotonic-clock
+	// reads per timed phase; with Recorder nil the hot path takes no
+	// clock reads at all.
+	Recorder *obs.FlightRecorder
+	// ResponseBound, when > 0, counts every completion whose response
+	// time exceeds it in Summary.SlowResponses — an exact cumulative
+	// violation counter (not sketch resolution) for response-time SLO
+	// evaluation. Unlike AdmitDeadline it never changes the schedule:
+	// slow flows still complete, they are just counted.
+	ResponseBound int
 }
 
 // Summary is a point-in-time view of the runtime's streaming metrics.
@@ -238,6 +255,9 @@ type Summary struct {
 	TotalResponse int64
 	AvgResponse   float64
 	MaxResponse   int
+	// SlowResponses counts completions whose response time exceeded
+	// Config.ResponseBound (zero when the bound is unset).
+	SlowResponses int64
 	// WindowsVerified counts spot-check windows the verify oracle
 	// accepted.
 	WindowsVerified int64
@@ -266,6 +286,26 @@ type Runtime struct {
 	// deadline caches Config.Deadline for the shards' expiry walk.
 	live     bool
 	deadline int
+
+	// rec is Config.Recorder; respBound caches Config.ResponseBound for
+	// the shards' apply pass. The recArrived/recDropped counts and the
+	// per-phase nanosecond accumulators hold what has accrued since the
+	// last emitted record; all are touched only when rec != nil.
+	rec          *obs.FlightRecorder
+	respBound    int
+	recArrived   int64
+	recDropped   int64
+	tProposeNS   int64
+	tReconcileNS int64
+	tApplyNS     int64
+	tVerifyNS    int64
+
+	// pendCh carries pending-set snapshot requests into the round loop
+	// (see PendingFlows); finished is closed once Run returns, switching
+	// late snapshots to a direct read of the quiescent shard state.
+	pendCh   chan pendReq
+	finished chan struct{}
+	finOnce  sync.Once
 
 	// stop requests a clean stop of Run between rounds (see Stop).
 	stop atomic.Bool
@@ -374,6 +414,9 @@ func New(src Source, cfg Config) (*Runtime, error) {
 	default:
 		return nil, fmt.Errorf("stream: unknown admission mode %d", int(cfg.Admit))
 	}
+	if cfg.ResponseBound < 0 {
+		return nil, fmt.Errorf("stream: ResponseBound %d is negative", cfg.ResponseBound)
+	}
 	if cfg.WindowRounds <= 0 {
 		cfg.WindowRounds = DefaultWindowRounds
 	}
@@ -398,14 +441,18 @@ func New(src Source, cfg Config) (*Runtime, error) {
 			cfg.Policy.Name())
 	}
 	rt := &Runtime{
-		cfg:      cfg,
-		src:      src,
-		sw:       cfg.Switch,
-		caps:     cfg.Switch.Caps(),
-		deadline: cfg.Deadline,
-		nshards:  cfg.Shards,
-		shards:   make([]*shard, cfg.Shards),
-		vdone:    make(chan error, 1),
+		cfg:       cfg,
+		src:       src,
+		sw:        cfg.Switch,
+		caps:      cfg.Switch.Caps(),
+		deadline:  cfg.Deadline,
+		rec:       cfg.Recorder,
+		respBound: cfg.ResponseBound,
+		nshards:   cfg.Shards,
+		shards:    make([]*shard, cfg.Shards),
+		vdone:     make(chan error, 1),
+		pendCh:    make(chan pendReq, 1),
+		finished:  make(chan struct{}),
 	}
 	rt.batcher, _ = src.(BatchSource)
 	if lf, ok := src.(LiveFeeder); ok && lf.LiveFeed() {
@@ -487,6 +534,10 @@ const dropChunk = 512
 func (rt *Runtime) admitted(arrived, backpressured, dropped int) {
 	if arrived == 0 {
 		return
+	}
+	if rt.rec != nil {
+		rt.recArrived += int64(arrived)
+		rt.recDropped += int64(dropped)
 	}
 	rt.mAdmitted.Add(int64(arrived))
 	if backpressured > 0 {
@@ -668,9 +719,16 @@ func (rt *Runtime) owedApply() bool {
 // so verification flushes, idle jumps, and the end of the run observe
 // fully settled state.
 func (rt *Runtime) applyPending() {
-	if rt.owedApply() {
-		rt.runPhase(phaseApply)
+	if !rt.owedApply() {
+		return
 	}
+	if rt.rec != nil {
+		t0 := time.Now()
+		rt.runPhase(phaseApply)
+		rt.tApplyNS += time.Since(t0).Nanoseconds()
+		return
+	}
+	rt.runPhase(phaseApply)
 }
 
 // reconcile redistributes output capacity no shard used in the propose
@@ -785,12 +843,19 @@ func (rt *Runtime) joinVerify() error {
 		return nil
 	}
 	rt.vpending = false
+	if rt.rec != nil {
+		t0 := time.Now()
+		err := <-rt.vdone
+		rt.tVerifyNS += time.Since(t0).Nanoseconds()
+		return err
+	}
 	return <-rt.vdone
 }
 
 // step advances the runtime by one iteration — an idle jump or one fused
 // scheduling round — and reports whether the stream is fully drained.
 func (rt *Runtime) step() (done bool, err error) {
+	rt.servePending()
 	if err := rt.admit(); err != nil {
 		return false, err
 	}
@@ -812,9 +877,22 @@ func (rt *Runtime) step() (done bool, err error) {
 	// The fused phase: every shard retires the previous round's picks,
 	// admits its routed arrivals, and proposes against its carved output
 	// budgets — then the coordinator reconciles unused capacity.
+	var t0 time.Time
+	if rt.rec != nil {
+		t0 = time.Now()
+	}
 	rt.runPhase(phaseRound)
+	if rt.rec != nil {
+		rt.tProposeNS += time.Since(t0).Nanoseconds()
+	}
 	if rt.nshards > 1 {
+		if rt.rec != nil {
+			t0 = time.Now()
+		}
 		rt.reconcile()
+		if rt.rec != nil {
+			rt.tReconcileNS += time.Since(t0).Nanoseconds()
+		}
 	}
 	if err := rt.firstErr(); err != nil {
 		rt.err = err
@@ -851,6 +929,27 @@ func (rt *Runtime) step() (done bool, err error) {
 		}
 	}
 	rt.count -= total + expired
+	if rt.rec != nil {
+		// One record per scheduling round (idle jumps emit nothing, so
+		// the trace's rounds are strictly increasing). Phase time accrued
+		// outside this round — an apply forced by an idle jump, a verify
+		// join at a window flush — has landed in the accumulators and is
+		// charged here, then everything resets for the next record.
+		rt.rec.Record(obs.RoundRecord{
+			Round:       int64(rt.round),
+			Arrived:     rt.recArrived,
+			Scheduled:   int64(total),
+			Dropped:     rt.recDropped,
+			Expired:     int64(expired),
+			Pending:     int64(rt.count),
+			ProposeNS:   rt.tProposeNS,
+			ReconcileNS: rt.tReconcileNS,
+			ApplyNS:     rt.tApplyNS,
+			VerifyNS:    rt.tVerifyNS,
+		})
+		rt.recArrived, rt.recDropped = 0, 0
+		rt.tProposeNS, rt.tReconcileNS, rt.tApplyNS, rt.tVerifyNS = 0, 0, 0, 0
+	}
 	return false, rt.setRound(rt.round + 1)
 }
 
@@ -883,6 +982,7 @@ func (rt *Runtime) park() (done bool, err error) {
 // the verify goroutine is joined, and the shard worker pool is shut down.
 // It is not restartable.
 func (rt *Runtime) Run() (*Summary, error) {
+	defer rt.finOnce.Do(func() { close(rt.finished) })
 	if err := rt.firstErr(); err != nil {
 		return nil, err
 	}
@@ -932,6 +1032,88 @@ func (rt *Runtime) RunContext(ctx context.Context) (*Summary, error) {
 	return rt.Run()
 }
 
+// pendReq is a pending-set snapshot request serviced by the coordinator
+// between rounds (see PendingFlows); pendSnap is the reply — the flows
+// and the round the snapshot is consistent at.
+type pendReq struct {
+	dst  []switchnet.Flow
+	resp chan pendSnap
+}
+
+type pendSnap struct {
+	flows []switchnet.Flow
+	round int
+}
+
+// servePending answers at most one queued snapshot request per step. It
+// runs at the top of step, when shard state is quiescent and the inboxes
+// are empty (the previous round phase threaded them); owed picks retire
+// first so flows the previous round already scheduled are not reported
+// as pending.
+func (rt *Runtime) servePending() {
+	select {
+	case req := <-rt.pendCh:
+		rt.applyPending()
+		req.resp <- pendSnap{flows: rt.collectPending(req.dst), round: rt.round}
+	default:
+	}
+}
+
+// collectPending appends every resident pending flow to dst, walking each
+// shard's admission-order sublist in shard order. The caller must hold
+// the state quiescent: the coordinator between phases (with owed picks
+// settled), or any goroutine after Run has returned.
+func (rt *Runtime) collectPending(dst []switchnet.Flow) []switchnet.Flow {
+	for _, sh := range rt.shards {
+		a := &sh.ar
+		for id := sh.head; id != noID; id = a.rec[id].next {
+			dst = append(dst, a.flow(id))
+		}
+	}
+	return dst
+}
+
+// PendingFlows snapshots the resident pending set without stalling the
+// round loop: the request is handed to the coordinator, which services
+// it between rounds (retiring owed picks first, so the snapshot never
+// contains an already-scheduled flow), and the flows are appended to
+// dst[:0] along with the round the snapshot is consistent at. After Run
+// has returned the quiescent state is read directly (best-effort if the
+// run failed mid-round: picks the error abandoned may still be linked).
+//
+// The round loop only reaches a service point while it is stepping; a
+// live runtime parked idle on its source answers nothing until the next
+// arrival — but a parked runtime's pending set is empty, so callers
+// should use a ctx timeout and treat expiry as "empty or idle". dst is
+// reused across calls by design; the returned slice aliases it.
+func (rt *Runtime) PendingFlows(ctx context.Context, dst []switchnet.Flow) ([]switchnet.Flow, int, error) {
+	dst = dst[:0]
+	req := pendReq{dst: dst, resp: make(chan pendSnap, 1)}
+	select {
+	case rt.pendCh <- req:
+	case <-rt.finished:
+		return rt.collectPending(dst), int(rt.mRound.Load()), nil
+	case <-ctx.Done():
+		return dst, 0, ctx.Err()
+	}
+	select {
+	case s := <-req.resp:
+		return s.flows, s.round, nil
+	case <-rt.finished:
+		// The coordinator may have taken the request just before
+		// finishing; prefer its reply, else the state is quiescent now
+		// and a direct read is safe.
+		select {
+		case s := <-req.resp:
+			return s.flows, s.round, nil
+		default:
+		}
+		return rt.collectPending(dst), int(rt.mRound.Load()), nil
+	case <-ctx.Done():
+		return dst, 0, ctx.Err()
+	}
+}
+
 // Snapshot returns the current streaming metrics, merging the per-shard
 // completion counters and window sketches. It is safe to call concurrently
 // with Run and never blocks the round loop: scalar counters are atomics
@@ -943,11 +1125,12 @@ func (rt *Runtime) Snapshot() Summary {
 	defer rt.snapMu.Unlock()
 	round := int(rt.mRound.Load())
 	rt.scratch.Reset()
-	var completed, totalResp, expired int64
+	var completed, totalResp, expired, slow int64
 	maxResp := 0
 	for _, sh := range rt.shards {
 		completed += sh.completed.Load()
 		expired += sh.expired.Load()
+		slow += sh.slowResp.Load()
 		totalResp += sh.totalResp.Load()
 		if m := int(sh.maxResp.Load()); m > maxResp {
 			maxResp = m
@@ -974,6 +1157,7 @@ func (rt *Runtime) Snapshot() Summary {
 		Expired:         expired,
 		TotalResponse:   totalResp,
 		MaxResponse:     maxResp,
+		SlowResponses:   slow,
 		WindowsVerified: rt.mWindows.Load(),
 		P50:             rt.scratch.Quantile(0.50),
 		P90:             rt.scratch.Quantile(0.90),

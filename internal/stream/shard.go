@@ -127,6 +127,7 @@ type shard struct {
 	expired   atomic.Int64
 	totalResp atomic.Int64
 	maxResp   atomic.Int64
+	slowResp  atomic.Int64
 	win       *stats.EpochWindow
 }
 
@@ -405,7 +406,8 @@ func (sh *shard) apply() {
 	a := &sh.ar
 	t := sh.takesRound
 	verifying := sh.rt.cfg.VerifyEvery > 0
-	var n, sum int64
+	bound := sh.rt.respBound
+	var n, sum, slow int64
 	maxR := int(sh.maxResp.Load())
 	sh.win.Begin()
 	for _, id := range sh.takes {
@@ -414,6 +416,9 @@ func (sh *shard) apply() {
 		sum += int64(resp)
 		if resp > maxR {
 			maxR = resp
+		}
+		if bound > 0 && resp > bound {
+			slow++
 		}
 		sh.win.Observe(t, resp)
 		if verifying {
@@ -425,6 +430,9 @@ func (sh *shard) apply() {
 	sh.completed.Add(n)
 	sh.totalResp.Add(sum)
 	sh.maxResp.Store(int64(maxR))
+	if slow > 0 {
+		sh.slowResp.Add(slow)
+	}
 
 	for _, id := range sh.takes {
 		sh.depart(id)
