@@ -102,6 +102,15 @@
 //     TrivialMRTLowerBound) to publish live competitive-ratio estimates
 //     (GET /pilot) that are always >= 1 by restriction-feasibility.
 //
+//   - A static invariant suite (cmd/flowschedvet, internal/analysis):
+//     four custom go vet analyzers — hotpath (zero allocation on
+//     //flowsched:hotpath call graphs), gatedclock (wall-clock reads
+//     gated on the flight recorder), atomicfield (no mixed atomic/plain
+//     field access), determinism (no map-order, global-rand, or clock
+//     input in schedule-affecting packages) — that make the runtime's
+//     performance contracts compile-time-checkable; see the "Static
+//     invariants" section of internal/stream's package doc.
+//
 // The LP solver, matching algorithms, edge coloring, rounding theorem, and
 // simulator are all implemented in this repository with no external
 // dependencies; see DESIGN.md for the system inventory and EXPERIMENTS.md

@@ -1,3 +1,11 @@
 module flowsched
 
 go 1.24
+
+// staticcheck is pinned as a Go 1.24 tool dependency so CI and local
+// runs use the identical version: `go tool staticcheck ./...`.
+// (2025.1 == v0.6.x; no go.sum entries are committed because the repo
+// builds offline — CI self-heals them with GOFLAGS=-mod=mod.)
+tool honnef.co/go/tools/cmd/staticcheck
+
+require honnef.co/go/tools v0.6.1

@@ -1,0 +1,196 @@
+// Package analysis is flowschedvet's invariant suite: four custom static
+// analyzers that make the streaming runtime's hot-path contracts —
+// contracts stated in internal/stream's docs and until now enforced only
+// dynamically by alloc_test.go, the cross-K determinism suite, and hand
+// review — checkable at build time, on every package, in CI.
+//
+// The four analyzers (Suite returns them in order):
+//
+//   - hotpath: functions annotated //flowsched:hotpath, and everything
+//     they transitively call through static calls, must be free of
+//     heap-allocating constructs. See hotpath.go for the construct list
+//     and the cross-package fact propagation.
+//   - gatedclock: in packages annotated //flowsched:clockgated, every
+//     wall-clock read (time.Now / time.Since / time.Until) must be
+//     dominated by a nil check of a *FlightRecorder — the "zero clock
+//     reads uninstrumented" contract.
+//   - atomicfield: a struct field passed to sync/atomic anywhere must be
+//     accessed atomically everywhere in the package — the mixed-access
+//     bug class the obs ring and the runtime's counter ordering are
+//     hand-verified against.
+//   - determinism: in packages annotated //flowsched:deterministic, no
+//     raw map iteration (outside the collect-then-sort idiom), no
+//     global math/rand, no wall-clock input — the cross-K
+//     bit-reproducibility contract PR 1 had to retrofit dynamically.
+//
+// Deliberate exceptions carry a justified escape hatch in the source:
+//
+//	//flowsched:allow <check>: <one-line justification>
+//
+// (checks: alloc, clock, atomic, maprange, rand, wallclock). A bare
+// allow without a justification is itself a finding.
+//
+// The framework below mirrors the golang.org/x/tools/go/analysis API
+// shape — Analyzer, Pass, Diagnostic, per-object facts — but is built on
+// the standard library alone (go/ast, go/types, go/importer), because
+// this repository carries no module dependencies. cmd/flowschedvet
+// drives the suite standalone over `go list` packages (load.go) and as a
+// `go vet -vettool` unit checker speaking the vet.cfg protocol
+// (unit.go), with facts serialized through the vetx files go vet already
+// plumbs between packages.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check. Run inspects a single package
+// through its Pass and reports findings; cross-package state flows
+// through the Pass's fact API, never through analyzer globals.
+type Analyzer struct {
+	// Name is the check's identifier in diagnostics and CLI output.
+	Name string
+	// Doc is the one-paragraph description printed by -help.
+	Doc string
+	// Run analyzes one package. It returns an error only for internal
+	// failures; findings go through Pass.Report.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed package.
+type Diagnostic struct {
+	Pos token.Pos
+	// Check names the allow-hatch check the finding belongs to (e.g.
+	// "alloc"); //flowsched:allow <Check> on the offending line
+	// suppresses it.
+	Check   string
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Module is the path of the module under analysis ("flowsched");
+	// packages outside it are dependencies, analyzed for facts only.
+	Module string
+	// Dirs holds the package's parsed //flowsched: directives.
+	Dirs *Directives
+
+	// report receives findings; the driver wires it.
+	report func(Diagnostic)
+	// facts is the cross-package fact store; the driver wires it.
+	facts *factStore
+}
+
+// Report files one finding unless an allow directive for its check
+// covers its position.
+func (p *Pass) Report(d Diagnostic) {
+	if p.Dirs != nil {
+		if _, ok := p.Dirs.Allowed(d.Check, d.Pos); ok {
+			return
+		}
+	}
+	p.report(d)
+}
+
+// Reportf is Report with formatting.
+func (p *Pass) Reportf(pos token.Pos, check, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Check: check, Message: fmt.Sprintf(format, args...)})
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The suite's
+// contracts bind the shipped runtime; test code is exempt (it is free to
+// allocate, range maps, and read clocks), though it still type-checks as
+// part of the package.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	return len(name) >= 8 && name[len(name)-8:] == "_test.go"
+}
+
+// ExportObjectFact publishes a fact about obj (a package-level function
+// or method of the analyzed package) for downstream packages' passes.
+func (p *Pass) ExportObjectFact(obj types.Object, fact any) {
+	p.facts.export(p.Analyzer.Name, objectKey(obj), fact)
+}
+
+// ImportObjectFact loads the fact published for obj by an upstream
+// package's pass into fact (a pointer), reporting whether one existed.
+func (p *Pass) ImportObjectFact(obj types.Object, fact any) bool {
+	return p.facts.importFact(p.Analyzer.Name, objectKey(obj), fact)
+}
+
+// objectKey is the stable cross-load identity of a package-level object:
+// the same function yields the same key whether its package was
+// type-checked from source (standalone mode) or loaded from gc export
+// data (vettool mode).
+func objectKey(obj types.Object) string {
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return pkg + "." + recvString(sig.Recv().Type()) + "." + obj.Name()
+		}
+	}
+	return pkg + "." + obj.Name()
+}
+
+// recvString renders a receiver type as "(T)" or "(*T)" without package
+// qualification (the key already carries the package path).
+func recvString(t types.Type) string {
+	ptr := ""
+	if pt, ok := t.(*types.Pointer); ok {
+		ptr = "*"
+		t = pt.Elem()
+	}
+	name := "?"
+	switch nt := t.(type) {
+	case *types.Named:
+		name = nt.Obj().Name()
+	case *types.Alias:
+		name = nt.Obj().Name()
+	}
+	return "(" + ptr + name + ")"
+}
+
+// Suite returns the flowschedvet analyzers in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{HotPath, GatedClock, AtomicField, Determinism}
+}
+
+// AnalyzerByName resolves one of the suite's analyzers; nil if unknown.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Suite() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// sortDiagnostics orders findings by position for stable output.
+func sortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}

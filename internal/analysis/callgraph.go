@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Static call resolution: the hotpath analyzer propagates "may allocate"
+// along calls it can resolve at compile time — direct function calls and
+// method calls on concrete receivers. Dynamic dispatch (interface
+// methods, function values) is not followed; the suite's coverage there
+// comes from annotating the implementations themselves (every native
+// policy's Pick is a //flowsched:hotpath root of its own).
+
+// staticCallee resolves the called *types.Func of call, or nil when the
+// call is dynamic, a builtin, or a type conversion.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return nil // conversion, not a call
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil // method expression or field func value
+			}
+			if types.IsInterface(sel.Recv()) {
+				return nil // dynamic dispatch
+			}
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Qualified identifier: pkg.F.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// funcIndex maps a package's declared functions both ways.
+type funcIndex struct {
+	decls map[*types.Func]*ast.FuncDecl
+	objs  map[*ast.FuncDecl]*types.Func
+}
+
+// indexFuncs collects every function and method declared in the package.
+func indexFuncs(pass *Pass) *funcIndex {
+	idx := &funcIndex{
+		decls: map[*types.Func]*ast.FuncDecl{},
+		objs:  map[*ast.FuncDecl]*types.Func{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			idx.decls[obj] = fn
+			idx.objs[fn] = obj
+		}
+	}
+	return idx
+}
+
+// funcDisplayName renders fn for diagnostics: "F" or "(*T).M".
+func funcDisplayName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return recvString(sig.Recv().Type()) + "." + fn.Name()
+	}
+	return fn.Name()
+}

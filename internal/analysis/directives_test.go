@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const directivesSrc = `// Package p is a fixture.
+//
+//flowsched:deterministic
+package p
+
+//flowsched:hotpath
+func Hot() {
+	//flowsched:allow alloc: line-scoped scratch growth
+	x := 1
+	_ = x
+}
+
+//flowsched:allow rand: whole-function exemption
+func Draw() int { return 4 }
+
+func Cold() {}
+
+//flowsched:allow bogus: not a real check
+//flowsched:allow maprange
+//flowsched:frobnicate
+var x int
+`
+
+func parseDirectives(t *testing.T) (*token.FileSet, *ast.File, *Directives) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", directivesSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f, NewDirectives(fset, []*ast.File{f})
+}
+
+func TestDirectiveMarks(t *testing.T) {
+	_, _, d := parseDirectives(t)
+	if !d.HasMark("deterministic") {
+		t.Error("deterministic mark not parsed")
+	}
+	if d.HasMark("clockgated") {
+		t.Error("clockgated mark reported without a directive")
+	}
+}
+
+func TestDirectiveHotPathRoots(t *testing.T) {
+	_, f, d := parseDirectives(t)
+	roots := d.HotPathRoots()
+	if len(roots) != 1 || roots[0].Name.Name != "Hot" {
+		t.Fatalf("roots = %v, want exactly Hot", roots)
+	}
+	for _, decl := range f.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Name.Name == "Cold" && d.IsHotPath(fn) {
+			t.Error("Cold wrongly marked hotpath")
+		}
+	}
+}
+
+func TestDirectiveAllowExtents(t *testing.T) {
+	fset, f, d := parseDirectives(t)
+	posOf := func(line int) token.Pos {
+		tf := fset.File(f.Pos())
+		return tf.LineStart(line)
+	}
+	allowLine := lineContaining(t, directivesSrc, "allow alloc: line-scoped")
+	if _, ok := d.Allowed("alloc", posOf(allowLine)); !ok {
+		t.Error("line allow does not cover its own line")
+	}
+	if _, ok := d.Allowed("alloc", posOf(allowLine+1)); !ok {
+		t.Error("line allow does not cover the following line")
+	}
+	if _, ok := d.Allowed("alloc", posOf(allowLine+2)); ok {
+		t.Error("line allow leaks past the following line")
+	}
+	if _, ok := d.Allowed("rand", posOf(allowLine)); ok {
+		t.Error("allow for one check suppresses another")
+	}
+	// The function-doc allow covers the whole of Draw.
+	drawLine := lineContaining(t, directivesSrc, "func Draw")
+	if why, ok := d.Allowed("rand", posOf(drawLine)); !ok || !strings.Contains(why, "whole-function") {
+		t.Errorf("function-doc allow missing: %q, %v", why, ok)
+	}
+}
+
+func TestDirectiveMalformed(t *testing.T) {
+	_, _, d := parseDirectives(t)
+	var msgs []string
+	for _, m := range d.Malformed() {
+		msgs = append(msgs, m.Message)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("malformed = %d (%v), want 3", len(msgs), msgs)
+	}
+	for i, wantSub := range []string{"known check", "justification", "unknown"} {
+		if !strings.Contains(msgs[i], wantSub) {
+			t.Errorf("malformed[%d] = %q, want substring %q", i, msgs[i], wantSub)
+		}
+	}
+}
+
+func lineContaining(t *testing.T, src, sub string) int {
+	t.Helper()
+	idx := strings.Index(src, sub)
+	if idx < 0 {
+		t.Fatalf("fixture lacks %q", sub)
+	}
+	return 1 + strings.Count(src[:idx], "\n")
+}

@@ -1,0 +1,52 @@
+// Package atomics exercises the atomicfield analyzer: once a field is
+// touched through sync/atomic anywhere, every access must be atomic.
+package atomics
+
+import "sync/atomic"
+
+type counters struct {
+	hits int64
+	cold int64
+	//flowsched:allow atomic: single-writer seqlock discipline; readers take the atomic side
+	mixed int64
+	live  atomic.Int64
+}
+
+// Bump makes hits an atomic field for the whole package.
+func (c *counters) Bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// AtomicRead is the sanctioned way back out.
+func (c *counters) AtomicRead() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// RacyRead mixes a plain load into an atomic field.
+func (c *counters) RacyRead() int64 {
+	return c.hits // want `atomic: field hits is accessed with sync/atomic elsewhere`
+}
+
+// ColdOnly never goes through sync/atomic, so plain access is fine.
+func (c *counters) ColdOnly() int64 {
+	c.cold++
+	return c.cold
+}
+
+// MixedOK relies on the field-declaration allow: the plain read in the
+// store's argument is the documented single-writer idiom.
+func (c *counters) MixedOK() int64 {
+	atomic.StoreInt64(&c.mixed, c.mixed+1)
+	return atomic.LoadInt64(&c.mixed)
+}
+
+// LiveOK drives a typed atomic through its methods.
+func (c *counters) LiveOK() int64 {
+	c.live.Add(1)
+	return c.live.Load()
+}
+
+// LiveCopy moves the typed atomic by value, detaching it.
+func (c *counters) LiveCopy() atomic.Int64 {
+	return c.live // want `atomic: field live has type sync/atomic\.Int64 and must not be copied by value`
+}

@@ -1,0 +1,56 @@
+// Package clocked exercises the gatedclock analyzer: wall-clock reads
+// must be dominated by a recorder nil check.
+//
+//flowsched:clockgated
+package clocked
+
+import "time"
+
+type FlightRecorder struct{ n int }
+
+type R struct {
+	rec *FlightRecorder
+}
+
+// Guarded reads the clock inside the canonical rec != nil branch.
+func (r *R) Guarded() {
+	if r.rec != nil {
+		t := time.Now()
+		_ = t
+	}
+}
+
+// EarlyReturn is dominated by an rec == nil early exit.
+func (r *R) EarlyReturn() int64 {
+	if r.rec == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+// Conjunct guards through an && chain.
+func (r *R) Conjunct(ok bool) {
+	if ok && r.rec != nil {
+		_ = time.Since(time.Time{})
+	}
+}
+
+// Unguarded reads the clock with no dominating check.
+func (r *R) Unguarded() int64 {
+	return time.Now().UnixNano() // want `clock: time\.Now is not dominated by a recorder nil check`
+}
+
+// WrongBranch checks the recorder but reads the clock outside the
+// guarded branch.
+func (r *R) WrongBranch() int64 {
+	if r.rec != nil {
+		_ = r.rec.n
+	}
+	return time.Now().UnixNano() // want `clock: time\.Now is not dominated`
+}
+
+// Allowed documents a deliberate ungated read.
+func (r *R) Allowed() time.Time {
+	//flowsched:allow clock: startup-only, runs before the hot loop starts
+	return time.Now()
+}

@@ -1,0 +1,56 @@
+// Package determ exercises the determinism analyzer: no unordered map
+// iteration, no process-global randomness, no wall-clock input.
+//
+//flowsched:deterministic
+package determ
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// RawRange iterates a map with no adjacent sort.
+func RawRange(m map[int]int) int {
+	s := 0
+	for k := range m { // want `maprange: map iteration order is nondeterministic`
+		s += k
+	}
+	return s
+}
+
+// SortedRange is the collect-keys-then-sort idiom.
+func SortedRange(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// GlobalRand draws from the shared, unseeded source.
+func GlobalRand() int {
+	return rand.Intn(10) // want `rand: math/rand\.Intn draws from the process-global source`
+}
+
+// SeededRand builds an explicit source: reproducible, so it passes.
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// WallClock feeds the clock into package state.
+func WallClock() int64 {
+	return time.Now().UnixNano() // want `wallclock: time\.Now feeds wall-clock values`
+}
+
+// AllowedRange documents an order-independent fold.
+func AllowedRange(m map[int]int) int {
+	s := 0
+	//flowsched:allow maprange: pure sum, order-independent
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,12 @@
+// Package dep provides helpers whose allocation behavior crosses the
+// package boundary only through exported hotpath facts — there are no
+// roots here, so nothing is reported locally.
+package dep
+
+// Alloc allocates; callers on a hot path learn this from the fact.
+func Alloc() []int {
+	return make([]int, 4)
+}
+
+// Pure is allocation-free.
+func Pure(x int) int { return x + 1 }

@@ -1,0 +1,94 @@
+// Package hot exercises the hotpath analyzer's construct detection,
+// call-graph propagation, and the //flowsched:allow alloc escape hatch.
+package hot
+
+import "fmt"
+
+var scratch []int
+var sink interface{}
+var table = map[int]int{}
+
+// Root is clean: arithmetic through a clean helper only.
+//
+//flowsched:hotpath
+func Root(a, b int) int {
+	return addmul(a, b)
+}
+
+func addmul(a, b int) int { return a*b + a }
+
+//flowsched:hotpath
+func BadMake() {
+	s := make([]int, 8) // want `alloc: hot path \(BadMake\): make allocates`
+	_ = s
+}
+
+// Chain reaches an allocation two calls below the root.
+//
+//flowsched:hotpath
+func Chain() { mid() }
+
+func mid() { leaf() }
+
+func leaf() {
+	p := new(int) // want `alloc: hot path \(Chain → mid → leaf\): new allocates`
+	_ = p
+}
+
+//flowsched:hotpath
+func BadFmt() {
+	_ = fmt.Sprint() // want `alloc: .*fmt/log always allocate`
+}
+
+//flowsched:hotpath
+func BadClosure(n int) func() int {
+	f := func() int { return n } // want `alloc: .*closure captures n`
+	return f
+}
+
+//flowsched:hotpath
+func BadMapWrite(k int) {
+	table[k] = 1 // want `alloc: .*map assignment may grow the map`
+}
+
+//flowsched:hotpath
+func BadBox(v int64) {
+	sink = v // want `alloc: .*conversion of int64 to interface allocates`
+}
+
+// Amortized uses the line-scoped escape hatch: the append is deliberate
+// and justified, so it neither reports nor poisons the function.
+//
+//flowsched:hotpath
+func Amortized() {
+	//flowsched:allow alloc: scratch grows to its high-water mark, then length-resets
+	scratch = append(scratch, 1)
+}
+
+// Exempt is covered whole by a function-doc allow.
+//
+//flowsched:allow alloc: construction-time helper, measured cold
+//flowsched:hotpath
+func Exempt() {
+	_ = make([]int, 1)
+}
+
+//flowsched:hotpath
+func BadAllowDirective() {
+	//flowsched:allow alloc // want `directive: .*needs a justification`
+	_ = make([]int, 2) // want `alloc: .*make allocates`
+}
+
+// Impl.Do allocates but is only ever reached through an interface, which
+// the analyzer does not follow: implementations carry their own roots.
+type Impl struct{}
+
+func (Impl) Do() { _ = make([]int, 3) }
+
+//flowsched:hotpath
+func ViaInterface(d interface{ Do() }) {
+	d.Do()
+}
+
+// Cold is not on any hot path: its allocations pass.
+func Cold() { _ = make(map[string]int, 1) }

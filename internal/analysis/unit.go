@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// Unit-checker driver: when go vet runs flowschedvet as a -vettool it
+// hands the tool one JSON config per compilation unit (dependencies
+// first, with VetxOnly set for packages only needed for facts). This
+// file speaks that protocol with the standard library alone: source
+// files come from the config, dependency types come from the gc export
+// files in PackageFile, and cross-package facts ride the vetx files go
+// vet already threads between units — each unit writes its dependencies'
+// facts merged with its own, so downstream units see the transitive
+// closure.
+
+// vetConfig mirrors the fields of go vet's JSON config the driver uses.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+	ModulePath  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit processes one vet.cfg, printing findings to out and returning
+// their count. The VetxOutput file is always written — go vet treats a
+// missing facts file as a tool failure.
+func RunUnit(cfgPath string, out io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return 0, fmt.Errorf("%s: %v", cfgPath, err)
+	}
+
+	store := newFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		if payload, err := os.ReadFile(vetx); err == nil {
+			store.merge(payload)
+		}
+	}
+
+	// Packages outside the module (stdlib and friends) contribute no
+	// facts of their own: pass the merged store through untouched.
+	// Test variants keep the module prefix ("mod/pkg [mod/pkg.test]"),
+	// so a plain prefix test covers them too.
+	inModule := cfg.ModulePath != "" &&
+		(cfg.ImportPath == cfg.ModulePath || strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/"))
+	if !inModule {
+		return 0, writeVetx(cfg, store)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, writeVetx(cfg, store)
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		f := cfg.PackageFile[path]
+		if f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	info := newTypesInfo()
+	conf := types.Config{Importer: imp}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, writeVetx(cfg, store)
+		}
+		return 0, err
+	}
+
+	diags := runSuite(fset, files, pkg, info, cfg.ModulePath, store)
+	if err := writeVetx(cfg, store); err != nil {
+		return 0, err
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+	printDiags(out, fset, diags)
+	return len(diags), nil
+}
+
+func writeVetx(cfg *vetConfig, store *factStore) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	payload, err := store.encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.VetxOutput, payload, 0o666)
+}

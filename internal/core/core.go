@@ -10,6 +10,8 @@
 //     binary-search reduction from FS-MRT to time-constrained scheduling.
 //   - Online (Section 5.1): the batched AMRT algorithm of Lemma 5.3.
 //   - Combinatorial lower bounds used when LPs are too large.
+//
+//flowsched:deterministic
 package core
 
 import (

@@ -7,6 +7,8 @@
 //
 // Solutions returned by Solve are basic (vertex) solutions, which the
 // iterative-rounding algorithms in internal/core rely on.
+//
+//flowsched:deterministic
 package lp
 
 import (

@@ -4,6 +4,8 @@
 // matching, greedy matching, and capacitated variants built on min-cost
 // flow. It replaces the Lemon graph library used by the paper's original
 // simulator (Section 5.2.2).
+//
+//flowsched:deterministic
 package matching
 
 import "sort"

@@ -98,6 +98,8 @@ func (r *FlightRecorder) Written() int64 { return r.head.Load() }
 // locking and no heap allocation, so it is safe on an allocation-free
 // hot path. The head advances after the slot's words are stored, so a
 // concurrent reader either sees the whole record or discards the slot.
+//
+//flowsched:hotpath
 func (r *FlightRecorder) Record(rec RoundRecord) {
 	h := r.head.Load()
 	b := (h % r.slots) * recordWords

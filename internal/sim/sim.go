@@ -3,6 +3,8 @@
 // released-but-unscheduled flows, asks a pluggable Policy for a feasible
 // set of flows each round, and advances time until every flow has been
 // scheduled. It replaces the in-house C++ simulator of the paper.
+//
+//flowsched:deterministic
 package sim
 
 import (

@@ -33,9 +33,11 @@ import (
 // construction (about 8KB each), so Observe performs zero heap
 // allocations for any value.
 type EpochWindow struct {
-	seq     atomic.Uint64
-	rings   []LogHistogram
-	periods []int64 // period covered by ring i; atomic access
+	seq   atomic.Uint64
+	rings []LogHistogram
+	// period covered by ring i.
+	//flowsched:allow atomic: seqlock single-writer — the writer mixes plain reads with atomic stores; readers take the atomic side and retry on seq mismatch
+	periods []int64
 
 	perShard int
 
@@ -76,14 +78,20 @@ func NewEpochWindow(windowRounds, shards int) *EpochWindow {
 
 // Begin opens a write section. Observe calls are only valid between Begin
 // and End; the writer is a single goroutine.
+//
+//flowsched:hotpath
 func (w *EpochWindow) Begin() { w.seq.Add(1) }
 
 // End closes the write section opened by Begin.
+//
+//flowsched:hotpath
 func (w *EpochWindow) End() { w.seq.Add(1) }
 
 // Observe records value v at the given round, rotating ring slots whose
 // rounds have slid out of the window. Rounds must be non-decreasing. It
 // must be called inside a Begin/End section and never allocates.
+//
+//flowsched:hotpath
 func (w *EpochWindow) Observe(round, v int) {
 	n := int64(len(w.rings))
 	period := int64(round) / int64(w.perShard)

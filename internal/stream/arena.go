@@ -60,21 +60,25 @@ type arena struct {
 
 // alloc returns a free ID, growing every column in step only when the
 // free list is empty (i.e. the pending set reaches a new high-water mark).
+//
+//flowsched:hotpath
 func (a *arena) alloc() int32 {
 	if n := len(a.freed); n > 0 {
 		id := a.freed[n-1]
 		a.freed = a.freed[:n-1]
 		return id
 	}
-	a.rec = append(a.rec, flowRec{blk: noID, prev: noID, next: noID})
-	a.seq = append(a.seq, 0)
+	a.rec = append(a.rec, flowRec{blk: noID, prev: noID, next: noID}) //flowsched:allow alloc: arena rows grow to the live-flow high-water mark, then recycle through freed
+	a.seq = append(a.seq, 0)                                          //flowsched:allow alloc: grows in lockstep with rec to the same high-water mark
 	return int32(len(a.rec) - 1)
 }
 
 // free recycles id onto the free list.
+//
+//flowsched:hotpath
 func (a *arena) free(id int32) {
 	a.rec[id].state = 0
-	a.freed = append(a.freed, id)
+	a.freed = append(a.freed, id) //flowsched:allow alloc: free list grows to the arena high-water mark, then stabilizes
 }
 
 // len reports the arena's column length (IDs ever allocated).
@@ -150,17 +154,19 @@ func (p *blockPool) get() int32 {
 		p.blocks[b].next = noID
 		return b
 	}
-	p.blocks = append(p.blocks, voqBlock{next: noID})
+	p.blocks = append(p.blocks, voqBlock{next: noID}) //flowsched:allow alloc: block pool grows to the VOQ-block high-water mark, then recycles
 	return int32(len(p.blocks) - 1)
 }
 
 // put recycles block b.
 func (p *blockPool) put(b int32) {
-	p.free = append(p.free, b)
+	p.free = append(p.free, b) //flowsched:allow alloc: pool free list grows to the block high-water mark
 }
 
 // voqPush appends id to VOQ vi's tail, growing the chain by a pooled
 // block when the tail block is full.
+//
+//flowsched:hotpath
 func (sh *shard) voqPush(vi int, id int32) {
 	q := &sh.vqs[vi]
 	switch {
@@ -192,6 +198,8 @@ func (sh *shard) voqPush(vi int, id int32) {
 // tombstones outnumber live entries by more than a block — so the chain
 // never holds more than O(live + blockLen) entries and every entry is
 // visited O(1) times amortized.
+//
+//flowsched:hotpath
 func (sh *shard) voqRemove(vi int, id int32) (drained bool) {
 	q := &sh.vqs[vi]
 	r := &sh.ar.rec[id]
@@ -281,7 +289,7 @@ func (sh *shard) voqCompact(vi int) {
 	q := &sh.vqs[vi]
 	sh.cscratch = sh.cscratch[:0]
 	for id := sh.voqFirst(vi); id != noID; id = sh.voqNext(vi, id) {
-		sh.cscratch = append(sh.cscratch, id)
+		sh.cscratch = append(sh.cscratch, id) //flowsched:allow alloc: compaction scratch is length-reset and grows to the longest VOQ
 	}
 	for b := q.head; b != noID; {
 		nb := sh.pool.blocks[b].next

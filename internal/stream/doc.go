@@ -260,4 +260,34 @@
 //     merge with atomic loads and retry on epoch change, so metrics reads
 //     never stall the round loop, and the record path (Begin/Observe/End)
 //     neither locks nor allocates.
+//
+// # Static invariants
+//
+// The contracts above are compile-time-checked by flowschedvet
+// (internal/analysis), the repo's own go vet suite, driven by source
+// annotations:
+//
+//   - //flowsched:hotpath on a function's doc comment requires it — and
+//     everything it reaches through static calls — to be free of
+//     heap-allocating constructs. The fused round phase (shard.do,
+//     apply, pickShared), View.Take, the arena and VOQ block operations,
+//     every native policy's Pick, stats.EpochWindow's record path, and
+//     obs.FlightRecorder.Record are all roots.
+//   - //flowsched:clockgated (this package's mark, below) requires every
+//     time.Now/Since/Until to be dominated by a recorder nil check —
+//     the "zero clock reads uninstrumented" contract.
+//   - //flowsched:deterministic forbids unordered map iteration, global
+//     math/rand, and wall-clock input — the cross-K bit-reproducibility
+//     contract. internal/sim, internal/core, internal/lp and
+//     internal/matching carry the same mark.
+//   - Deliberate exceptions carry //flowsched:allow <check>: <why> on
+//     the offending line (or a function's doc comment); an allow without
+//     a justification is itself a finding.
+//
+// Run it locally with `go run ./cmd/flowschedvet ./...` or through
+// `go vet -vettool`; CI fails on any unannotated finding, and
+// TestRepoClean enforces the same as part of go test ./....
+//
+//flowsched:clockgated
+//flowsched:deterministic
 package stream

@@ -108,6 +108,8 @@ func newIDs(n int) []int32 {
 }
 
 // Pick implements Policy.
+//
+//flowsched:hotpath
 func (p *WeightedISLIP) Pick(v *View) {
 	iters := p.Iters
 	if iters <= 0 {
@@ -150,7 +152,7 @@ func (p *WeightedISLIP) iterate(v *View) int {
 					continue
 				}
 				if cur := p.reqIn[out]; cur == noID {
-					p.reqOuts = append(p.reqOuts, int32(out))
+					p.reqOuts = append(p.reqOuts, int32(out)) //flowsched:allow alloc: request list is length-reset per iteration and grows to mOut
 				} else if !wins(h.rel, in, p.reqRel[out], int(cur), int(p.grant[out]), p.numIn) {
 					continue
 				}
@@ -165,7 +167,7 @@ func (p *WeightedISLIP) iterate(v *View) int {
 		out := int(o)
 		in := int(p.reqIn[out])
 		if cur := p.accOut[in]; cur == noID {
-			p.accIns = append(p.accIns, int32(in))
+			p.accIns = append(p.accIns, int32(in)) //flowsched:allow alloc: accept list is length-reset per iteration and grows to owned inputs
 		} else if !wins(p.reqRel[out], out, p.accRel[in], int(cur), int(p.accept[in]), p.numOut) {
 			continue
 		}

@@ -106,6 +106,8 @@ func (*OldestFirst) Name() string { return "OldestFirst" }
 func (*OldestFirst) NewShard() Policy { return &OldestFirst{} }
 
 // Pick implements Policy.
+//
+//flowsched:hotpath
 func (p *OldestFirst) Pick(v *View) {
 	sw := v.Switch()
 	mIn, mOut := sw.NumIn(), sw.NumOut()
@@ -144,7 +146,7 @@ func (p *OldestFirst) Pick(v *View) {
 				if h.rel > maxRel {
 					maxRel = h.rel
 				}
-				p.ent = append(p.ent, ofEntry{
+				p.ent = append(p.ent, ofEntry{ //flowsched:allow alloc: entry scratch is length-reset per round and grows to the pending high-water mark
 					rel: h.rel, dem: h.dem,
 					in: int16(in), out: int16(out),
 				})
@@ -202,13 +204,13 @@ func (p *OldestFirst) Pick(v *View) {
 func (p *OldestFirst) order(minRel, maxRel int64) {
 	span := maxRel - minRel + 1
 	if span > int64(4*len(p.ent)+64) {
-		p.ord = append(p.ord[:0], p.ent...)
+		p.ord = append(p.ord[:0], p.ent...) //flowsched:allow alloc: ord scratch reuses capacity, growing to the ent high-water mark
 		sortEntries(p.ord)
 		return
 	}
 	n := int(span)
 	if cap(p.cnt) < n {
-		p.cnt = make([]int32, n)
+		p.cnt = make([]int32, n) //flowsched:allow alloc: counting-sort scratch regrows only when the release span exceeds its high-water mark
 	}
 	p.cnt = p.cnt[:n]
 	for i := range p.cnt {
@@ -223,7 +225,7 @@ func (p *OldestFirst) order(minRel, maxRel int64) {
 		sum += c
 	}
 	if cap(p.ord) < len(p.ent) {
-		p.ord = make([]ofEntry, len(p.ent))
+		p.ord = make([]ofEntry, len(p.ent)) //flowsched:allow alloc: ord regrows only past its high-water mark
 	}
 	p.ord = p.ord[:len(p.ent)]
 	for i := range p.ent {
@@ -283,7 +285,7 @@ func (p *OldestFirst) push(v *View, id ID) {
 		return
 	}
 	f := v.Flow(id)
-	p.h = append(p.h, ofEntry{
+	p.h = append(p.h, ofEntry{ //flowsched:allow alloc: heap scratch is length-reset per round and grows to the pending high-water mark
 		rel: v.Release(id), dem: int32(f.Demand),
 		in: int16(f.In), out: int16(f.Out),
 	})

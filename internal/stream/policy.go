@@ -19,8 +19,10 @@ func (FIFO) Name() string { return "StreamFIFO" }
 func (FIFO) NewShard() Policy { return FIFO{} }
 
 // Pick implements Policy.
+//
+//flowsched:hotpath
 func (FIFO) Pick(v *View) {
-	v.Each(func(id ID, _ int64, _ switchnet.Flow) bool {
+	v.Each(func(id ID, _ int64, _ switchnet.Flow) bool { //flowsched:allow alloc: non-escaping iterator closure; zero-alloc steady state pinned by TestSteadyStateAllocs
 		v.Take(id)
 		return true
 	})
@@ -59,6 +61,8 @@ func (p *RoundRobin) Reset(sw switchnet.Switch) {
 }
 
 // Pick implements Policy.
+//
+//flowsched:hotpath
 func (p *RoundRobin) Pick(v *View) {
 	m := v.Switch().NumOut()
 	for a := 0; a < v.NumActiveInputs(); a++ {
@@ -114,7 +118,7 @@ func (p *RoundRobin) serveVOQ(v *View, in, out, free int) int {
 // a blocked head blocks the queue.
 func drainVOQ(v *View, in, out, free int) (int, bool) {
 	served := false
-	v.EachVOQ(in, out, func(id ID) bool {
+	v.EachVOQ(in, out, func(id ID) bool { //flowsched:allow alloc: non-escaping iterator closure; zero-alloc steady state pinned by TestSteadyStateAllocs
 		if v.Taken(id) {
 			return true
 		}

@@ -239,7 +239,7 @@ func (sh *shard) budget(j int) int {
 // here via View.Fail); the coordinator surfaces it in shard order.
 func (sh *shard) fail(format string, args ...any) {
 	if sh.err == nil {
-		sh.err = fmt.Errorf(format, args...)
+		sh.err = fmt.Errorf(format, args...) //flowsched:allow alloc: cold error path: runs at most once, the shard stops scheduling after
 	}
 }
 
@@ -253,6 +253,8 @@ func (sh *shard) serve() {
 }
 
 // do executes one phase on the shard's own state.
+//
+//flowsched:hotpath
 func (sh *shard) do(ph int) {
 	switch ph {
 	case phaseRound:
@@ -295,6 +297,8 @@ func (sh *shard) expire() {
 
 // pickShared runs the reconcile pass: a second Pick against the global
 // leftover pool. Called sequentially in shard order by the coordinator.
+//
+//flowsched:hotpath
 func (sh *shard) pickShared() {
 	if sh.count > len(sh.takes) {
 		sh.phase = pickShared
@@ -333,14 +337,14 @@ func (sh *shard) admit(av arrival) {
 	if sh.vqs[vi].live == 0 {
 		li := sh.liTab[f.In]
 		sh.activeOutPos[vi] = int32(len(sh.activeOut[li]))
-		sh.activeOut[li] = append(sh.activeOut[li], int32(f.Out))
+		sh.activeOut[li] = append(sh.activeOut[li], int32(f.Out)) //flowsched:allow alloc: active-VOQ list grows to the per-input port-count high-water mark
 		sh.actBits[int(sh.bitBase[f.In])+f.Out>>6] |= 1 << uint(f.Out&63)
 	}
 	sh.voqPush(vi, id)
 
 	if sh.queueIn[f.In] == 0 {
 		sh.activeInPos[f.In] = int32(len(sh.activeIn))
-		sh.activeIn = append(sh.activeIn, int32(f.In))
+		sh.activeIn = append(sh.activeIn, int32(f.In)) //flowsched:allow alloc: active-input list grows to the owned-port count
 	}
 	sh.queueIn[f.In]++
 	sh.queueOut[f.Out]++
@@ -399,6 +403,8 @@ func (sh *shard) depart(id int32) {
 // protocol it runs at the start of the next round phase (or an explicit
 // phaseApply), after the coordinator's OnSchedule callbacks for the owed
 // round have fired.
+//
+//flowsched:hotpath
 func (sh *shard) apply() {
 	if len(sh.takes) == 0 {
 		return
@@ -422,8 +428,8 @@ func (sh *shard) apply() {
 		}
 		sh.win.Observe(t, resp)
 		if verifying {
-			sh.vflows = append(sh.vflows, a.flow(id))
-			sh.vrounds = append(sh.vrounds, t)
+			sh.vflows = append(sh.vflows, a.flow(id)) //flowsched:allow alloc: verification buffer, nil unless verify mode is on; amortized there
+			sh.vrounds = append(sh.vrounds, t)        //flowsched:allow alloc: grows in lockstep with vflows under verify mode only
 		}
 	}
 	sh.win.End()

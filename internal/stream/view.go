@@ -175,11 +175,13 @@ func (v *View) Taken(id ID) bool { return v.sh.ar.taken(int32(id)) }
 // and the visible output capacity (see OutputFree) both have room, and
 // reports whether it did. Taking an id twice is a no-op returning false;
 // taking a dead id fails the run.
+//
+//flowsched:hotpath
 func (v *View) Take(id ID) bool {
 	sh := v.sh
 	a := &sh.ar
 	if id < 0 || id >= a.len() || !a.live(int32(id)) {
-		sh.fail("stream: policy %q took invalid pending id %d", sh.pol.Name(), id)
+		sh.fail("stream: policy %q took invalid pending id %d", sh.pol.Name(), id) //flowsched:allow alloc: cold contract-violation path: records the first policy error and stops the shard
 		return false
 	}
 	if a.taken(int32(id)) {
@@ -191,19 +193,19 @@ func (v *View) Take(id ID) bool {
 		return false
 	}
 	if sh.loadIn[in] == 0 {
-		sh.touchIn = append(sh.touchIn, int32(in))
+		sh.touchIn = append(sh.touchIn, int32(in)) //flowsched:allow alloc: touched-input scratch is length-reset on apply and grows to the port count
 	}
 	sh.loadIn[in] += d
 	if sh.nsh > 1 && sh.phase == pickShared {
 		sh.rt.leftover[out] -= d
 	} else {
 		if sh.loadOut[out] == 0 {
-			sh.touchOut = append(sh.touchOut, int32(out))
+			sh.touchOut = append(sh.touchOut, int32(out)) //flowsched:allow alloc: touched-output scratch is length-reset on apply and grows to the port count
 		}
 		sh.loadOut[out] += d
 	}
 	rc.state |= stTaken
-	sh.takes = append(sh.takes, int32(id))
+	sh.takes = append(sh.takes, int32(id)) //flowsched:allow alloc: takes buffer is length-reset on apply and grows to the per-round take high-water mark
 	return true
 }
 
