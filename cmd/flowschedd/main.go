@@ -11,8 +11,10 @@
 //	GET  /trace    flight recorder: last rounds as JSONL (?last=N)
 //	GET  /slo      burn-rate engine state as JSON
 //	GET  /pilot    live competitive-ratio estimates (404 unless -pilotevery > 0)
-//	GET  /healthz  {"status":"ok"}; "degraded" (200) on SLO fast-burn breach; "draining" (503) after drain
+//	GET  /healthz  {"status":"ok"}; "degraded" (200) on SLO fast-burn breach; "restoring"/"draining" (503)
 //	POST /drain    graceful shutdown: finish the backlog, return the final summary
+//	POST /checkpoint  write a checkpoint now (needs -checkpoint)
+//	POST /reload   swap policy/admission live: {"policy":"OldestFirst","admit":"drop","max_pending":64}
 //
 // Example session:
 //
@@ -22,9 +24,19 @@
 //	curl -s localhost:8080/trace?last=64
 //	curl -s -X POST localhost:8080/drain
 //
-// SIGINT/SIGTERM trigger the same graceful drain as POST /drain; the
-// final summary is printed to stdout either way, and the process exits 0
-// on a clean drain.
+// Crash safety: -checkpoint FILE persists quiescent checkpoints (atomic,
+// CRC-sealed) on POST /checkpoint, every -checkpointevery, and after the
+// final drain; -restore FILE resumes from one — the pending set re-enters
+// with original releases and counters continue, so accounting and
+// response quantiles are continuous across a kill -9. A restore adopts
+// the checkpoint's policy/maxpending/admit/deadline (and switch shape)
+// unless the matching flag is given explicitly. A corrupt or truncated
+// checkpoint is refused with a typed error before anything starts.
+//
+// SIGINT/SIGTERM trigger the same graceful drain as POST /drain (writing
+// a final checkpoint when -checkpoint is set); SIGHUP re-applies the
+// command-line scheduling flags as a live reload. The final summary is
+// printed to stdout, and the process exits 0 on a clean drain.
 package main
 
 import (
@@ -40,10 +52,33 @@ import (
 	"syscall"
 	"time"
 
+	"flowsched/internal/chkpt"
 	"flowsched/internal/daemon"
 	"flowsched/internal/stream"
 	"flowsched/internal/switchnet"
 )
+
+// uniformShape reports the checkpoint's switch as (ports, capacity) when
+// it is square with one uniform per-port capacity — the only shape the
+// -ports/-cap flags can express. Anything else keeps the flag values and
+// lets the daemon's compatibility check explain the mismatch.
+func uniformShape(ck *chkpt.Checkpoint) (n, c int, uniform bool) {
+	if len(ck.InCaps) == 0 || len(ck.InCaps) != len(ck.OutCaps) {
+		return 0, 0, false
+	}
+	c = ck.InCaps[0]
+	for _, v := range ck.InCaps {
+		if v != c {
+			return 0, 0, false
+		}
+	}
+	for _, v := range ck.OutCaps {
+		if v != c {
+			return 0, 0, false
+		}
+	}
+	return len(ck.InCaps), c, true
+}
 
 func main() {
 	var (
@@ -67,8 +102,45 @@ func main() {
 		pilotEvery  = flag.Duration("pilotevery", 0, "optimality pilot evaluation cadence (0 = pilot off)")
 		pilotWindow = flag.Int("pilotwindow", 0, "pilot completion window in flows (0 = default)")
 		pprofAddr   = flag.String("pprof", "", "side listener for net/http/pprof (empty = off)")
+
+		ckptPath  = flag.String("checkpoint", "", "checkpoint file: written on POST /checkpoint, every -checkpointevery, and after the final drain")
+		ckptEvery = flag.Duration("checkpointevery", 0, "periodic checkpoint cadence (0 = on-demand and drain only; needs -checkpoint)")
+		restore   = flag.String("restore", "", "resume from this checkpoint file (its policy/admission/switch settings apply unless overridden by explicit flags)")
 	)
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	var restoreCk *chkpt.Checkpoint
+	if *restore != "" {
+		ck, err := chkpt.Load(*restore)
+		if err != nil {
+			fatal(err)
+		}
+		// The checkpoint's configuration is the default on restore; an
+		// explicit flag deliberately deviates from it (a reload-on-restart).
+		if !explicit["policy"] {
+			*policy = ck.Policy
+		}
+		if !explicit["maxpending"] {
+			*maxPending = ck.MaxPending
+		}
+		if !explicit["admit"] {
+			*admit = ck.Admit
+		}
+		if !explicit["deadline"] {
+			*deadline = ck.Deadline
+		}
+		if n, c, uniform := uniformShape(ck); uniform {
+			if !explicit["ports"] {
+				*ports = n
+			}
+			if !explicit["cap"] {
+				*capacity = c
+			}
+		}
+		restoreCk = ck
+	}
 
 	pol := stream.ByName(*policy)
 	if pol == nil {
@@ -96,9 +168,17 @@ func main() {
 		SLOSlowWindow:  *sloSlow,
 		PilotEvery:     *pilotEvery,
 		PilotWindow:    *pilotWindow,
+
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+		Restore:         restoreCk,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if restoreCk != nil {
+		fmt.Fprintf(os.Stderr, "flowschedd: restored %s: resumed at round %d, %d pending\n",
+			*restore, restoreCk.Round, restoreCk.Pending)
 	}
 	srv.Start()
 
@@ -125,17 +205,42 @@ func main() {
 		*addr, *ports, *ports, pol.Name(), mode)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	select {
-	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "flowschedd: %v: draining\n", s)
-		if _, err := srv.Drain(); err != nil {
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+loop:
+	for {
+		select {
+		case s := <-sig:
+			if s == syscall.SIGHUP {
+				// Live reload back to the command-line configuration — the
+				// way to revert a restore-adopted or HTTP-reloaded config
+				// without dropping the pending set.
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				err := srv.Reload(ctx, stream.ReloadConfig{
+					Policy:     pol,
+					MaxPending: *maxPending,
+					Admit:      mode,
+					Deadline:   *deadline,
+				})
+				cancel()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "flowschedd: SIGHUP reload: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "flowschedd: SIGHUP: reloaded policy %s, admit %s, maxpending %d\n",
+						pol.Name(), mode, *maxPending)
+				}
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "flowschedd: %v: draining\n", s)
+			if _, err := srv.Drain(); err != nil {
+				fatal(err)
+			}
+			break loop
+		case <-srv.Done():
+			// Drained via POST /drain (or the run failed).
+			break loop
+		case err := <-httpErr:
 			fatal(err)
 		}
-	case <-srv.Done():
-		// Drained via POST /drain (or the run failed).
-	case err := <-httpErr:
-		fatal(err)
 	}
 
 	// Let an in-flight /drain response finish before closing the listener.

@@ -33,6 +33,22 @@
 // writes its last rounds (counts plus per-phase timings) as JSONL; a
 // -policy all sweep suffixes the file with each policy name.
 //
+// Checkpoint/restore: -checkpoint FILE persists quiescent runtime
+// snapshots (atomic, CRC-sealed) every -checkpointrounds rounds — or
+// once at the end of the drain when the cadence is zero — and
+// -restore FILE resumes a drain from one. With the same seed, trace, and
+// flags, the resumed drain replays the unconsumed arrival suffix
+// deterministically, so a run killed mid-drain and restored finishes
+// with the same accounting an uninterrupted run reports:
+//
+//	flowsim -stream -policy StreamFIFO -flows 200000 -checkpoint run.ckpt -checkpointrounds 500
+//	flowsim -stream -policy StreamFIFO -flows 200000 -restore run.ckpt
+//
+// A restore adopts the checkpoint's policy (when -policy is left at
+// "all") and its maxpending/admit/deadline unless the matching flag is
+// given explicitly; corrupt or truncated checkpoint files are refused
+// with a typed error before anything runs.
+//
 // With -stream -policy all every native policy drains sequentially over
 // identical arrivals (same seed or trace). With -trace, -flows caps the
 // replay only when set explicitly; by default traces drain fully.
@@ -42,6 +58,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -50,6 +67,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"flowsched/internal/chkpt"
 	"flowsched/internal/core"
 	"flowsched/internal/engine"
 	"flowsched/internal/heuristics"
@@ -88,23 +106,45 @@ func main() {
 		verifyEvery = flag.Int("verifyevery", 0, "stream: spot-check window in rounds fed to the verify oracle (0 = off)")
 		roundLog    = flag.String("roundlog", "", "stream: write the flight recorder's last rounds as JSONL to this file (policy-suffixed when sweeping)")
 		logRounds   = flag.Int("logrounds", 0, "stream: flight recorder ring size for -roundlog (0 = default)")
+		ckptFile    = flag.String("checkpoint", "", "stream: write a checkpoint file every -checkpointrounds rounds (0 = once, after the drain)")
+		ckptRounds  = flag.Int("checkpointrounds", 0, "stream: periodic checkpoint cadence in rounds (needs -checkpoint)")
+		restoreF    = flag.String("restore", "", "stream: resume the drain from this checkpoint file (same seed/trace/flags as the original run)")
 	)
 	flag.Parse()
 
 	if *streamMode {
-		flowsSet := false
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "flows" {
-				flowsSet = true
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		var restoreCk *chkpt.Checkpoint
+		if *restoreF != "" {
+			ck, err := chkpt.Load(*restoreF)
+			if err != nil {
+				fatal(err)
 			}
-		})
+			// The checkpoint's configuration is the default on restore; an
+			// explicit flag deliberately deviates from it.
+			if !explicit["policy"] {
+				*policy = ck.Policy
+			}
+			if !explicit["maxpending"] {
+				*maxPending = ck.MaxPending
+			}
+			if !explicit["admit"] {
+				*admit = ck.Admit
+			}
+			if !explicit["deadline"] {
+				*deadlineF = ck.Deadline
+			}
+			restoreCk = ck
+		}
 		runStream(streamOpts{
 			ports: *ports, m: *mFlag, policy: *policy, seed: *seed, trace: *trace,
-			dmax: *demands, flows: *flows, flowsSet: flowsSet, alpha: *alpha,
+			dmax: *demands, flows: *flows, flowsSet: explicit["flows"], alpha: *alpha,
 			maxPending: *maxPending, admit: *admit, deadline: *deadlineF,
 			window: *window, verifyEvery: *verifyEvery, shards: *shards,
 			cpuProfile: *cpuProfile, memProfile: *memProfile,
 			roundLog: *roundLog, logRounds: *logRounds,
+			ckptFile: *ckptFile, ckptRounds: *ckptRounds, restore: restoreCk,
 		})
 		return
 	}
@@ -236,6 +276,9 @@ type streamOpts struct {
 	memProfile  string
 	roundLog    string
 	logRounds   int
+	ckptFile    string
+	ckptRounds  int
+	restore     *chkpt.Checkpoint
 }
 
 // streamPolicy resolves -policy against the native streaming registry
@@ -283,6 +326,12 @@ func streamSource(o streamOpts, sw switchnet.Switch, capacity int) (stream.Sourc
 // runtime and reports its final metrics. -policy all sweeps every
 // native streaming policy sequentially over identical arrivals.
 func runStream(o streamOpts) {
+	if o.ckptRounds != 0 && o.ckptFile == "" {
+		fatal(fmt.Errorf("-checkpointrounds %d needs -checkpoint", o.ckptRounds))
+	}
+	if (o.ckptFile != "" || o.restore != nil) && o.policy == "all" {
+		fatal(fmt.Errorf("-checkpoint/-restore need a single policy, not a -policy all sweep"))
+	}
 	var pols []stream.Policy
 	if o.policy == "all" {
 		for _, name := range stream.Names() {
@@ -352,7 +401,7 @@ func drainStream(o streamOpts, pol stream.Policy, mode stream.AdmitMode, logFile
 	if logFile != "" {
 		rec = obs.NewFlightRecorder(o.logRounds)
 	}
-	rt, err := stream.New(src, stream.Config{
+	scfg := stream.Config{
 		Switch:       sw,
 		Policy:       pol,
 		Shards:       o.shards,
@@ -362,9 +411,35 @@ func drainStream(o streamOpts, pol stream.Policy, mode stream.AdmitMode, logFile
 		WindowRounds: o.window,
 		VerifyEvery:  o.verifyEvery,
 		Recorder:     rec,
-	})
+	}
+	if o.restore != nil {
+		// The checkpointed pending set (and lookahead) replays first with
+		// original releases; the regenerated arrival stream skips exactly
+		// the flows the checkpointed run had already consumed.
+		if err := o.restore.Compatible(sw); err != nil {
+			fatal(err)
+		}
+		src = workload.NewCheckpointSource(o.restore.Flows, workload.Skip(src, int(o.restore.SourceConsumed)))
+		scfg.Resume = o.restore.Resume()
+	}
+	ckptWrites := 0
+	ckptLast := 0
+	if o.ckptFile != "" && o.ckptRounds > 0 {
+		scfg.CheckpointEveryRounds = o.ckptRounds
+		scfg.OnCheckpoint = func(st *stream.CheckpointState) {
+			if err := chkpt.Save(o.ckptFile, chkpt.FromState(st, scfg)); err != nil {
+				fatal(err)
+			}
+			ckptWrites++
+			ckptLast = st.Round
+		}
+	}
+	rt, err := stream.New(src, scfg)
 	if err != nil {
 		fatal(err)
+	}
+	if o.restore != nil {
+		fmt.Printf("restore         resumed at round %d, %d pending\n", o.restore.Round, o.restore.Pending)
 	}
 	var ms0, ms1 runtime.MemStats
 	runtime.GC()
@@ -402,6 +477,21 @@ func drainStream(o streamOpts, pol stream.Policy, mode stream.AdmitMode, logFile
 	}
 	if o.verifyEvery > 0 {
 		fmt.Printf("verified        %d windows of %d rounds\n", sum.WindowsVerified, o.verifyEvery)
+	}
+	if o.ckptFile != "" {
+		if o.ckptRounds == 0 {
+			// Final-only mode: persist the drained state (nothing pending,
+			// counters exact) so a later run can continue the accounting.
+			st, err := rt.CheckpointState(context.Background(), nil)
+			if err != nil {
+				fatal(err)
+			}
+			if err := chkpt.Save(o.ckptFile, chkpt.FromState(&st, scfg)); err != nil {
+				fatal(err)
+			}
+			ckptWrites, ckptLast = 1, st.Round
+		}
+		fmt.Printf("checkpoint      %s (%d writes, last at round %d)\n", o.ckptFile, ckptWrites, ckptLast)
 	}
 	if rec != nil {
 		f, err := os.Create(logFile)

@@ -86,7 +86,19 @@
 //     from the runtime's lock-free snapshot path, GET /snapshot returns
 //     the live StreamSummary as JSON, and POST /drain (or SIGTERM)
 //     gracefully finishes the backlog and returns the final summary with
-//     nothing left pending.
+//     nothing left pending. The daemon is crash-safe (internal/chkpt):
+//     -checkpoint persists quiescent checkpoints — atomic, CRC-sealed,
+//     version-stamped — on POST /checkpoint, on a periodic cadence, and
+//     after the final drain; -restore resumes from one with the pending
+//     set re-entering at its original releases and every cumulative
+//     counter continuous across a kill -9 (GET /healthz reports
+//     "restoring" with 503 until the restored backlog is resident).
+//     POST /reload (or SIGHUP) swaps the policy and admission settings
+//     between rounds without dropping a single pending flow. The crash
+//     and corruption paths are exercised by a deterministic fault-
+//     injection harness (internal/faultinject) whose differential test
+//     pins kill/restore runs to byte-identical accounting against
+//     uninterrupted ones.
 //
 //   - Observability (internal/obs, internal/slo, internal/pilot): a
 //     round flight recorder — a fixed single-writer ring of per-round

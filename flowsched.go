@@ -292,6 +292,22 @@ type (
 	// ChanSource); the runtime admits from them without backpressure
 	// deadlock by parking only when the pending set is empty.
 	StreamLiveFeeder = stream.LiveFeeder
+	// StreamCheckpointState is a quiescent snapshot of a run — the pending
+	// set in admission order with original releases, the round, and exact
+	// counters — captured by Runtime.CheckpointState; internal/chkpt
+	// serializes it to atomic CRC-sealed files.
+	StreamCheckpointState = stream.CheckpointState
+	// StreamResume seeds StreamConfig.Resume so a new runtime continues a
+	// checkpointed run: counters resume from their baselines and the
+	// checkpoint's pending prefix re-enters without being re-counted.
+	StreamResume = stream.Resume
+	// StreamReloadConfig swaps the policy and admission settings between
+	// rounds (Runtime.Reload) without dropping the pending set.
+	StreamReloadConfig = stream.ReloadConfig
+	// StreamParker marks live sources whose idle park multiplexes with the
+	// runtime's control mailbox, keeping checkpoint/reload requests
+	// serviceable while the feed is quiet.
+	StreamParker = stream.Parker
 	// ArrivalConfig describes a generator-driven arrival process
 	// (Poisson arrivals, unit/uniform/bounded-Pareto sizes).
 	ArrivalConfig = workload.ArrivalConfig

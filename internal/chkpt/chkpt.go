@@ -1,0 +1,327 @@
+// Package chkpt serializes stream runtime checkpoints to durable files
+// and loads them back for restore.
+//
+// A checkpoint file is a small binary envelope around a JSON payload:
+//
+//	magic "FLOWCKPT" (8 bytes)
+//	version         (uint32, little-endian)
+//	payload length  (uint64, little-endian)
+//	payload         (JSON-encoded Checkpoint)
+//	CRC-32C         (uint32, little-endian, over everything above)
+//
+// Files are written atomically — payload to a temporary file in the
+// destination directory, fsync, rename — so a crash mid-write leaves
+// either the previous checkpoint or none, never a torn one. Load
+// verifies the envelope end to end and refuses damaged files with typed
+// errors (ErrEmpty, ErrTruncated, ErrVersion, ErrCorrupt) instead of
+// restoring garbage: a checkpoint that cannot be trusted byte for byte
+// must fail loudly, because a silently wrong restore corrupts response
+// accounting forever after.
+//
+// The payload carries everything a restart needs: the pending set with
+// original releases (plus the runtime's un-admitted lookahead flow, if
+// one existed), the round, the cumulative counters, the policy and
+// admission configuration, and the switch shape for compatibility
+// checking. What it deliberately does not carry: policy scratch state
+// (rotation pointers and the like — a restored policy restarts fresh,
+// which changes tie-breaking but never correctness or accounting) and
+// response-quantile sketches (window metrics restart empty; cumulative
+// counters, including TotalResponse and MaxResponse, are exact).
+package chkpt
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"flowsched/internal/stream"
+	"flowsched/internal/switchnet"
+)
+
+// Typed load failures: callers distinguish a missing/empty file from a
+// damaged one (errors.Is).
+var (
+	// ErrEmpty reports a zero-length checkpoint file.
+	ErrEmpty = errors.New("chkpt: empty checkpoint file")
+	// ErrTruncated reports a file shorter than its envelope claims.
+	ErrTruncated = errors.New("chkpt: truncated checkpoint file")
+	// ErrVersion reports an envelope version this build does not read.
+	ErrVersion = errors.New("chkpt: unsupported checkpoint version")
+	// ErrCorrupt reports a bad magic or a CRC mismatch.
+	ErrCorrupt = errors.New("chkpt: corrupt checkpoint file")
+)
+
+const (
+	magic = "FLOWCKPT"
+	// Version is the envelope version this build writes and reads.
+	Version = 1
+	// headerLen is magic + version + payload length.
+	headerLen = len(magic) + 4 + 8
+	// trailerLen is the CRC.
+	trailerLen = 4
+	// maxPayload bounds how much Load will allocate for a claimed
+	// payload length (a corrupt length field must not OOM the restore
+	// path); 1 GiB is orders of magnitude above any real pending set.
+	maxPayload = 1 << 30
+)
+
+// castagnoli is the CRC-32C table (matches common storage-stack CRCs).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Counters are the cumulative runtime counters at the checkpoint; they
+// mirror stream.ResumeCounters field for field.
+type Counters struct {
+	Admitted      int64 `json:"admitted"`
+	Completed     int64 `json:"completed"`
+	Dropped       int64 `json:"dropped"`
+	Expired       int64 `json:"expired"`
+	Backpressured int64 `json:"backpressured"`
+	TotalResponse int64 `json:"total_response"`
+	SlowResponses int64 `json:"slow_responses"`
+	Rounds        int64 `json:"rounds"`
+	MaxResponse   int   `json:"max_response"`
+	PeakPending   int   `json:"peak_pending"`
+}
+
+// Checkpoint is the durable image of a quiescent runtime.
+type Checkpoint struct {
+	// Round is the round the snapshot is consistent at; a restored
+	// runtime resumes here.
+	Round int `json:"round"`
+	// Pending is how many leading Flows entries are resident pending
+	// flows; any extra trailing entry is the coordinator's un-admitted
+	// lookahead (consumed from the source but not yet counted admitted).
+	Pending int `json:"pending"`
+	// SourceConsumed is how many flows the runtime had consumed from its
+	// source — what a replayed deterministic source must skip on resume.
+	SourceConsumed int64 `json:"source_consumed"`
+	// Policy, Shards, MaxPending, Admit, Deadline record the scheduling
+	// configuration at capture, so a restore can re-create it (or
+	// knowingly deviate).
+	Policy     string `json:"policy"`
+	Shards     int    `json:"shards"`
+	MaxPending int    `json:"max_pending"`
+	Admit      string `json:"admit"`
+	Deadline   int    `json:"deadline,omitempty"`
+	// InCaps/OutCaps pin the switch shape; Compatible rejects a restore
+	// onto a different switch.
+	InCaps  []int `json:"in_caps"`
+	OutCaps []int `json:"out_caps"`
+	// Counters are the cumulative baselines.
+	Counters Counters `json:"counters"`
+	// Flows is the pending set in admission order (original releases and
+	// remaining demands), plus at most one trailing lookahead flow.
+	Flows []switchnet.Flow `json:"flows,omitempty"`
+}
+
+// FromState converts a runtime capture into a durable Checkpoint. cfg
+// must be the configuration the capturing runtime was built with (its
+// Switch, Policy, and admission settings are recorded for restore).
+func FromState(st *stream.CheckpointState, cfg stream.Config) *Checkpoint {
+	flows := make([]switchnet.Flow, len(st.Flows))
+	copy(flows, st.Flows)
+	return &Checkpoint{
+		Round:          st.Round,
+		Pending:        st.Pending,
+		SourceConsumed: st.SourceFlows(),
+		Policy:         cfg.Policy.Name(),
+		Shards:         st.Summary.Shards,
+		MaxPending:     cfg.MaxPending,
+		Admit:          cfg.Admit.String(),
+		Deadline:       cfg.Deadline,
+		InCaps:         append([]int(nil), cfg.Switch.InCaps...),
+		OutCaps:        append([]int(nil), cfg.Switch.OutCaps...),
+		Counters: Counters{
+			Admitted:      st.Summary.Admitted,
+			Completed:     st.Summary.Completed,
+			Dropped:       st.Summary.Dropped,
+			Expired:       st.Summary.Expired,
+			Backpressured: st.Summary.Backpressured,
+			TotalResponse: st.Summary.TotalResponse,
+			SlowResponses: st.Summary.SlowResponses,
+			Rounds:        st.Summary.Rounds,
+			MaxResponse:   st.Summary.MaxResponse,
+			PeakPending:   st.Summary.PeakPending,
+		},
+		Flows: flows,
+	}
+}
+
+// Resume converts the checkpoint into the stream.Config.Resume a
+// restored runtime needs. The flows travel separately, through
+// workload.NewCheckpointSource(c.Flows, tail).
+func (c *Checkpoint) Resume() *stream.Resume {
+	return &stream.Resume{
+		Round:   c.Round,
+		Pending: c.Pending,
+		Counters: stream.ResumeCounters{
+			Admitted:      c.Counters.Admitted,
+			Completed:     c.Counters.Completed,
+			Dropped:       c.Counters.Dropped,
+			Expired:       c.Counters.Expired,
+			Backpressured: c.Counters.Backpressured,
+			TotalResponse: c.Counters.TotalResponse,
+			SlowResponses: c.Counters.SlowResponses,
+			Rounds:        c.Counters.Rounds,
+			MaxResponse:   c.Counters.MaxResponse,
+			PeakPending:   c.Counters.PeakPending,
+		},
+	}
+}
+
+// Compatible reports whether the checkpoint can be restored onto sw: the
+// port structure must match exactly, or the pending flows and their
+// demands may not be admissible.
+func (c *Checkpoint) Compatible(sw switchnet.Switch) error {
+	if len(c.InCaps) != len(sw.InCaps) || len(c.OutCaps) != len(sw.OutCaps) {
+		return fmt.Errorf("chkpt: checkpoint switch is %dx%d, runtime switch is %dx%d",
+			len(c.InCaps), len(c.OutCaps), len(sw.InCaps), len(sw.OutCaps))
+	}
+	for i, cap := range c.InCaps {
+		if sw.InCaps[i] != cap {
+			return fmt.Errorf("chkpt: input port %d capacity differs: checkpoint %d, runtime %d", i, cap, sw.InCaps[i])
+		}
+	}
+	for j, cap := range c.OutCaps {
+		if sw.OutCaps[j] != cap {
+			return fmt.Errorf("chkpt: output port %d capacity differs: checkpoint %d, runtime %d", j, cap, sw.OutCaps[j])
+		}
+	}
+	return nil
+}
+
+// Validate performs the structural sanity checks a loaded checkpoint
+// must pass before anything is restored from it.
+func (c *Checkpoint) Validate() error {
+	if c.Round < 0 {
+		return fmt.Errorf("chkpt: negative round %d", c.Round)
+	}
+	if c.Pending < 0 || c.Pending > len(c.Flows) {
+		return fmt.Errorf("chkpt: pending count %d outside [0, %d]", c.Pending, len(c.Flows))
+	}
+	if len(c.Flows)-c.Pending > 1 {
+		return fmt.Errorf("chkpt: %d trailing non-pending flows (at most one lookahead allowed)", len(c.Flows)-c.Pending)
+	}
+	if _, err := stream.ParseAdmitMode(c.Admit); err != nil {
+		return err
+	}
+	cc := c.Counters
+	if cc.Admitted != cc.Completed+int64(c.Pending)+cc.Dropped+cc.Expired {
+		return fmt.Errorf("chkpt: counters do not balance: admitted %d != completed %d + pending %d + dropped %d + expired %d",
+			cc.Admitted, cc.Completed, c.Pending, cc.Dropped, cc.Expired)
+	}
+	return nil
+}
+
+// Encode serializes the checkpoint into its file image.
+func Encode(c *Checkpoint) ([]byte, error) {
+	payload, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("chkpt: encode: %w", err)
+	}
+	buf := make([]byte, 0, headerLen+len(payload)+trailerLen)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	return buf, nil
+}
+
+// Decode parses and verifies a checkpoint file image, failing with one
+// of the typed errors (ErrEmpty, ErrTruncated, ErrVersion, ErrCorrupt)
+// when the envelope cannot be trusted.
+func Decode(data []byte) (*Checkpoint, error) {
+	if len(data) == 0 {
+		return nil, ErrEmpty
+	}
+	if len(data) < headerLen+trailerLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the %d-byte envelope", ErrTruncated, len(data), headerLen+trailerLen)
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(data[len(magic):]); v != Version {
+		return nil, fmt.Errorf("%w: file version %d, this build reads %d", ErrVersion, v, Version)
+	}
+	plen := binary.LittleEndian.Uint64(data[len(magic)+4:])
+	if plen > maxPayload {
+		return nil, fmt.Errorf("%w: claimed payload length %d exceeds the %d limit", ErrCorrupt, plen, maxPayload)
+	}
+	want := headerLen + int(plen) + trailerLen
+	if len(data) < want {
+		return nil, fmt.Errorf("%w: %d bytes, envelope claims %d", ErrTruncated, len(data), want)
+	}
+	if len(data) > want {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the envelope", ErrCorrupt, len(data)-want)
+	}
+	body := data[:headerLen+int(plen)]
+	got := binary.LittleEndian.Uint32(data[headerLen+int(plen):])
+	if sum := crc32.Checksum(body, castagnoli); sum != got {
+		return nil, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrCorrupt, got, sum)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(body[headerLen:], &c); err != nil {
+		return nil, fmt.Errorf("%w: payload does not parse: %v", ErrCorrupt, err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Save writes the checkpoint to path atomically: the image goes to a
+// temporary file in the same directory, is fsynced, and replaces path by
+// rename, so a crash leaves either the old checkpoint or the new one —
+// never a torn file.
+func Save(path string, c *Checkpoint) error {
+	data, err := Encode(c)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("chkpt: save: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("chkpt: save: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("chkpt: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("chkpt: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("chkpt: save: %w", err)
+	}
+	// Durability of the rename itself: fsync the directory, best-effort
+	// (some filesystems refuse directory fsync; the data file is synced
+	// regardless).
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads and verifies the checkpoint at path.
+func Load(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("chkpt: load: %w", err)
+	}
+	c, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("chkpt: load %s: %w", path, err)
+	}
+	return c, nil
+}

@@ -1,20 +1,43 @@
 package daemon
 
-import "flowsched/internal/stream"
+import (
+	"context"
+
+	"flowsched/internal/stream"
+)
 
 // Drain is the graceful shutdown sequence: refuse new ingest, wait out
 // the in-flight ingest handlers, close the feed — which unparks an idle
 // round loop — and wait for the runtime to finish every flow already
 // accepted. The returned summary is final: Pending is zero and
-// Admitted == Completed + Dropped + Expired. Idempotent; concurrent
-// callers all get the same summary.
+// Admitted == Completed + Dropped + Expired. When a checkpoint path is
+// configured, the drained state is persisted as a final checkpoint
+// (pending set empty, counters exact), so a later restart continues the
+// cumulative accounting; a failed final write is reported as the drain
+// error when the run itself succeeded. Idempotent; concurrent callers
+// all get the same summary.
 func (s *Server) Drain() (*stream.Summary, error) {
 	s.drainOnce.Do(func() {
 		s.setDraining()
 		s.ingest.Wait()
 		s.src.Close()
+		if s.ckptPath != "" {
+			// The final checkpoint must capture the drained state, not a
+			// mid-drain one: wait for the round loop first (the capture then
+			// reads the quiescent state directly).
+			<-s.runDone
+			ctx, cancel := context.WithTimeout(context.Background(), checkpointTimeout)
+			defer cancel()
+			if _, err := s.CheckpointNow(ctx); err != nil {
+				s.finalCkptErr = err
+			}
+		}
 	})
-	return s.Wait()
+	sum, err := s.Wait()
+	if err == nil {
+		err = s.finalCkptErr
+	}
+	return sum, err
 }
 
 // Stop is the hard stop: pending flows are abandoned where Drain would

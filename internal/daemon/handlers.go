@@ -75,10 +75,14 @@ type healthzResponse struct {
 // handleHealthz reports liveness and routing advice. A draining daemon
 // answers 503 so load balancers stop routing to it — it is deliberately
 // leaving the pool, and every rejected POST /flows would otherwise count
-// against the caller. A daemon whose fast SLO burn rate breaches reports
-// "degraded" with the breaching target names but stays 200: an
-// overloaded scheduler still serves, and pulling degraded replicas from
-// a pool under load would cascade the overload onto the survivors.
+// against the caller. A restoring daemon (a restore's re-admission
+// prefix still replaying) also answers 503: it is about to be healthy,
+// but routing to it before the checkpointed backlog is resident would
+// interleave new work ahead of flows that are already owed responses.
+// A daemon whose fast SLO burn rate breaches reports "degraded" with the
+// breaching target names but stays 200: an overloaded scheduler still
+// serves, and pulling degraded replicas from a pool under load would
+// cascade the overload onto the survivors.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -88,6 +92,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	switch {
 	case draining:
 		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	case s.restoring():
+		resp.Status = "restoring"
 		code = http.StatusServiceUnavailable
 	default:
 		if names := s.slo.Breaching(); len(names) > 0 {
@@ -154,6 +161,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeSLOMetrics(w, s.slo.Status())
 	if s.pilot != nil {
 		writePilotMetrics(w, s.pilot.Status())
+	}
+	if s.ckptPath != "" {
+		s.writeCkptMetrics(w)
 	}
 }
 

@@ -11,6 +11,16 @@
 // and a graceful shutdown path (POST /drain: refuse new ingest, finish
 // every pending flow, report the final accounting).
 //
+// The service is crash-safe when configured with a checkpoint path: the
+// runtime's quiescent-point snapshots are written as atomic, CRC-sealed
+// files (internal/chkpt) on a wall-clock cadence, on POST /checkpoint,
+// and once more after a graceful drain, and Config.Restore resumes a new
+// server from one — the pending set re-enters with original releases and
+// the cumulative counters continue from the checkpointed baselines, so
+// accounting and response quantiles are continuous across a kill -9.
+// POST /reload swaps the scheduling policy and admission settings
+// between rounds without dropping the pending set.
+//
 // The split of responsibilities: cmd/flowschedd owns flags, listening
 // sockets, and signals; this package owns everything between an
 // http.Handler and the runtime — ingest validation and gating, the
@@ -25,6 +35,7 @@ import (
 	"sync"
 	"time"
 
+	"flowsched/internal/chkpt"
 	"flowsched/internal/obs"
 	"flowsched/internal/pilot"
 	"flowsched/internal/slo"
@@ -77,6 +88,24 @@ type Config struct {
 	// pilot package default).
 	PilotEvery  time.Duration
 	PilotWindow int
+
+	// CheckpointPath, when non-empty, enables durable checkpoints: the
+	// server writes a chkpt file there atomically on POST /checkpoint,
+	// every CheckpointEvery (when > 0), and once more after a graceful
+	// drain.
+	CheckpointPath string
+	// CheckpointEvery is the periodic checkpoint cadence; it requires
+	// CheckpointPath. Zero disables the periodic writer (explicit and
+	// drain checkpoints still work).
+	CheckpointEvery time.Duration
+	// Restore, when non-nil, resumes the runtime from a loaded (and
+	// already CRC-verified) checkpoint instead of starting empty: its
+	// switch shape must match Switch, its pending flows re-enter with
+	// their original releases ahead of new ingest, and the counters
+	// continue from the checkpointed baselines. The scheduling fields
+	// (Policy, MaxPending, Admit, Deadline) are NOT adopted from the
+	// checkpoint — the caller decides whether to keep or override them.
+	Restore *chkpt.Checkpoint
 }
 
 // Server couples one runtime, its live ingest source, and the HTTP
@@ -114,6 +143,30 @@ type Server struct {
 	pilotDone  chan struct{}
 	sum        *stream.Summary
 	runErr     error
+
+	// ckptMu serializes checkpoint writes and reloads: a checkpoint
+	// records the live scheduling configuration (schedCfg) alongside the
+	// runtime state, and a reload swaps that configuration, so the two
+	// must not interleave. ckptBuf is the reused flow-capture scratch.
+	ckptMu    sync.Mutex
+	ckptBuf   []switchnet.Flow
+	schedCfg  stream.Config
+	ckptPath  string
+	ckptEvery time.Duration
+	ckptDone  chan struct{}
+	// Checkpoint health counters behind /metrics (guarded by ckptMu).
+	ckptWrites    int64
+	ckptErrors    int64
+	ckptLastRound int64
+	// finalCkptErr records a failed post-drain checkpoint write; set
+	// inside drainOnce, read only after it (Drain surfaces it when the
+	// run itself succeeded).
+	finalCkptErr error
+	// resumeTarget is the checkpointed Admitted counter when this server
+	// was built from Config.Restore: the restored runtime's admission
+	// counter starts Pending short of it and climbs back as the prefix
+	// re-admits, so Admitted < resumeTarget means "restoring".
+	resumeTarget int64
 }
 
 // New builds a Server; the runtime configuration is validated eagerly.
@@ -123,6 +176,17 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.SLOObjective <= 0 {
 		cfg.SLOObjective = DefaultSLOObjective
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointPath == "" {
+		return nil, fmt.Errorf("daemon: CheckpointEvery %v set without a CheckpointPath", cfg.CheckpointEvery)
+	}
+	if cfg.Restore != nil {
+		if err := cfg.Restore.Validate(); err != nil {
+			return nil, fmt.Errorf("daemon: restore: %w", err)
+		}
+		if err := cfg.Restore.Compatible(cfg.Switch); err != nil {
+			return nil, fmt.Errorf("daemon: restore: %w", err)
+		}
 	}
 	rec := obs.NewFlightRecorder(cfg.TraceRounds)
 	var pi *pilot.Pilot
@@ -139,7 +203,7 @@ func New(cfg Config) (*Server, error) {
 		onSchedule = pi.OnSchedule
 	}
 	src := workload.NewChanSource(cfg.Buffer)
-	rt, err := stream.New(src, stream.Config{
+	scfg := stream.Config{
 		Switch:        cfg.Switch,
 		Policy:        cfg.Policy,
 		Shards:        cfg.Shards,
@@ -150,7 +214,17 @@ func New(cfg Config) (*Server, error) {
 		Recorder:      rec,
 		ResponseBound: cfg.ResponseBound,
 		OnSchedule:    onSchedule,
-	})
+	}
+	// The runtime's source: on a restore, the checkpointed pending set
+	// (plus its lookahead flow, if any) replays ahead of the live feed so
+	// every checkpointed flow re-enters — with its original release —
+	// before anything newly ingested.
+	var rtSrc stream.Source = src
+	if cfg.Restore != nil {
+		rtSrc = workload.NewCheckpointSource(cfg.Restore.Flows, src)
+		scfg.Resume = cfg.Restore.Resume()
+	}
+	rt, err := stream.New(rtSrc, scfg)
 	if err != nil {
 		return nil, fmt.Errorf("daemon: %w", err)
 	}
@@ -201,6 +275,13 @@ func New(cfg Config) (*Server, error) {
 		runDone:     make(chan struct{}),
 		sampleDone:  make(chan struct{}),
 		pilotDone:   make(chan struct{}),
+		schedCfg:    scfg,
+		ckptPath:    cfg.CheckpointPath,
+		ckptEvery:   cfg.CheckpointEvery,
+		ckptDone:    make(chan struct{}),
+	}
+	if cfg.Restore != nil {
+		s.resumeTarget = cfg.Restore.Counters.Admitted
 	}
 	s.mux.HandleFunc("POST /flows", s.handleFlows)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -210,6 +291,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /slo", s.handleSLO)
 	s.mux.HandleFunc("GET /pilot", s.handlePilot)
 	s.mux.HandleFunc("POST /drain", s.handleDrain)
+	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("POST /reload", s.handleReload)
 	return s, nil
 }
 
@@ -225,6 +308,11 @@ func (s *Server) Start() {
 			close(s.runDone)
 		}()
 		go s.sampleLoop()
+		if s.ckptPath != "" && s.ckptEvery > 0 {
+			go s.checkpointLoop()
+		} else {
+			close(s.ckptDone)
+		}
 		if s.pilot != nil {
 			go func() {
 				ctx, cancel := context.WithCancel(context.Background())
@@ -271,5 +359,6 @@ func (s *Server) Wait() (*stream.Summary, error) {
 	<-s.runDone
 	<-s.sampleDone
 	<-s.pilotDone
+	<-s.ckptDone
 	return s.sum, s.runErr
 }

@@ -213,6 +213,58 @@
 // the bound (Summary.SlowResponses, exact, not sketch-resolution) — the
 // error term of the daemon's response-time SLO.
 //
+// # Durability and reload
+//
+// Everything the runtime can change about itself mid-run rides one
+// mechanism: a one-slot control mailbox the coordinator polls with a
+// single non-blocking select at the top of each step, after forcing any
+// owed retirement. That point is quiescent — every pick settled, every
+// inbox empty, the summary balanced — so the three control operations
+// are serviced with no locks on the round path and no flow ever observed
+// in two states:
+//
+//   - Runtime.CheckpointState captures a CheckpointState: the pending set
+//     in global admission order (a K-way merge of the shards'
+//     admission-order sublists by sequence number, so releases are
+//     non-decreasing along it and a restore can replay it as a source),
+//     original releases preserved, plus the coordinator's un-admitted
+//     lookahead flow if one exists, the round, and an exact Summary.
+//     Config.CheckpointEveryRounds > 0 instead fires OnCheckpoint
+//     periodically from the coordinator itself — the cadence check is two
+//     integer compares per round, capture reuses runtime-owned buffers,
+//     and the steady-state loop stays allocation-free (covered by
+//     TestSteadyStateZeroAllocCheckpoint). internal/chkpt serializes the
+//     state to atomic, CRC-sealed files.
+//   - Config.Resume restarts from a checkpoint: the clock opens at the
+//     checkpointed round, the first Resume.Pending source flows (fed by
+//     workload.NewCheckpointSource: checkpoint prefix, then the normal
+//     tail) are re-admissions — not re-counted as admissions or
+//     backpressure, thanks to a counter baseline started exactly Pending
+//     short — and the cumulative counters continue from the checkpointed
+//     values. Response times stay charged from original releases, and
+//     Admitted == Completed + Pending + Dropped + Expired holds across
+//     the restart as if it never happened. What a checkpoint does not
+//     carry: policy scratch state (rotation pointers — restored policies
+//     restart fresh, which can change tie-breaking but never accounting;
+//     StreamFIFO and OldestFirst are restore-exact because their
+//     selections are memoryless given the pending order) and window
+//     quantile sketches (window metrics restart empty; cumulative
+//     TotalResponse/MaxResponse are exact).
+//   - Runtime.Reload swaps the policy and the admission settings
+//     (MaxPending, Admit, Deadline) between rounds without dropping the
+//     pending set; per-shard policy instances are rebuilt and Reset, and
+//     the next round schedules under the new configuration. Shrinking
+//     MaxPending below the resident count sheds nothing — admission just
+//     stays closed until the backlog drains.
+//
+// A live runtime parked on an idle Parker source (workload.ChanSource)
+// is woken by a lossy one-slot nudge channel to service these requests —
+// and Stop — while the feed is quiet; see Parker. The failure modes are
+// exercised by internal/faultinject's deterministic chaos harness, whose
+// differential test pins crash equivalence: kill at a checkpoint, restore,
+// drain, and the summary and completion multiset match the uninterrupted
+// run's.
+//
 // Runtime.PendingFlows snapshots the resident pending set off the hot
 // path: the request parks in a one-slot mailbox the coordinator services
 // at the top of its next step, after forcing any owed retirement, so the

@@ -1,0 +1,381 @@
+package stream
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"flowsched/internal/switchnet"
+	"flowsched/internal/workload"
+)
+
+// sliceSource replays a fixed flow slice (FlowSource + BatchFlowSource),
+// standing in for a checkpoint prefix or a finite recorded stream.
+type sliceSource struct {
+	flows []switchnet.Flow
+	at    int
+}
+
+func (s *sliceSource) Next() (switchnet.Flow, bool) {
+	if s.at >= len(s.flows) {
+		return switchnet.Flow{}, false
+	}
+	f := s.flows[s.at]
+	s.at++
+	return f, true
+}
+
+func (s *sliceSource) PullBatch(dst []switchnet.Flow, round, max int) []switchnet.Flow {
+	for n := 0; n < max && s.at < len(s.flows) && s.flows[s.at].Release <= round; n++ {
+		dst = append(dst, s.flows[s.at])
+		s.at++
+	}
+	return dst
+}
+
+func (s *sliceSource) Err() error { return nil }
+
+// genFlows builds a deterministic finite workload: per flows per round
+// over rounds rounds on a ports-port unit switch, endpoints cycling so
+// several VOQs stay busy.
+func genFlows(ports, rounds, per int) []switchnet.Flow {
+	var out []switchnet.Flow
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < per; i++ {
+			k := r*per + i
+			out = append(out, switchnet.Flow{
+				In:      k % ports,
+				Out:     (k*3 + 1) % ports,
+				Demand:  1,
+				Release: r,
+			})
+		}
+	}
+	return out
+}
+
+// flowResp is a completion record for multiset comparison.
+type flowResp struct {
+	f     switchnet.Flow
+	round int
+}
+
+// unshardablePolicy is a minimal Policy without Shardable, for reload
+// rejection tests on sharded runtimes.
+type unshardablePolicy struct{}
+
+func (unshardablePolicy) Name() string { return "unshardable-test" }
+func (unshardablePolicy) Pick(v *View) {}
+
+// TestResumeValidation pins the construction-time rejection of resumes
+// that cannot be restored faithfully.
+func TestResumeValidation(t *testing.T) {
+	sw := switchnet.UnitSwitch(4)
+	base := func() Config {
+		return Config{Switch: sw, Policy: ByName("StreamFIFO"), Shards: 1, MaxPending: 8}
+	}
+	ok := ResumeCounters{Admitted: 10, Completed: 7, Dropped: 0, Expired: 0}
+	for _, tc := range []struct {
+		name string
+		r    Resume
+	}{
+		{"negative round", Resume{Round: -1, Pending: 3, Counters: ok}},
+		{"negative pending", Resume{Round: 5, Pending: -1, Counters: ok}},
+		{"pending over MaxPending", Resume{Round: 5, Pending: 9, Counters: ResumeCounters{Admitted: 9, Completed: 0}}},
+		{"unbalanced counters", Resume{Round: 5, Pending: 3, Counters: ResumeCounters{Admitted: 11, Completed: 7}}},
+		{"negative counter", Resume{Round: 5, Pending: 3, Counters: ResumeCounters{Admitted: 10, Completed: 7, TotalResponse: -1}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			cfg.Resume = &tc.r
+			if _, err := New(&sliceSource{}, cfg); err == nil {
+				t.Fatalf("New accepted resume %+v", tc.r)
+			}
+		})
+	}
+	// The balanced case constructs and reports the baselines verbatim.
+	cfg := base()
+	cfg.Resume = &Resume{Round: 5, Pending: 3, Counters: ResumeCounters{
+		Admitted: 10, Completed: 7, TotalResponse: 21, MaxResponse: 6, Rounds: 5, PeakPending: 4,
+	}}
+	rt, err := New(&sliceSource{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rt.Snapshot()
+	if s.Round != 5 || s.Rounds != 5 || s.Completed != 7 || s.TotalResponse != 21 || s.MaxResponse != 6 || s.PeakPending != 4 {
+		t.Fatalf("restored baselines not visible in snapshot: %+v", s)
+	}
+	if s.Pending != 3-3 {
+		// Admitted baseline is short by Pending until the re-admissions
+		// arrive, so a pre-Run snapshot reports zero pending.
+		t.Fatalf("pre-run snapshot pending = %d, want 0", s.Pending)
+	}
+}
+
+// TestCheckpointConfigValidation pins the trigger's construction checks.
+func TestCheckpointConfigValidation(t *testing.T) {
+	sw := switchnet.UnitSwitch(4)
+	cfg := Config{Switch: sw, Policy: ByName("StreamFIFO"), Shards: 1, CheckpointEveryRounds: -1}
+	if _, err := New(&sliceSource{}, cfg); err == nil {
+		t.Fatal("New accepted a negative CheckpointEveryRounds")
+	}
+	cfg.CheckpointEveryRounds = 8
+	if _, err := New(&sliceSource{}, cfg); err == nil {
+		t.Fatal("New accepted CheckpointEveryRounds without OnCheckpoint")
+	}
+}
+
+// TestCheckpointRestoreContinuity is the core restore property at the
+// stream layer: checkpoint an uninterrupted drain mid-run, restore a
+// fresh runtime from that state (checkpoint prefix + skipped source
+// tail), drain it, and the restored run's final summary and completion
+// multiset must match the uninterrupted run exactly — same flows, same
+// rounds, same response accounting charged from original releases.
+func TestCheckpointRestoreContinuity(t *testing.T) {
+	const ports, rounds, per = 6, 40, 9
+	flows := genFlows(ports, rounds, per)
+	sw := switchnet.UnitSwitch(ports)
+	for _, pol := range []string{"StreamFIFO", "OldestFirst"} {
+		t.Run(pol, func(t *testing.T) {
+			// Uninterrupted reference drain.
+			var ref []flowResp
+			rtB, err := New(&sliceSource{flows: flows}, Config{
+				Switch: sw, Policy: ByName(pol), Shards: 1, MaxPending: 24,
+				OnSchedule: func(seq int64, f switchnet.Flow, round int) {
+					ref = append(ref, flowResp{f, round})
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := rtB.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Checkpointed run: capture at the first cadence firing, then
+			// stop. Completions recorded strictly before the capture round
+			// belong to the checkpoint's past (the capture settles owed
+			// picks first).
+			var st CheckpointState
+			var pre []flowResp
+			captured := false
+			var rtA *Runtime
+			rtA, err = New(&sliceSource{flows: flows}, Config{
+				Switch: sw, Policy: ByName(pol), Shards: 1, MaxPending: 24,
+				CheckpointEveryRounds: 13,
+				OnCheckpoint: func(s *CheckpointState) {
+					if !captured {
+						captured = true
+						st = *s
+						st.Flows = append([]switchnet.Flow(nil), s.Flows...)
+					}
+					rtA.Stop()
+				},
+				OnSchedule: func(seq int64, f switchnet.Flow, round int) {
+					pre = append(pre, flowResp{f, round})
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rtA.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if !captured {
+				t.Fatal("cadence never fired")
+			}
+			kept := pre[:0]
+			for _, c := range pre {
+				if c.round < st.Round {
+					kept = append(kept, c)
+				}
+			}
+			pre = kept
+
+			// Restored drain: checkpoint prefix, then the recorded stream
+			// past the consumed point.
+			var post []flowResp
+			tail := workload.Skip(&sliceSource{flows: flows}, int(st.SourceFlows()))
+			rtC, err := New(workload.NewCheckpointSource(st.Flows, tail), Config{
+				Switch: sw, Policy: ByName(pol), Shards: 1, MaxPending: 24,
+				Resume: st.Resume(),
+				OnSchedule: func(seq int64, f switchnet.Flow, round int) {
+					post = append(post, flowResp{f, round})
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rtC.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got.Admitted != want.Admitted || got.Completed != want.Completed ||
+				got.TotalResponse != want.TotalResponse || got.MaxResponse != want.MaxResponse ||
+				got.Backpressured != want.Backpressured || got.Round != want.Round ||
+				got.Rounds != want.Rounds || got.Pending != 0 {
+				t.Fatalf("restored summary diverged:\n got %+v\nwant %+v\n(checkpoint at round %d, %d pending)", got, want, st.Round, st.Pending)
+			}
+			all := append(append([]flowResp(nil), pre...), post...)
+			if len(all) != len(ref) {
+				t.Fatalf("completion counts differ: %d split vs %d uninterrupted", len(all), len(ref))
+			}
+			count := func(rs []flowResp) map[flowResp]int {
+				m := make(map[flowResp]int, len(rs))
+				for _, r := range rs {
+					m[r]++
+				}
+				return m
+			}
+			cm, rm := count(all), count(ref)
+			for k, n := range rm {
+				if cm[k] != n {
+					t.Fatalf("completion multiset differs at %+v: split %d, uninterrupted %d", k, cm[k], n)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointStateWhileParkedIdle pins the Parker wake path: a live
+// runtime parked on an idle ChanSource must still answer checkpoint and
+// pending-set requests (the request nudges the park awake), and Stop
+// must interrupt the park without closing the source.
+func TestCheckpointStateWhileParkedIdle(t *testing.T) {
+	src := workload.NewChanSource(16)
+	rt, err := New(src, Config{Switch: switchnet.UnitSwitch(4), Policy: ByName("StreamFIFO"), Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := rt.Run()
+		runDone <- err
+	}()
+	// Feed a couple of flows and let the runtime drain them and park.
+	src.Push(switchnet.Flow{In: 0, Out: 1, Demand: 1})
+	src.Push(switchnet.Flow{In: 1, Out: 2, Demand: 1})
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Snapshot().Completed < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("runtime never drained the pushed flows")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	st, err := rt.CheckpointState(ctx, nil)
+	if err != nil {
+		t.Fatalf("CheckpointState on a parked runtime: %v", err)
+	}
+	if st.Pending != 0 || st.Summary.Completed != 2 || st.Summary.Admitted != 2 {
+		t.Fatalf("parked capture wrong: %+v", st)
+	}
+	if _, _, err := rt.PendingFlows(ctx, nil); err != nil {
+		t.Fatalf("PendingFlows on a parked runtime: %v", err)
+	}
+	// Stop alone must now end a parked run — no source close needed.
+	rt.Stop()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not interrupt the idle park")
+	}
+}
+
+// TestReloadSwapsPolicyMidRun pins live reload: the policy and admission
+// settings swap between rounds without dropping the pending set, invalid
+// configurations are rejected without effect, and a finished runtime
+// refuses to reload.
+func TestReloadSwapsPolicyMidRun(t *testing.T) {
+	src := workload.NewChanSource(64)
+	rt, err := New(src, Config{Switch: switchnet.UnitSwitch(4), Policy: ByName("RoundRobin"), Shards: 2, MaxPending: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := rt.Run()
+		runDone <- err
+	}()
+	for i := 0; i < 8; i++ {
+		src.Push(switchnet.Flow{In: i % 4, Out: (i + 1) % 4, Demand: 1})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Invalid reloads are rejected and change nothing.
+	if err := rt.Reload(ctx, ReloadConfig{Policy: nil, MaxPending: 16}); err == nil {
+		t.Fatal("reload accepted a nil policy")
+	}
+	if err := rt.Reload(ctx, ReloadConfig{Policy: ByName("RoundRobin"), MaxPending: 0}); err == nil {
+		t.Fatal("reload accepted MaxPending 0")
+	}
+	if err := rt.Reload(ctx, ReloadConfig{Policy: unshardablePolicy{}, MaxPending: 16}); err == nil {
+		t.Fatal("reload accepted an unshardable policy on a sharded runtime")
+	}
+	if err := rt.Reload(ctx, ReloadConfig{Policy: ByName("RoundRobin"), MaxPending: 16, Admit: AdmitLossless, Deadline: 4}); err == nil {
+		t.Fatal("reload accepted a deadline under AdmitLossless")
+	}
+
+	// A valid swap applies and the runtime keeps scheduling under it.
+	if err := rt.Reload(ctx, ReloadConfig{Policy: ByName("OldestFirst"), MaxPending: 16, Admit: AdmitDeadline, Deadline: 64}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		src.Push(switchnet.Flow{In: i % 4, Out: (i + 2) % 4, Demand: 1})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Snapshot().Completed < 16 {
+		if time.Now().After(deadline) {
+			t.Fatalf("post-reload runtime stopped completing: %+v", rt.Snapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	src.Close()
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Reload(context.Background(), ReloadConfig{Policy: ByName("RoundRobin"), MaxPending: 16}); err == nil {
+		t.Fatal("reload succeeded after the run finished")
+	}
+}
+
+// TestRestorePreservesBackpressureSemantics pins that re-admitted
+// checkpoint flows (whose releases predate the resume round by
+// construction) are not re-counted as backpressured or admitted.
+func TestRestorePreservesBackpressureSemantics(t *testing.T) {
+	sw := switchnet.UnitSwitch(4)
+	pending := []switchnet.Flow{
+		{In: 0, Out: 1, Demand: 1, Release: 3},
+		{In: 1, Out: 2, Demand: 1, Release: 4},
+		{In: 2, Out: 3, Demand: 1, Release: 5},
+	}
+	res := &Resume{Round: 9, Pending: len(pending), Counters: ResumeCounters{
+		Admitted: 10, Completed: 7, TotalResponse: 30, Rounds: 9, MaxResponse: 5, PeakPending: 5, Backpressured: 2,
+	}}
+	rt, err := New(workload.NewCheckpointSource(pending, &sliceSource{}), Config{
+		Switch: sw, Policy: ByName("StreamFIFO"), Shards: 1, MaxPending: 8, Resume: res,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Admitted != 10 || sum.Completed != 10 || sum.Backpressured != 2 || sum.Pending != 0 {
+		t.Fatalf("restored drain accounting wrong: %+v", sum)
+	}
+	// Responses stay charged from original releases: completions happen at
+	// rounds >= 9, so flow released at 3 contributes >= 7.
+	if sum.MaxResponse < 9+1-3 {
+		t.Fatalf("restored MaxResponse %d too small for a release-3 flow completing at round >= 9", sum.MaxResponse)
+	}
+}

@@ -219,6 +219,26 @@ type Config struct {
 	// evaluation. Unlike AdmitDeadline it never changes the schedule:
 	// slow flows still complete, they are just counted.
 	ResponseBound int
+	// Resume, when non-nil, restarts the runtime from a checkpointed
+	// state: the clock opens at Resume.Round, the cumulative counters
+	// continue from Resume.Counters, and the first Resume.Pending source
+	// flows are treated as re-admissions of the checkpointed pending set
+	// (original releases honored, not re-counted as admissions or
+	// backpressure). The source must deliver exactly the checkpointed
+	// flows first — workload.NewCheckpointSource wires this up; see the
+	// package docs ("Durability and reload").
+	Resume *Resume
+	// CheckpointEveryRounds > 0 invokes OnCheckpoint with a quiescent
+	// CheckpointState at most once per that many rounds, from the
+	// coordinator between rounds. The trigger is a round-cadence integer
+	// comparison — no clock reads, no allocations (the state and its
+	// flow buffer are reused across captures, so the callback must not
+	// retain them past its return). Requires OnCheckpoint.
+	CheckpointEveryRounds int
+	// OnCheckpoint receives periodic checkpoint captures (see
+	// CheckpointEveryRounds). It runs on the coordinator goroutine with
+	// the round loop paused; a slow callback stalls scheduling.
+	OnCheckpoint func(*CheckpointState)
 }
 
 // Summary is a point-in-time view of the runtime's streaming metrics.
@@ -300,15 +320,34 @@ type Runtime struct {
 	tApplyNS     int64
 	tVerifyNS    int64
 
-	// pendCh carries pending-set snapshot requests into the round loop
-	// (see PendingFlows); finished is closed once Run returns, switching
-	// late snapshots to a direct read of the quiescent shard state.
-	pendCh   chan pendReq
+	// ctl carries control requests — pending-set snapshots, checkpoint
+	// captures, live reloads — into the round loop (see serveCtl);
+	// finished is closed once Run returns, switching late snapshots to a
+	// direct read of the quiescent shard state. wake unparks an idle
+	// live runtime (Parker sources) so a queued request or a Stop is
+	// noticed while the feed is quiet.
+	ctl      chan ctlReq
+	wake     chan struct{}
 	finished chan struct{}
 	finOnce  sync.Once
 
 	// stop requests a clean stop of Run between rounds (see Stop).
 	stop atomic.Bool
+
+	// parker is the source's Park method when it offers one (see Parker).
+	parker Parker
+
+	// Restore and periodic-checkpoint state: restoreLeft counts source
+	// flows still owed to checkpoint re-admission (not re-counted);
+	// ckptEvery/nextCkpt drive the round-cadence OnCheckpoint trigger,
+	// with ckptState/ckptBuf reused across captures so a warmed trigger
+	// allocates nothing.
+	restoreLeft int
+	ckptEvery   int
+	nextCkpt    int
+	ckptState   CheckpointState
+	ckptBuf     []switchnet.Flow
+	mergeHeads  []int32
 
 	nshards int
 	shards  []*shard
@@ -440,6 +479,12 @@ func New(src Source, cfg Config) (*Runtime, error) {
 		return nil, fmt.Errorf("stream: policy %q cannot run sharded (it does not implement Shardable); set Config.Shards to 1",
 			cfg.Policy.Name())
 	}
+	if cfg.CheckpointEveryRounds < 0 {
+		return nil, fmt.Errorf("stream: CheckpointEveryRounds %d is negative", cfg.CheckpointEveryRounds)
+	}
+	if cfg.CheckpointEveryRounds > 0 && cfg.OnCheckpoint == nil {
+		return nil, fmt.Errorf("stream: CheckpointEveryRounds %d needs an OnCheckpoint callback", cfg.CheckpointEveryRounds)
+	}
 	rt := &Runtime{
 		cfg:       cfg,
 		src:       src,
@@ -451,8 +496,11 @@ func New(src Source, cfg Config) (*Runtime, error) {
 		nshards:   cfg.Shards,
 		shards:    make([]*shard, cfg.Shards),
 		vdone:     make(chan error, 1),
-		pendCh:    make(chan pendReq, 1),
+		ctl:       make(chan ctlReq, 1),
+		wake:      make(chan struct{}, 1),
 		finished:  make(chan struct{}),
+		ckptEvery: cfg.CheckpointEveryRounds,
+		nextCkpt:  cfg.CheckpointEveryRounds,
 	}
 	rt.batcher, _ = src.(BatchSource)
 	if lf, ok := src.(LiveFeeder); ok && lf.LiveFeed() {
@@ -460,6 +508,7 @@ func New(src Source, cfg Config) (*Runtime, error) {
 			return nil, fmt.Errorf("stream: live source %T must implement BatchSource (admission from a live feed cannot block)", src)
 		}
 		rt.live = true
+		rt.parker, _ = src.(Parker)
 	}
 	if rt.nshards > 1 {
 		rt.leftover = make([]int, mOut)
@@ -476,6 +525,14 @@ func New(src Source, cfg Config) (*Runtime, error) {
 			r.Reset(cfg.Switch)
 		}
 		rt.shards[s] = newShard(rt, s, pol)
+	}
+	if cfg.Resume != nil {
+		if err := rt.applyResume(cfg.Resume); err != nil {
+			return nil, err
+		}
+		if rt.ckptEvery > 0 {
+			rt.nextCkpt = rt.round + rt.ckptEvery
+		}
 	}
 	return rt, nil
 }
@@ -518,6 +575,13 @@ func (rt *Runtime) route(f switchnet.Flow) (int, error) {
 	sh.inbox = append(sh.inbox, arrival{flow: f, seq: rt.seq})
 	rt.seq++
 	rt.count++
+	if rt.restoreLeft > 0 {
+		// A checkpoint re-admission: its release predates the resume round
+		// by construction, but it was already counted (admitted, and
+		// backpressured if it ever was) before the checkpoint.
+		rt.restoreLeft--
+		return 0, nil
+	}
 	if f.Release < rt.round {
 		return 1, nil
 	}
@@ -855,7 +919,14 @@ func (rt *Runtime) joinVerify() error {
 // step advances the runtime by one iteration — an idle jump or one fused
 // scheduling round — and reports whether the stream is fully drained.
 func (rt *Runtime) step() (done bool, err error) {
-	rt.servePending()
+	rt.serveCtl()
+	if rt.ckptEvery > 0 && rt.round >= rt.nextCkpt {
+		// Round-cadence periodic checkpoint: the trigger is one integer
+		// compare per step (no clock reads) and the capture reuses the
+		// runtime-owned state and flow buffer, so a warmed checkpoint
+		// cadence adds nothing to the steady-state allocation budget.
+		rt.fireCheckpoint()
+	}
 	if err := rt.admit(); err != nil {
 		return false, err
 	}
@@ -953,15 +1024,30 @@ func (rt *Runtime) step() (done bool, err error) {
 	return false, rt.setRound(rt.round + 1)
 }
 
-// park blocks an idle live runtime on the source's Next until the feed
-// produces a flow or closes. A stop requested before the park is honored
-// without blocking, but Stop cannot interrupt the block itself — a
+// park blocks an idle live runtime on the source until the feed produces
+// a flow or closes. A stop requested before the park is honored without
+// blocking. With a Parker source the block is also interrupted by the
+// wake channel — a queued control request (or a Stop, which nudges) gets
+// serviced on the next step instead of waiting for an arrival; with a
+// plain LiveFeeder, Stop cannot interrupt the block itself and a
 // shutdown path must close the source too (see LiveFeeder).
 func (rt *Runtime) park() (done bool, err error) {
 	if rt.stop.Load() {
 		return true, nil
 	}
-	f, ok := rt.src.Next()
+	var f switchnet.Flow
+	var ok bool
+	if rt.parker != nil {
+		var woke bool
+		f, ok, woke = rt.parker.Park(rt.wake)
+		if woke {
+			// No flow consumed; loop back through step, which services the
+			// control mailbox (or notices the stop) and parks again.
+			return false, nil
+		}
+	} else {
+		f, ok = rt.src.Next()
+	}
 	if !ok {
 		rt.srcDone = true
 		if err := rt.src.Err(); err != nil {
@@ -1016,9 +1102,14 @@ func (rt *Runtime) Run() (*Summary, error) {
 // Stop requests a clean stop: Run finishes the iteration in flight,
 // settles owed picks, joins the verify goroutine, and returns the final
 // Summary with a nil error. Safe to call from any goroutine, before or
-// during Run, and idempotent. It does not interrupt a live source parked
-// in Next — a shutdown path for a LiveFeeder must close the source too.
-func (rt *Runtime) Stop() { rt.stop.Store(true) }
+// during Run, and idempotent. A live runtime parked idle on a Parker
+// source is woken and stops promptly; parked on a plain LiveFeeder's
+// Next it is not interruptible — that shutdown path must close the
+// source too.
+func (rt *Runtime) Stop() {
+	rt.stop.Store(true)
+	rt.nudge()
+}
 
 // RunContext is Run with context cancellation wired to Stop: cancelling
 // ctx stops the run cleanly, returning the final Summary (not ctx.Err()).
@@ -1030,33 +1121,6 @@ func (rt *Runtime) RunContext(ctx context.Context) (*Summary, error) {
 	}
 	defer context.AfterFunc(ctx, rt.Stop)()
 	return rt.Run()
-}
-
-// pendReq is a pending-set snapshot request serviced by the coordinator
-// between rounds (see PendingFlows); pendSnap is the reply — the flows
-// and the round the snapshot is consistent at.
-type pendReq struct {
-	dst  []switchnet.Flow
-	resp chan pendSnap
-}
-
-type pendSnap struct {
-	flows []switchnet.Flow
-	round int
-}
-
-// servePending answers at most one queued snapshot request per step. It
-// runs at the top of step, when shard state is quiescent and the inboxes
-// are empty (the previous round phase threaded them); owed picks retire
-// first so flows the previous round already scheduled are not reported
-// as pending.
-func (rt *Runtime) servePending() {
-	select {
-	case req := <-rt.pendCh:
-		rt.applyPending()
-		req.resp <- pendSnap{flows: rt.collectPending(req.dst), round: rt.round}
-	default:
-	}
 }
 
 // collectPending appends every resident pending flow to dst, walking each
@@ -1071,47 +1135,6 @@ func (rt *Runtime) collectPending(dst []switchnet.Flow) []switchnet.Flow {
 		}
 	}
 	return dst
-}
-
-// PendingFlows snapshots the resident pending set without stalling the
-// round loop: the request is handed to the coordinator, which services
-// it between rounds (retiring owed picks first, so the snapshot never
-// contains an already-scheduled flow), and the flows are appended to
-// dst[:0] along with the round the snapshot is consistent at. After Run
-// has returned the quiescent state is read directly (best-effort if the
-// run failed mid-round: picks the error abandoned may still be linked).
-//
-// The round loop only reaches a service point while it is stepping; a
-// live runtime parked idle on its source answers nothing until the next
-// arrival — but a parked runtime's pending set is empty, so callers
-// should use a ctx timeout and treat expiry as "empty or idle". dst is
-// reused across calls by design; the returned slice aliases it.
-func (rt *Runtime) PendingFlows(ctx context.Context, dst []switchnet.Flow) ([]switchnet.Flow, int, error) {
-	dst = dst[:0]
-	req := pendReq{dst: dst, resp: make(chan pendSnap, 1)}
-	select {
-	case rt.pendCh <- req:
-	case <-rt.finished:
-		return rt.collectPending(dst), int(rt.mRound.Load()), nil
-	case <-ctx.Done():
-		return dst, 0, ctx.Err()
-	}
-	select {
-	case s := <-req.resp:
-		return s.flows, s.round, nil
-	case <-rt.finished:
-		// The coordinator may have taken the request just before
-		// finishing; prefer its reply, else the state is quiescent now
-		// and a direct read is safe.
-		select {
-		case s := <-req.resp:
-			return s.flows, s.round, nil
-		default:
-		}
-		return rt.collectPending(dst), int(rt.mRound.Load()), nil
-	case <-ctx.Done():
-		return dst, 0, ctx.Err()
-	}
 }
 
 // Snapshot returns the current streaming metrics, merging the per-shard

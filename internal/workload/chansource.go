@@ -102,6 +102,33 @@ func (s *ChanSource) PullBatch(dst []switchnet.Flow, round, max int) []switchnet
 	return dst
 }
 
+// Park implements the stream runtime's Parker contract: it blocks like
+// Next but is additionally interrupted by wake, so an idle runtime can
+// be unparked to service control requests (pending snapshots,
+// checkpoints, reloads, stop) while the feed is quiet. woke=true means
+// no flow was consumed.
+func (s *ChanSource) Park(wake <-chan struct{}) (f switchnet.Flow, ok, woke bool) {
+	select {
+	case f := <-s.ch:
+		return s.stamp(f), true, false
+	default:
+	}
+	select {
+	case f := <-s.ch:
+		return s.stamp(f), true, false
+	case <-wake:
+		return switchnet.Flow{}, false, true
+	case <-s.done:
+		// Closed: drain anything that raced in before the close.
+		select {
+		case f := <-s.ch:
+			return s.stamp(f), true, false
+		default:
+			return switchnet.Flow{}, false, false
+		}
+	}
+}
+
 // Err implements FlowSource: a closed feed is always a clean end.
 func (s *ChanSource) Err() error { return nil }
 
