@@ -559,6 +559,10 @@ type streamBenchResult struct {
 	AllocsPerRound float64 `json:"allocs_per_round"`
 	BytesPerRound  float64 `json:"bytes_per_round"`
 	SpeedupVsK1    float64 `json:"speedup_vs_k1,omitempty"`
+	// VsRoundRobin is the row's ns/round over the RoundRobin row of the
+	// same sweep — the recorded price of a policy's extra guarantees,
+	// gated by cmd/benchgate.
+	VsRoundRobin float64 `json:"vs_roundrobin,omitempty"`
 }
 
 // streamBaseline accumulates both stream benchmarks' rows; the file is
@@ -729,14 +733,15 @@ func BenchmarkStreamRuntimeSharded(b *testing.B) {
 // admission limit is 2048 — a moderate resident backlog (~14 flows per
 // port) that keeps every queue busy while measuring policy cost rather
 // than raw arena memory streaming (the deep-backlog regime is
-// BenchmarkStreamRuntime's job); note the age-aware policies touch every
-// active VOQ's head record each round, so their gap to RoundRobin —
-// which touches only what it serves — widens with the resident backlog.
-// The reported vs_roundrobin ratio is the price of the age-aware
+// BenchmarkStreamRuntime's job). The age-aware policies scan the
+// incremental candidate index (internal/stream/ageindex.go) instead of
+// sweeping every active VOQ's head record, so their per-round cost
+// tracks head churn plus scheduled volume, not backlog depth. The
+// reported vs_roundrobin ratio is the price of the age-aware
 // guarantees; the acceptance bar for the age-aware policies is staying
-// within 2x of RoundRobin here. (StreamFIFO is excluded: it is the
-// documented O(pending) non-incremental baseline and would drown the
-// chart.)
+// within 1.25x of RoundRobin here, held by cmd/benchgate against the
+// recorded rows. (StreamFIFO is excluded: it is the documented
+// O(pending) non-incremental baseline and would drown the chart.)
 func BenchmarkStreamRuntimePolicies(b *testing.B) {
 	const totalFlows = 1 << 20
 	var base float64
@@ -750,7 +755,8 @@ func BenchmarkStreamRuntimePolicies(b *testing.B) {
 				base = last.NsPerRound
 			}
 			if base > 0 {
-				b.ReportMetric(last.NsPerRound/base, "vs_roundrobin")
+				last.VsRoundRobin = last.NsPerRound / base
+				b.ReportMetric(last.VsRoundRobin, "vs_roundrobin")
 			}
 			b.ReportMetric(last.NsPerRound, "ns/round")
 			b.ReportMetric(last.FlowsPerSec, "flows/s")

@@ -19,7 +19,9 @@
 //     below still run.
 //   - speedup_vs_k1: the K=2 row of the sharded sweep must reach at least
 //     1.0 — with the fused single-barrier protocol, two shards must never
-//     be slower than one. Higher K rows get a softer 0.9 floor (their
+//     be slower than one — and the K=4 row at least 1.5 now that the
+//     reconcile pass pipelines shard-to-shard instead of running serial
+//     on the coordinator. Higher K rows get a softer 0.9 floor (their
 //     ideal speedup depends on the serial verification fraction). Any
 //     row with K greater than the run's gomaxprocs is skipped: a sweep
 //     on fewer cores than shards measures barrier overhead, not speedup.
@@ -28,6 +30,16 @@
 //     1.30) times its plain counterpart. This gate compares two rows of
 //     the same run on the same machine, so it applies even when the
 //     gomaxprocs mismatch disables the absolute gates.
+//   - policy premium: within the new run's policies section, any row
+//     carrying a vs_roundrobin ratio may not exceed -maxvsrr (default
+//     1.95). The age-aware policies pay for global age ordering —
+//     RoundRobin's rotation pick probes O(1) VOQs per input while
+//     OldestFirst must order the whole candidate set — and the
+//     sweep-and-count pick holds that premium to ~1.55x (OldestFirst)
+//     and ~1.75x (WeightedISLIP) at a 2048-flow resident backlog on the
+//     recording box; the ceiling adds noise headroom and keeps the
+//     premium from drifting back toward the 2x+ a naive comparison sort
+//     costs. A within-run ratio, so it survives a gomaxprocs mismatch.
 //
 // Steady-state allocations are gated separately and exactly by the
 // TestSteadyStateZeroAlloc tests in internal/stream; the allocs_per_round
@@ -52,6 +64,7 @@ type row struct {
 	FlowsPerSec    float64 `json:"flows_per_sec"`
 	AllocsPerRound float64 `json:"allocs_per_round"`
 	SpeedupVsK1    float64 `json:"speedup_vs_k1"`
+	VsRoundRobin   float64 `json:"vs_roundrobin"`
 }
 
 // key is a row's identity within its section: the (policy, shards, flows)
@@ -87,6 +100,7 @@ func main() {
 	newPath := flag.String("new", "BENCH_stream.json", "freshly generated JSON")
 	maxRegress := flag.Float64("maxregress", 1.25, "max allowed ns/round ratio new/old per matched row")
 	maxRecorder := flag.Float64("maxrecorder", 1.30, "max allowed ns/round ratio recorder/plain within the new run's instrumented section")
+	maxVsRR := flag.Float64("maxvsrr", 1.95, "max allowed vs_roundrobin ratio within the new run's policies section")
 	flag.Parse()
 	if *oldPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -old is required")
@@ -166,6 +180,20 @@ func main() {
 			n.key(), p.NsPerRound, n.NsPerRound, ratio, *maxRecorder, verdict)
 	}
 
+	// The policy-premium gate is also within-run: each policies row that
+	// recorded a vs_roundrobin ratio gates against the ceiling directly.
+	for _, n := range newB.Policies {
+		if n.VsRoundRobin == 0 {
+			continue
+		}
+		verdict := "ok"
+		if n.VsRoundRobin > *maxVsRR {
+			verdict = "OVER CEILING"
+			failures++
+		}
+		fmt.Printf("vs_rr     %-32s  x%.3f  (ceiling %.2f)  %s\n", n.key(), n.VsRoundRobin, *maxVsRR, verdict)
+	}
+
 	for _, n := range newB.Sharded {
 		if n.Shards <= 1 || n.SpeedupVsK1 == 0 {
 			continue
@@ -175,8 +203,14 @@ func main() {
 			continue
 		}
 		floor := 0.9
-		if n.Shards == 2 {
+		switch n.Shards {
+		case 2:
 			floor = 1.0
+		case 4:
+			// The pipelined reconcile keeps the inter-round serial section
+			// to the coordinator's bookkeeping, so four shards on four
+			// cores must clear a real-speedup floor.
+			floor = 1.5
 		}
 		verdict := "ok"
 		if n.SpeedupVsK1 < floor {

@@ -21,12 +21,14 @@
 // The payload carries everything a restart needs: the pending set with
 // original releases (plus the runtime's un-admitted lookahead flow, if
 // one existed), the round, the cumulative counters, the policy and
-// admission configuration, and the switch shape for compatibility
-// checking. What it deliberately does not carry: policy scratch state
-// (rotation pointers and the like — a restored policy restarts fresh,
-// which changes tie-breaking but never correctness or accounting) and
-// response-quantile sketches (window metrics restart empty; cumulative
-// counters, including TotalResponse and MaxResponse, are exact).
+// admission configuration, the switch shape for compatibility checking,
+// and — since version 2 — the policy's per-shard scratch state (rotation
+// pointers, so RoundRobin and WeightedISLIP restores are schedule-exact,
+// not just accounting-exact) and the per-shard sliding-window quantile
+// sketches (so /metrics response quantiles are continuous across a
+// restore instead of restarting empty). Version-1 files still load: the
+// new sections simply read as absent, restoring with fresh pointers and
+// empty windows exactly as version 1 always did.
 package chkpt
 
 import (
@@ -38,6 +40,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"flowsched/internal/stats"
 	"flowsched/internal/stream"
 	"flowsched/internal/switchnet"
 )
@@ -57,8 +60,12 @@ var (
 
 const (
 	magic = "FLOWCKPT"
-	// Version is the envelope version this build writes and reads.
-	Version = 1
+	// Version is the envelope version this build writes. Version 2 added
+	// the policy-scratch and window-sketch sections; version-1 files are
+	// still read (see minVersion).
+	Version = 2
+	// minVersion is the oldest envelope version this build reads.
+	minVersion = 1
 	// headerLen is magic + version + payload length.
 	headerLen = len(magic) + 4 + 8
 	// trailerLen is the CRC.
@@ -116,6 +123,14 @@ type Checkpoint struct {
 	// Flows is the pending set in admission order (original releases and
 	// remaining demands), plus at most one trailing lookahead flow.
 	Flows []switchnet.Flow `json:"flows,omitempty"`
+	// Scratch is the policy's per-shard scratch state (one slice per
+	// shard in shard order; see stream.CheckpointState.Scratch), absent
+	// for memoryless policies and in version-1 files. A restore replays
+	// it only when policy and shard count match.
+	Scratch [][]int64 `json:"policy_scratch,omitempty"`
+	// Windows holds the per-shard sliding-window quantile sketches,
+	// absent in version-1 files (those restore with empty windows).
+	Windows []stats.WindowSnapshot `json:"windows,omitempty"`
 }
 
 // FromState converts a runtime capture into a durable Checkpoint. cfg
@@ -124,6 +139,22 @@ type Checkpoint struct {
 func FromState(st *stream.CheckpointState, cfg stream.Config) *Checkpoint {
 	flows := make([]switchnet.Flow, len(st.Flows))
 	copy(flows, st.Flows)
+	// Deep-copy the scratch and window sections: periodic captures hand
+	// out runtime-owned buffers the next capture overwrites.
+	var scratch [][]int64
+	if st.Scratch != nil {
+		scratch = make([][]int64, len(st.Scratch))
+		for i, s := range st.Scratch {
+			scratch[i] = append([]int64(nil), s...)
+		}
+	}
+	var windows []stats.WindowSnapshot
+	if st.Windows != nil {
+		windows = make([]stats.WindowSnapshot, len(st.Windows))
+		for i := range st.Windows {
+			windows[i] = st.Windows[i].Clone()
+		}
+	}
 	return &Checkpoint{
 		Round:          st.Round,
 		Pending:        st.Pending,
@@ -147,7 +178,9 @@ func FromState(st *stream.CheckpointState, cfg stream.Config) *Checkpoint {
 			MaxResponse:   st.Summary.MaxResponse,
 			PeakPending:   st.Summary.PeakPending,
 		},
-		Flows: flows,
+		Flows:   flows,
+		Scratch: scratch,
+		Windows: windows,
 	}
 }
 
@@ -156,8 +189,11 @@ func FromState(st *stream.CheckpointState, cfg stream.Config) *Checkpoint {
 // workload.NewCheckpointSource(c.Flows, tail).
 func (c *Checkpoint) Resume() *stream.Resume {
 	return &stream.Resume{
-		Round:   c.Round,
-		Pending: c.Pending,
+		Round:         c.Round,
+		Pending:       c.Pending,
+		ScratchPolicy: c.Policy,
+		Scratch:       c.Scratch,
+		Windows:       c.Windows,
 		Counters: stream.ResumeCounters{
 			Admitted:      c.Counters.Admitted,
 			Completed:     c.Counters.Completed,
@@ -214,6 +250,9 @@ func (c *Checkpoint) Validate() error {
 		return fmt.Errorf("chkpt: counters do not balance: admitted %d != completed %d + pending %d + dropped %d + expired %d",
 			cc.Admitted, cc.Completed, c.Pending, cc.Dropped, cc.Expired)
 	}
+	if len(c.Scratch) > 0 && len(c.Scratch) != c.Shards {
+		return fmt.Errorf("chkpt: policy scratch has %d shard entries, checkpoint has %d shards", len(c.Scratch), c.Shards)
+	}
 	return nil
 }
 
@@ -245,8 +284,8 @@ func Decode(data []byte) (*Checkpoint, error) {
 	if string(data[:len(magic)]) != magic {
 		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if v := binary.LittleEndian.Uint32(data[len(magic):]); v != Version {
-		return nil, fmt.Errorf("%w: file version %d, this build reads %d", ErrVersion, v, Version)
+	if v := binary.LittleEndian.Uint32(data[len(magic):]); v < minVersion || v > Version {
+		return nil, fmt.Errorf("%w: file version %d, this build reads %d through %d", ErrVersion, v, minVersion, Version)
 	}
 	plen := binary.LittleEndian.Uint64(data[len(magic)+4:])
 	if plen > maxPayload {

@@ -77,13 +77,17 @@ type flowResp struct {
 // drain. The split run must complete exactly the same flow multiset
 // with identical per-flow response rounds (charged from original
 // releases) and an identical final summary as the uninterrupted run —
-// for both restore-exact policies and both shard counts.
+// for every registry policy at every supported shard count. The
+// stateful policies (RoundRobin's rotation pointers, WeightedISLIP's
+// grant/accept pointers) only pass because the checkpoint carries
+// their scratch; the age-indexed policies only pass because restore
+// re-admission rebuilds the candidate index deterministically.
 func TestCrashEquivalenceDifferential(t *testing.T) {
 	const ports, rounds, per = 6, 60, 9
 	flows := genFlows(ports, rounds, per)
 	sw := switchnet.UnitSwitch(ports)
-	for _, pol := range []string{"StreamFIFO", "OldestFirst"} {
-		for _, shards := range []int{1, 2} {
+	for _, pol := range stream.Names() {
+		for _, shards := range []int{1, 2, 4} {
 			if shards > 1 {
 				if _, ok := stream.ByName(pol).(stream.Shardable); !ok {
 					continue

@@ -154,6 +154,98 @@ func (w *EpochWindow) ReadInto(dst *LogHistogram, round int) {
 	}
 }
 
+// WindowSnapshot is a serializable image of an EpochWindow's live state:
+// the ring slots' period labels and bucket counts, plus the geometry
+// needed to judge compatibility at import. It exists for checkpointing —
+// a restored runtime imports the snapshot so sliding-window response
+// quantiles are continuous across a restore instead of restarting empty.
+type WindowSnapshot struct {
+	PerShard int        `json:"per_shard"`
+	Periods  []int64    `json:"periods"`
+	Counts   [][]uint64 `json:"counts"`
+	Ns       []uint64   `json:"ns"`
+}
+
+// Clone returns a deep copy (checkpoint encoding must not alias the
+// runtime's reused capture buffers).
+func (s *WindowSnapshot) Clone() WindowSnapshot {
+	c := WindowSnapshot{
+		PerShard: s.PerShard,
+		Periods:  append([]int64(nil), s.Periods...),
+		Ns:       append([]uint64(nil), s.Ns...),
+		Counts:   make([][]uint64, len(s.Counts)),
+	}
+	for i := range s.Counts {
+		c.Counts[i] = append([]uint64(nil), s.Counts[i]...)
+	}
+	return c
+}
+
+// ExportInto captures the window's state into dst, reusing dst's backing
+// slices so a warmed caller allocates nothing. The caller must hold the
+// writer quiescent (checkpoint captures run on the coordinator between
+// rounds); concurrent readers are harmless — they only load.
+func (w *EpochWindow) ExportInto(dst *WindowSnapshot) {
+	n := len(w.rings)
+	dst.PerShard = w.perShard
+	dst.Periods = append(dst.Periods[:0], w.periods...)
+	dst.Ns = dst.Ns[:0]
+	if cap(dst.Counts) < n {
+		dst.Counts = append(dst.Counts, make([][]uint64, n-len(dst.Counts))...)
+	}
+	dst.Counts = dst.Counts[:n]
+	for i := range w.rings {
+		dst.Counts[i] = append(dst.Counts[i][:0], w.rings[i].counts...)
+		dst.Ns = append(dst.Ns, w.rings[i].n)
+	}
+}
+
+// Import merges a snapshot into the window. Geometry differences are
+// tolerated conservatively: a snapshot with a different per-shard period
+// width is dropped entirely (its period labels mean something else), a
+// slot whose period predates the importing ring's label is dropped, and
+// one that postdates it relabels the slot first — so an import never
+// rewinds the window, and a changed ring count merely folds several old
+// periods together. Runs single-threaded (construction time, before any
+// writer or reader exists), so plain stores suffice.
+func (w *EpochWindow) Import(s *WindowSnapshot) {
+	if s.PerShard != w.perShard {
+		return
+	}
+	n := int64(len(w.rings))
+	for j := range s.Periods {
+		if j >= len(s.Counts) || j >= len(s.Ns) {
+			break
+		}
+		p := s.Periods[j]
+		if p == neverPeriod {
+			continue
+		}
+		i := p % n
+		ring := &w.rings[i]
+		switch {
+		case w.periods[i] == p:
+		case w.periods[i] < p:
+			ring.Reset()
+			w.periods[i] = p
+		default:
+			continue
+		}
+		cnts := s.Counts[j]
+		if len(cnts) > len(ring.counts) {
+			cnts = cnts[:len(ring.counts)]
+		}
+		for b, c := range cnts {
+			ring.counts[b] += c
+		}
+		ring.n += s.Ns[j]
+		w.started = true
+		if p > w.lastPeriod {
+			w.lastPeriod = p
+		}
+	}
+}
+
 // resetAtomic is Reset with atomic element stores, for histograms readers
 // may be loading concurrently.
 func (h *LogHistogram) resetAtomic() {

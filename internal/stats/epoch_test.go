@@ -115,3 +115,90 @@ func TestEpochWindowRecordNoAlloc(t *testing.T) {
 		t.Fatalf("read path allocated %v per call, want 0", allocs)
 	}
 }
+
+// TestWindowSnapshotRoundTrip pins the checkpoint path: an export
+// imported into a fresh same-geometry window must reproduce the exact
+// quantiles, the importer must merge rather than clobber when the
+// target already holds newer periods, and geometry or staleness
+// mismatches must degrade to drops — never to a rewound window.
+func TestWindowSnapshotRoundTrip(t *testing.T) {
+	src := NewEpochWindow(64, 8)
+	for round := 0; round < 200; round++ {
+		src.Begin()
+		src.Observe(round, round*3)
+		src.Observe(round, round%17)
+		src.End()
+	}
+	var snap WindowSnapshot
+	src.ExportInto(&snap)
+
+	var want, got LogHistogram
+	src.ReadInto(&want, 199)
+
+	// Exact restore into an empty twin.
+	dst := NewEpochWindow(64, 8)
+	dst.Import(&snap)
+	dst.ReadInto(&got, 199)
+	if got.N() != want.N() {
+		t.Fatalf("restored window holds %d observations, source %d", got.N(), want.N())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if g, w := got.Quantile(q), want.Quantile(q); g != w {
+			t.Fatalf("q=%.2f: restored %v, source %v", q, g, w)
+		}
+	}
+
+	// Rotation must keep working after an import: advancing far enough
+	// expires the imported periods on the read side.
+	dst.Begin()
+	dst.Observe(10_000, 1)
+	dst.End()
+	dst.ReadInto(&got, 10_000)
+	if got.N() != 1 {
+		t.Fatalf("post-import rotation kept %d observations live, want 1", got.N())
+	}
+
+	// A newer resident period must not be clobbered by an older snapshot
+	// slot: import into a window already past the snapshot.
+	ahead := NewEpochWindow(64, 8)
+	for round := 5_000; round < 5_100; round++ {
+		ahead.Begin()
+		ahead.Observe(round, 7)
+		ahead.End()
+	}
+	var before LogHistogram
+	ahead.ReadInto(&before, 5_099)
+	ahead.Import(&snap) // every snapshot period predates the residents
+	ahead.ReadInto(&got, 5_099)
+	if got.N() != before.N() {
+		t.Fatalf("stale import changed a newer window: %d observations, want %d", got.N(), before.N())
+	}
+
+	// Geometry mismatch: per-shard width differs, the import is a no-op.
+	other := NewEpochWindow(64, 4)
+	other.Import(&snap)
+	other.ReadInto(&got, 199)
+	if got.N() != 0 {
+		t.Fatalf("mismatched-geometry import leaked %d observations", got.N())
+	}
+
+	// Clone must be deep: scribbling on the original leaves it intact.
+	c := snap.Clone()
+	for i := range snap.Counts {
+		for b := range snap.Counts[i] {
+			snap.Counts[i][b] = 999
+		}
+	}
+	fresh := NewEpochWindow(64, 8)
+	fresh.Import(&c)
+	fresh.ReadInto(&got, 199)
+	if got.N() != want.N() {
+		t.Fatalf("clone aliased the source buffers: %d observations, want %d", got.N(), want.N())
+	}
+
+	// ExportInto must reuse a warmed snapshot's buffers.
+	src.ExportInto(&c) // warm to this source's geometry
+	if allocs := testing.AllocsPerRun(50, func() { src.ExportInto(&c) }); allocs != 0 {
+		t.Fatalf("warmed export allocated %v per call, want 0", allocs)
+	}
+}

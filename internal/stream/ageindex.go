@@ -1,0 +1,430 @@
+package stream
+
+import "math"
+
+// ageIndex is the incremental cross-round candidate index behind the
+// age-aware policies (OldestFirst, WeightedISLIP) on sharded runtimes: a
+// persistent release-sorted view of the shard's active VOQ heads,
+// maintained from an activation journal instead of rebuilt by a full
+// sweep every round. Head activations and head departures are journaled
+// at voqPush/voqRemove; applyJournal folds the O(changed VOQs) batch
+// into the standing order, so the index stays current without ever
+// re-reading every active head record.
+//
+// The index earns its round-over-round maintenance in the reconcile
+// pass, which is why it exists exactly when the runtime is sharded
+// (newShard skips it at one shard, where there is no reconcile pass and
+// a propose-phase sweep-and-count rebuild is cheaper than any
+// maintenance): it tells OldestFirst how many candidates the
+// still-free inputs hold (the sparse-mode trigger, scanLen), it hands
+// Runtime.reconcile each shard's oldest live head (oldestRel) for the
+// oldest-head-first shard ordering, and its rebuild method restores the
+// exact candidate order from the resident pending set after a
+// checkpoint restore or a policy-swapping reload.
+//
+// # Two-level order, tombstones in place
+//
+// The live candidate order is the merge of two key-sorted arrays: main,
+// the compacted bulk, and ovr, a small overlay the per-round journal
+// batches merge into. pos[vi] maps a VOQ to its entry's exact position
+// (encoded: >= 0 main, <= -2 overlay, -1 none), so a journaled head
+// change tombstones the old entry in place — key set to aiTomb — in
+// O(1). A scan over the index therefore never validates an entry
+// against out-of-band state: a visit is a sequential array read, a
+// tombstone skip is a sequential word test, and there is no random
+// generation lookup anywhere in the loop.
+//
+// # Packed keys
+//
+// An entry's sort key packs (release, VOQ index) into one uint64 —
+// release in the high 40 bits, vi in the low aiViBits — so every order
+// decision in the sort, the merges, and the policies' scans is a single
+// integer compare, and a tombstone is the all-ones key (never a valid
+// packed value; it also sorts last, so a tombstoned suffix cannot mask a
+// live entry behind it). Within a shard, packed-key order equals the
+// policies' (release, input, output) order — vi = local(in)*mOut + out is
+// monotone in (in, out) over the shard's inputs — so the merged walk
+// visits candidates in exactly the order the full-sweep implementations
+// produced. The packing bounds are enforced at the edges: New (and a
+// policy-swapping reload) rejects an indexed-policy configuration whose
+// per-shard VOQ table exceeds the vi field, and checkFlow rejects
+// releases at or beyond aiMaxRel (a 2^40-round horizon) while an index
+// is live, before they enter the arena.
+//
+// Per-round maintenance is O(batch + overlay): the sorted batch merges
+// into the overlay (dropping the overlay's tombstones, which never
+// survive a rebuild), and main's tombstones accumulate until compact
+// folds both levels into a fresh main — amortized O(live) per compact,
+// triggered only after a comparable volume of churn. All storage is
+// swap-recycled scratch that grows to its high-water mark, so
+// steady-state rounds allocate nothing (pinned by
+// TestSteadyStateZeroAlloc over the indexed policies).
+//
+// # Cached demand
+//
+// Entries cache the head's demand. That is sound because demand can only
+// change when the head itself changes, and every head change is
+// journaled: a live entry and its head-age record agree on (rel, dem) by
+// construction, including during a reconcile pass (records update at
+// retirement, which lands in the journal before the next apply). Nothing
+// here is checkpointed — the candidate order is a pure function of the
+// pending set, and a restore rebuilds it deterministically as the
+// re-admitted flows journal through voqPush (see stream/doc.go,
+// "Durability and reload").
+type ageIndex struct {
+	sh   *shard
+	mOut int
+	nsh  int
+	idx  int
+
+	// pos[vi] encodes VOQ vi's entry position: p >= 0 is main[p], p <= -2
+	// is ovr[-2-p], -1 is no live entry. outCand[out] counts live entries
+	// per output port (the eligible-output census the policies' early
+	// exits need).
+	pos     []int32
+	outCand []int32
+
+	// main and ovr are the two key-sorted levels, holding live entries
+	// and in-place tombstones (key == aiTomb). mainLo/ovrLo are monotone
+	// tombstone-prefix cursors (sound because a tombstone never
+	// revalidates), reset when the level is rebuilt. mainScratch and
+	// ovrScratch are the swap buffers compaction and overlay rebuilds
+	// build into.
+	main, ovr               []aiEntry
+	mainLo, ovrLo           int
+	mainScratch, ovrScratch []aiEntry
+
+	// liveCnt counts live entries (== active VOQs once the journal is
+	// applied); mainTomb counts tombstones resident in main (overlay
+	// tombstones die at the next rebuild). mainTomb drives compaction.
+	liveCnt, mainTomb int
+
+	// dirty is the activation journal: VOQ indexes whose head changed
+	// since the last applyJournal, deduped by epoch marks (mark[vi]
+	// holds the epoch that last recorded vi). epoch is uint64 so a mark
+	// can never alias a reused epoch value.
+	dirty []int32
+	mark  []uint64
+	epoch uint64
+
+	// batch is the per-apply scratch the journal's surviving candidates
+	// are sorted in before merging into the overlay.
+	batch []aiEntry
+}
+
+const (
+	// aiViBits is the width of the VOQ-index field in a packed entry key;
+	// an indexed policy requires the per-shard VOQ table to fit it
+	// (enforced in New and applyReload).
+	aiViBits = 24
+	aiViMask = 1<<aiViBits - 1
+
+	// aiMaxRel bounds release rounds on indexed runs so a packed key can
+	// neither overflow nor collide with aiTomb (which needs every rel and
+	// vi bit set). Enforced in checkFlow while an index is live and in
+	// applyReload when a swap introduces one.
+	aiMaxRel = 1<<40 - 1
+
+	// aiTomb marks an in-place tombstone: the all-ones key, which no live
+	// entry can carry and which sorts after every live key.
+	aiTomb = ^uint64(0)
+)
+
+// aiEntry is one indexed candidate: an active VOQ keyed by its head's
+// packed (release, vi) key. The ports and the head's demand ride along
+// so a scan filters on capacity with sequential reads only; 16 bytes
+// total, so a full-level walk streams four entries per cache line.
+type aiEntry struct {
+	key     uint64
+	dem     int32
+	in, out int16
+}
+
+// aiKey packs (release round, VOQ index) into the single-compare sort
+// key.
+func aiKey(rel int64, vi int32) uint64 {
+	return uint64(rel)<<aiViBits | uint64(uint32(vi))
+}
+
+func (e aiEntry) rel() int64 { return int64(e.key >> aiViBits) }
+func (e aiEntry) vi() int32  { return int32(e.key & aiViMask) }
+
+// ageIndexUser marks native policies that use the incremental age
+// index; newShard builds a per-shard index exactly when the shard's
+// policy implements it and the runtime is sharded (and applyReload
+// rebuilds or drops it on a policy swap).
+type ageIndexUser interface {
+	usesAgeIndex()
+}
+
+// newAgeIndex builds an empty index sized to sh's VOQ table.
+func newAgeIndex(sh *shard) *ageIndex {
+	n := len(sh.vqs)
+	ai := &ageIndex{
+		sh:      sh,
+		mOut:    sh.mOut,
+		nsh:     sh.nsh,
+		idx:     sh.idx,
+		pos:     make([]int32, n),
+		outCand: make([]int32, sh.mOut),
+		mark:    make([]uint64, n),
+		epoch:   1,
+	}
+	for i := range ai.pos {
+		ai.pos[i] = -1
+	}
+	return ai
+}
+
+// live is the number of live candidates (== active VOQs once the journal
+// is applied).
+func (ai *ageIndex) live() int { return ai.liveCnt }
+
+// touch journals a head change at VOQ vi (activation, head departure, or
+// drain), deduped per apply interval. Called from the voqPush/voqRemove
+// hot paths; one array compare when already journaled.
+//
+//flowsched:hotpath
+func (ai *ageIndex) touch(vi int) {
+	if ai.mark[vi] == ai.epoch {
+		return
+	}
+	ai.mark[vi] = ai.epoch
+	ai.dirty = append(ai.dirty, int32(vi)) //flowsched:allow alloc: journal is length-reset per apply and grows to the per-round head-churn high-water mark
+}
+
+// applyJournal folds the journaled head changes into the index: each
+// dirty VOQ's old entry is tombstoned in place through pos and, if the
+// queue is still non-empty, its current head is re-recorded. The batch
+// of new candidates is sorted and merged into the overlay, and the
+// levels are compacted once main's tombstones or the overlay outgrow
+// the live set. The coordinator-facing call site is shard.do, after
+// retirement/admission/expiry and before Pick, so every pick pass scans
+// a fully current index.
+//
+//flowsched:hotpath
+func (ai *ageIndex) applyJournal() {
+	if len(ai.dirty) == 0 {
+		return
+	}
+	sh := ai.sh
+	ai.batch = ai.batch[:0]
+	changed := false
+	for _, v := range ai.dirty {
+		vi := int(v)
+		out := vi % ai.mOut
+		if p := ai.pos[vi]; p != -1 {
+			if p >= 0 {
+				ai.main[p].key = aiTomb
+				ai.mainTomb++
+			} else {
+				ai.ovr[-2-p].key = aiTomb
+			}
+			ai.pos[vi] = -1
+			ai.outCand[out]--
+			ai.liveCnt--
+			changed = true
+		}
+		if sh.vqs[vi].live > 0 {
+			li := vi / ai.mOut
+			h := &sh.heads[vi]
+			ai.batch = append(ai.batch, aiEntry{ //flowsched:allow alloc: apply batch is length-reset per apply and grows to the journal high-water mark
+				key: aiKey(h.rel, v), dem: h.dem,
+				in: int16(li*ai.nsh + ai.idx), out: int16(out),
+			})
+			ai.outCand[out]++
+			ai.liveCnt++
+			changed = true
+		}
+	}
+	ai.dirty = ai.dirty[:0]
+	ai.epoch++
+	if !changed {
+		return
+	}
+	sortAIEntries(ai.batch)
+	ai.mergeBatch()
+	if ai.mainTomb > max(64, ai.liveCnt) || len(ai.ovr) > max(64, ai.liveCnt/2) {
+		ai.compact()
+	}
+}
+
+// mergeBatch merges the sorted apply batch into the overlay, dropping
+// the overlay's tombstones on the way through and re-encoding pos for
+// every entry that moves. The merge builds into the swap scratch, so the
+// overlay's backing arrays recycle instead of reallocating.
+func (ai *ageIndex) mergeBatch() {
+	dst := ai.ovrScratch[:0]
+	j := 0
+	for i := 0; i < len(ai.ovr); i++ {
+		e := ai.ovr[i]
+		if e.key == aiTomb {
+			continue
+		}
+		for j < len(ai.batch) && ai.batch[j].key < e.key {
+			b := ai.batch[j]
+			ai.pos[b.key&aiViMask] = int32(-2 - len(dst))
+			dst = append(dst, b) //flowsched:allow alloc: overlay swap scratch grows to the overlay high-water mark, then recycles
+			j++
+		}
+		ai.pos[e.key&aiViMask] = int32(-2 - len(dst))
+		dst = append(dst, e) //flowsched:allow alloc: overlay swap scratch grows to the overlay high-water mark, then recycles
+	}
+	for ; j < len(ai.batch); j++ {
+		b := ai.batch[j]
+		ai.pos[b.key&aiViMask] = int32(-2 - len(dst))
+		dst = append(dst, b) //flowsched:allow alloc: overlay swap scratch grows to the overlay high-water mark, then recycles
+	}
+	ai.ovrScratch = ai.ovr[:0]
+	ai.ovr = dst
+	ai.ovrLo = 0
+}
+
+// compact folds main and the overlay into a fresh main holding exactly
+// the live entries, in order, re-encoding pos; the overlay empties, the
+// cursors reset, and the tombstone debt clears. Amortized O(live) per
+// comparable volume of churn.
+func (ai *ageIndex) compact() {
+	dst := ai.mainScratch[:0]
+	i, j := 0, 0
+	for i < len(ai.main) || j < len(ai.ovr) {
+		var e aiEntry
+		if i < len(ai.main) {
+			e = ai.main[i]
+			if e.key == aiTomb {
+				i++
+				continue
+			}
+			if j < len(ai.ovr) {
+				o := ai.ovr[j]
+				if o.key == aiTomb {
+					j++
+					continue
+				}
+				if o.key < e.key {
+					e = o
+					j++
+				} else {
+					i++
+				}
+			} else {
+				i++
+			}
+		} else {
+			e = ai.ovr[j]
+			j++
+			if e.key == aiTomb {
+				continue
+			}
+		}
+		ai.pos[e.key&aiViMask] = int32(len(dst))
+		dst = append(dst, e) //flowsched:allow alloc: main swap scratch grows to the live-entry high-water mark, then recycles
+	}
+	ai.mainScratch = ai.main[:0]
+	ai.main = dst
+	ai.ovr = ai.ovr[:0]
+	ai.mainLo, ai.ovrLo = 0, 0
+	ai.mainTomb = 0
+}
+
+// trim advances the tombstone-prefix cursors. Monotone and permanent: a
+// tombstone never revalidates, so skipping it once is skipping it
+// forever.
+func (ai *ageIndex) trim() {
+	for ai.mainLo < len(ai.main) && ai.main[ai.mainLo].key == aiTomb {
+		ai.mainLo++
+	}
+	for ai.ovrLo < len(ai.ovr) && ai.ovr[ai.ovrLo].key == aiTomb {
+		ai.ovrLo++
+	}
+}
+
+// scanLen is the number of resident entries (live plus unskipped
+// tombstones) a full merged scan would visit — the cost side policies
+// weigh a dense index walk against a sparse free-input sweep with.
+func (ai *ageIndex) scanLen() int {
+	return len(ai.main) - ai.mainLo + len(ai.ovr) - ai.ovrLo
+}
+
+// oldestRel returns the release round of the shard's oldest live
+// candidate (math.MaxInt64 when the index is empty) — the key the
+// reconcile pass orders shards by so cross-shard service is globally
+// oldest-head-first.
+func (ai *ageIndex) oldestRel() int64 {
+	ai.trim()
+	k := uint64(aiTomb)
+	if ai.mainLo < len(ai.main) {
+		k = ai.main[ai.mainLo].key
+	}
+	if ai.ovrLo < len(ai.ovr) && ai.ovr[ai.ovrLo].key < k {
+		k = ai.ovr[ai.ovrLo].key
+	}
+	if k == aiTomb {
+		return math.MaxInt64
+	}
+	return int64(k >> aiViBits)
+}
+
+// rebuild resets the index and re-records every currently non-empty VOQ
+// — the live-reload path (applyReload) for a policy swap onto an indexed
+// policy at a quiescent point. Deterministic: the rebuilt candidate set
+// and order depend only on the pending set.
+func (ai *ageIndex) rebuild() {
+	for i := range ai.pos {
+		ai.pos[i] = -1
+	}
+	for i := range ai.mark {
+		ai.mark[i] = 0
+	}
+	for i := range ai.outCand {
+		ai.outCand[i] = 0
+	}
+	ai.main, ai.ovr = ai.main[:0], ai.ovr[:0]
+	ai.mainLo, ai.ovrLo = 0, 0
+	ai.dirty = ai.dirty[:0]
+	ai.liveCnt, ai.mainTomb = 0, 0
+	ai.epoch = 1
+	for vi := range ai.sh.vqs {
+		if ai.sh.vqs[vi].live > 0 {
+			ai.touch(vi)
+		}
+	}
+	ai.applyJournal()
+}
+
+// sortAIEntries sorts a journal batch by packed key without allocating:
+// insertion sort for short runs, quicksort (middle pivot) above. Keys
+// are unique — the journal holds at most one record per VOQ — so the
+// order is total and the merged scan deterministic.
+func sortAIEntries(s []aiEntry) {
+	for len(s) > 12 {
+		pivot := s[len(s)/2].key
+		lo, hi := 0, len(s)-1
+		for lo <= hi {
+			for s[lo].key < pivot {
+				lo++
+			}
+			for pivot < s[hi].key {
+				hi--
+			}
+			if lo <= hi {
+				s[lo], s[hi] = s[hi], s[lo]
+				lo++
+				hi--
+			}
+		}
+		// Recurse into the smaller side, loop on the larger.
+		if hi < len(s)-lo {
+			sortAIEntries(s[:hi+1])
+			s = s[lo:]
+		} else {
+			sortAIEntries(s[lo:])
+			s = s[:hi+1]
+		}
+	}
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].key < s[j-1].key; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"flowsched/internal/switchnet"
+)
+
+// churnSource feeds a deterministic high-churn arrival pattern: bursty
+// per-round batches over cycling port pairs with mixed demands, so VOQs
+// activate, drain, and re-activate constantly — the regime where an
+// incremental index earns its keep and where a maintenance bug (a missed
+// journal touch, a stale entry surviving a merge, a generation mix-up)
+// shows up as an order divergence.
+type churnSource struct {
+	ports, rounds int
+	r, i          int
+}
+
+func (s *churnSource) Next() (switchnet.Flow, bool) {
+	for s.r < s.rounds {
+		per := 3 + (s.r*7)%9 // burst size varies 3..11 per round
+		if s.i >= per {
+			s.r++
+			s.i = 0
+			continue
+		}
+		k := s.r*31 + s.i*13
+		f := switchnet.Flow{
+			In:      k % s.ports,
+			Out:     (k*5 + s.i) % s.ports,
+			Demand:  1 + k%3,
+			Release: s.r,
+		}
+		s.i++
+		return f, true
+	}
+	return switchnet.Flow{}, false
+}
+
+func (s *churnSource) Err() error { return nil }
+
+// scanLive walks the index's merged (main, overlay) candidate order,
+// skipping tombstones, and returns the live entries in scan order —
+// exactly the sequence a policy's merged pass visits. It also
+// cross-checks the pos encoding: every live entry must be findable from
+// its VOQ at its exact resident position.
+func scanLive(t *testing.T, ai *ageIndex, round int) []aiEntry {
+	t.Helper()
+	var out []aiEntry
+	mi, oi := 0, 0
+	for {
+		for mi < len(ai.main) && ai.main[mi].key == aiTomb {
+			mi++
+		}
+		for oi < len(ai.ovr) && ai.ovr[oi].key == aiTomb {
+			oi++
+		}
+		switch {
+		case mi < len(ai.main) && (oi >= len(ai.ovr) || ai.main[mi].key < ai.ovr[oi].key):
+			e := ai.main[mi]
+			if got := ai.pos[e.vi()]; got != int32(mi) {
+				t.Fatalf("round %d shard %d: pos[%d] = %d, entry sits in main at %d", round, ai.idx, e.vi(), got, mi)
+			}
+			out = append(out, e)
+			mi++
+		case oi < len(ai.ovr):
+			e := ai.ovr[oi]
+			if got := ai.pos[e.vi()]; got != int32(-2-oi) {
+				t.Fatalf("round %d shard %d: pos[%d] = %d, entry sits in overlay at %d", round, ai.idx, e.vi(), got, oi)
+			}
+			out = append(out, e)
+			oi++
+		default:
+			return out
+		}
+	}
+}
+
+// checkIndex compares the shard's incremental index against a
+// from-scratch reference built by sweeping every VOQ: same candidate
+// set, same (release, VOQ) order, same per-entry ports and release, and
+// consistent live/per-output counts. Any journal left by an
+// out-of-phase retirement (applyPending on the drain path) is folded
+// first — exactly what the next fused phase would do before its Pick —
+// so the invariant under test is the one every policy scan sees.
+func checkIndex(t *testing.T, sh *shard, round int) {
+	t.Helper()
+	ai := sh.ai
+	ai.applyJournal()
+
+	var want []aiEntry
+	for vi := range sh.vqs {
+		if sh.vqs[vi].live > 0 {
+			want = append(want, aiEntry{key: aiKey(sh.heads[vi].rel, int32(vi)), dem: sh.heads[vi].dem})
+		}
+	}
+	sort.Slice(want, func(a, b int) bool { return want[a].key < want[b].key })
+
+	got := scanLive(t, ai, round)
+	if len(got) != len(want) {
+		t.Fatalf("round %d shard %d: index scans %d live candidates, VOQ sweep finds %d", round, sh.idx, len(got), len(want))
+	}
+	if ai.live() != len(want) {
+		t.Fatalf("round %d shard %d: live() %d, want %d", round, sh.idx, ai.live(), len(want))
+	}
+	outCand := make([]int32, ai.mOut)
+	for i, e := range got {
+		w := want[i]
+		if e.key != w.key {
+			t.Fatalf("round %d shard %d: scan position %d is (rel %d, vi %d), rebuild says (rel %d, vi %d)",
+				round, sh.idx, i, e.rel(), e.vi(), w.rel(), w.vi())
+		}
+		if e.dem != w.dem {
+			t.Fatalf("round %d shard %d: entry vi %d caches demand %d, head record says %d",
+				round, sh.idx, e.vi(), e.dem, w.dem)
+		}
+		vi := int(e.vi())
+		li, out := vi/ai.mOut, vi%ai.mOut
+		if int(e.out) != out || int(e.in) != li*ai.nsh+ai.idx {
+			t.Fatalf("round %d shard %d: entry vi %d carries ports (%d, %d), want (%d, %d)",
+				round, sh.idx, vi, e.in, e.out, li*ai.nsh+ai.idx, out)
+		}
+		outCand[out]++
+	}
+	for out, n := range outCand {
+		if ai.outCand[out] != n {
+			t.Fatalf("round %d shard %d: outCand[%d] = %d, scan counts %d", round, sh.idx, out, ai.outCand[out], n)
+		}
+	}
+}
+
+// TestAgeIndexMatchesRebuildEveryRound is the churn property test pinning
+// the tentpole invariant: after every fused round, for both indexed
+// policies at one and several shards, the incrementally maintained
+// candidate order must equal the order a from-scratch rebuild over the
+// live VOQs would produce. Deadline expiry is on so the journal sees all
+// three head-change sources — activation, head departure, and expiry.
+func TestAgeIndexMatchesRebuildEveryRound(t *testing.T) {
+	const ports, rounds = 7, 160
+	for _, pol := range []string{"OldestFirst", "WeightedISLIP"} {
+		for _, shards := range []int{2, 3} {
+			t.Run(fmt.Sprintf("%s/K%d", pol, shards), func(t *testing.T) {
+				rt, err := New(&churnSource{ports: ports, rounds: rounds}, Config{
+					Switch: switchnet.NewSwitch(ports, ports, 3),
+					Policy: ByName(pol), Shards: shards,
+					MaxPending: 48, Admit: AdmitDeadline, Deadline: 24,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rt.startWorkers()
+				defer rt.stopWorkers()
+				steps := 0
+				for {
+					done, err := rt.step()
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, sh := range rt.shards {
+						if sh.ai == nil {
+							t.Fatal("indexed policy runs without an index")
+						}
+						checkIndex(t, sh, rt.round)
+					}
+					if done {
+						break
+					}
+					if steps++; steps > 1<<20 {
+						t.Fatal("runaway stream")
+					}
+				}
+				if sum := rt.Snapshot(); sum.Completed+sum.Expired == 0 {
+					t.Fatalf("churn run moved nothing: %+v", sum)
+				}
+			})
+		}
+	}
+}

@@ -235,6 +235,7 @@
 //     and the steady-state loop stays allocation-free (covered by
 //     TestSteadyStateZeroAllocCheckpoint). internal/chkpt serializes the
 //     state to atomic, CRC-sealed files.
+//
 //   - Config.Resume restarts from a checkpoint: the clock opens at the
 //     checkpointed round, the first Resume.Pending source flows (fed by
 //     workload.NewCheckpointSource: checkpoint prefix, then the normal
@@ -243,13 +244,33 @@
 //     short — and the cumulative counters continue from the checkpointed
 //     values. Response times stay charged from original releases, and
 //     Admitted == Completed + Pending + Dropped + Expired holds across
-//     the restart as if it never happened. What a checkpoint does not
-//     carry: policy scratch state (rotation pointers — restored policies
-//     restart fresh, which can change tie-breaking but never accounting;
-//     StreamFIFO and OldestFirst are restore-exact because their
-//     selections are memoryless given the pending order) and window
-//     quantile sketches (window metrics restart empty; cumulative
-//     TotalResponse/MaxResponse are exact).
+//     the restart as if it never happened. A checkpoint also carries the
+//     policy's schedule-affecting scratch (CheckpointState.Scratch,
+//     chkpt format v2) and the window quantile sketches
+//     (CheckpointState.Windows, via stats.EpochWindow Export/Import), so
+//     a kill -9/restore cycle is schedule-exact for every native policy
+//     and window metrics continue instead of restarting empty:
+//
+//   - StreamFIFO: restore-exact; selection is memoryless given the
+//     restored pending order.
+//
+//   - RoundRobin: restore-exact; the per-input rotation pointers are
+//     checkpointed and re-imported (restarting them fresh used to
+//     silently change post-restore tie-breaking).
+//
+//   - OldestFirst: restore-exact; selection is memoryless, and on
+//     sharded runtimes the incremental age index is rebuilt from the
+//     restored pending set (the candidate order is a pure function
+//     of it).
+//
+//   - WeightedISLIP: restore-exact; the grant and accept rotation
+//     pointers are checkpointed and re-imported.
+//
+//     The crash-equivalence suite in internal/faultinject pins all four
+//     policies at one and several shards. A v1 checkpoint file (no
+//     scratch, no windows) still restores — scratch-carrying policies
+//     then restart their pointers fresh, the pre-v2 behavior.
+//
 //   - Runtime.Reload swaps the policy and the admission settings
 //     (MaxPending, Admit, Deadline) between rounds without dropping the
 //     pending set; per-shard policy instances are rebuilt and Reset, and
@@ -300,9 +321,26 @@
 //     list, so steady-state queue churn never allocates.
 //   - Barrier schedule. One coordinator/shard synchronization point per
 //     round: the fused phase (retire round r-1, admit, propose round r)
-//     runs behind a single barrier, the reconcile pass runs on the
-//     coordinator, and OnSchedule callbacks read the still-live taken
-//     slots before they retire in the next fused phase.
+//     runs behind a single barrier, and OnSchedule callbacks read the
+//     still-live taken slots before they retire in the next fused phase.
+//     The reconcile pass (sharded runtimes only) is a pipelined
+//     shard-to-shard token chain in a deterministic order — oldest live
+//     head first for the age-aware policies, shard index order
+//     otherwise — so the second picks overlap their dispatch and cache
+//     traffic across workers instead of running coordinator-serial.
+//   - Age index. On sharded runtimes the age-aware policies keep an
+//     incremental cross-round candidate index per shard (see ageIndex):
+//     head activations and departures journaled at voqPush/voqRemove,
+//     folded in O(changed VOQs) per round into a persistent
+//     release-sorted two-level order with in-place tombstones. It feeds
+//     the reconcile pass — sparse picks over the still-free inputs'
+//     candidates and the oldest-head-first shard ordering — and rebuilds
+//     from the pending set on restore or reload. Capacity-rich propose
+//     passes instead rebuild their candidate order per round with a
+//     bitmap sweep and a counting sort: at a deep resident backlog the
+//     sweep's sequential record reads beat any random-access index
+//     maintenance, which is also why one-shard runtimes (no reconcile
+//     pass) skip the index entirely.
 //   - Admission. Sources implementing BatchSource deliver each round's
 //     released arrivals in one PullBatch call into a reused buffer —
 //     interface-call overhead is paid per round, not per flow.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"flowsched/internal/stats"
 	"flowsched/internal/switchnet"
 )
 
@@ -40,6 +41,18 @@ type CheckpointState struct {
 	Flows []switchnet.Flow
 	// Summary is the exact metrics summary at the snapshot point.
 	Summary Summary
+	// Policy names the scheduling policy the snapshot was captured under;
+	// Scratch holds its per-shard scratch state (rotation pointers, one
+	// slice per shard in shard order — see scratchPolicy), nil for
+	// memoryless policies. A restore replays the scratch only when it
+	// resumes the same policy at the same shard count, which is what
+	// makes RoundRobin and WeightedISLIP restore-exact.
+	Policy  string
+	Scratch [][]int64
+	// Windows holds the shards' sliding-window quantile sketches (one
+	// snapshot per shard in shard order), so response quantiles are
+	// continuous across a restore instead of restarting empty.
+	Windows []stats.WindowSnapshot
 }
 
 // SourceFlows reports how many flows the runtime had consumed from its
@@ -56,8 +69,11 @@ func (st *CheckpointState) SourceFlows() int64 {
 // (workload.NewCheckpointSource over Flows).
 func (st *CheckpointState) Resume() *Resume {
 	return &Resume{
-		Round:   st.Round,
-		Pending: st.Pending,
+		Round:         st.Round,
+		Pending:       st.Pending,
+		ScratchPolicy: st.Policy,
+		Scratch:       st.Scratch,
+		Windows:       st.Windows,
 		Counters: ResumeCounters{
 			Admitted:      st.Summary.Admitted,
 			Completed:     st.Summary.Completed,
@@ -92,6 +108,21 @@ type Resume struct {
 	Pending int
 	// Counters are the cumulative baselines at the checkpoint.
 	Counters ResumeCounters
+	// ScratchPolicy/Scratch restore policy rotation state: Scratch is
+	// imported into the per-shard policy instances only when ScratchPolicy
+	// matches the resumed runtime's policy name, the shard counts agree,
+	// and the policy carries scratch at all — any mismatch (an explicit
+	// policy or shard-count override at restore) silently resumes with
+	// fresh pointers, which is a correct, merely less schedule-exact,
+	// restore. A shape-matched import that still fails (corrupt values)
+	// is a hard construction error.
+	ScratchPolicy string
+	Scratch       [][]int64
+	// Windows restores the sliding-window quantile sketches; snapshots
+	// are merged into shard 0's window (Snapshot merges across shards, so
+	// carrying history on one shard is indistinguishable), tolerant of a
+	// shard-count change. Incompatible window geometry drops them.
+	Windows []stats.WindowSnapshot
 }
 
 // ResumeCounters are the checkpointed cumulative counters a restored
@@ -157,6 +188,25 @@ func (rt *Runtime) applyResume(r *Resume) error {
 	sh.totalResp.Store(c.TotalResponse)
 	sh.maxResp.Store(int64(c.MaxResponse))
 	sh.slowResp.Store(c.SlowResponses)
+	// Policy scratch: replay only on an exact (policy, shard count) match
+	// onto shard instances that carry scratch — anything else means the
+	// operator overrode the configuration at restore, and fresh rotation
+	// pointers are the correct fallback.
+	if len(r.Scratch) == rt.nshards && r.ScratchPolicy == rt.cfg.Policy.Name() {
+		if _, ok := rt.shards[0].pol.(scratchPolicy); ok {
+			for s, shd := range rt.shards {
+				if err := shd.pol.(scratchPolicy).importScratch(r.Scratch[s]); err != nil {
+					return fmt.Errorf("stream: resume policy scratch (shard %d): %w", s, err)
+				}
+			}
+		}
+	}
+	// Window sketches: merge every checkpointed shard window into shard
+	// 0's (readers merge across shards anyway), tolerating a shard-count
+	// change between the checkpoint and the resume.
+	for i := range r.Windows {
+		sh.win.Import(&r.Windows[i])
+	}
 	return nil
 }
 
@@ -193,6 +243,24 @@ func (rt *Runtime) applyReload(rc ReloadConfig) error {
 	if rc.MaxPending <= 0 {
 		return fmt.Errorf("stream: reload: MaxPending %d is not positive", rc.MaxPending)
 	}
+	if _, indexed := rc.Policy.(ageIndexUser); indexed && rt.nshards > 1 {
+		// Same bound New enforces (the index exists only on sharded
+		// runtimes): the age index packs a VOQ's index into aiViBits of
+		// its entry key, and the swap may introduce the index to a
+		// runtime built without one.
+		mIn, mOut := rt.sw.NumIn(), rt.sw.NumOut()
+		if nLoc := (mIn + rt.nshards - 1) / rt.nshards; nLoc*mOut > 1<<aiViBits {
+			return fmt.Errorf("stream: reload: policy %q needs %d VOQs per shard, over the age index's %d",
+				rc.Policy.Name(), nLoc*mOut, 1<<aiViBits)
+		}
+		if rt.lastRel >= aiMaxRel {
+			// The stream has already run past the index's packed-key
+			// horizon; rebuilding an index over (or after) such releases
+			// could overflow keys, so the swap is refused.
+			return fmt.Errorf("stream: reload: policy %q indexes releases up to %d, and the stream already reached %d",
+				rc.Policy.Name(), int64(aiMaxRel), rt.lastRel)
+		}
+	}
 	switch rc.Admit {
 	case AdmitLossless, AdmitDrop:
 		if rc.Deadline != 0 {
@@ -214,6 +282,19 @@ func (rt *Runtime) applyReload(rc ReloadConfig) error {
 			r.Reset(rt.sw)
 		}
 		sh.pol = pol
+		// Reconcile the age index with the incoming policy: build and
+		// backfill one from the resident pending set when the new policy
+		// uses it and the runtime is sharded (deterministic — the
+		// candidate order is a pure function of the pending set), drop it
+		// when it does not (the arena hooks no-op on nil).
+		if _, ok := pol.(ageIndexUser); ok && rt.nshards > 1 {
+			if sh.ai == nil {
+				sh.ai = newAgeIndex(sh)
+				sh.ai.rebuild()
+			}
+		} else {
+			sh.ai = nil
+		}
 	}
 	rt.cfg.Policy = rc.Policy
 	rt.cfg.MaxPending = rc.MaxPending
@@ -283,10 +364,46 @@ func (rt *Runtime) handleCtl(req ctlReq) ctlResp {
 		if rt.haveLook {
 			buf = append(buf, rt.look)
 		}
-		return ctlResp{st: CheckpointState{Round: rt.round, Pending: p, Flows: buf, Summary: rt.Snapshot()}}
+		return ctlResp{st: CheckpointState{
+			Round: rt.round, Pending: p, Flows: buf, Summary: rt.Snapshot(),
+			Policy:  rt.cfg.Policy.Name(),
+			Scratch: rt.collectScratch(nil),
+			Windows: rt.collectWindows(nil),
+		}}
 	default: // ctlPending
 		return ctlResp{st: CheckpointState{Round: rt.round, Flows: rt.collectPending(req.dst)}}
 	}
+}
+
+// collectScratch captures each shard policy's scratch state (see
+// scratchPolicy) into dst, reusing its per-shard slices when the shape
+// matches; nil when the policy carries no scratch. Explicit-request
+// captures pass nil (freshly allocated, so the reply cannot alias the
+// periodic trigger's reused buffers); fireCheckpoint passes its own.
+func (rt *Runtime) collectScratch(dst [][]int64) [][]int64 {
+	if _, ok := rt.shards[0].pol.(scratchPolicy); !ok {
+		return nil
+	}
+	if len(dst) != rt.nshards {
+		dst = make([][]int64, rt.nshards)
+	}
+	for s, sh := range rt.shards {
+		dst[s] = sh.pol.(scratchPolicy).exportScratch(dst[s][:0])
+	}
+	return dst
+}
+
+// collectWindows captures each shard's sliding-window sketch into dst,
+// reusing its snapshots' backing slices when the shape matches. Same
+// aliasing discipline as collectScratch.
+func (rt *Runtime) collectWindows(dst []stats.WindowSnapshot) []stats.WindowSnapshot {
+	if len(dst) != rt.nshards {
+		dst = make([]stats.WindowSnapshot, rt.nshards)
+	}
+	for s, sh := range rt.shards {
+		sh.win.ExportInto(&dst[s])
+	}
+	return dst
 }
 
 // collectPendingBySeq appends every resident pending flow to dst in
@@ -340,7 +457,14 @@ func (rt *Runtime) fireCheckpoint() {
 		buf = append(buf, rt.look)
 	}
 	rt.ckptBuf = buf
-	rt.ckptState = CheckpointState{Round: rt.round, Pending: p, Flows: buf, Summary: rt.Snapshot()}
+	rt.scratchBufs = rt.collectScratch(rt.scratchBufs)
+	rt.winBufs = rt.collectWindows(rt.winBufs)
+	rt.ckptState = CheckpointState{
+		Round: rt.round, Pending: p, Flows: buf, Summary: rt.Snapshot(),
+		Policy:  rt.cfg.Policy.Name(),
+		Scratch: rt.scratchBufs,
+		Windows: rt.winBufs,
+	}
 	rt.cfg.OnCheckpoint(&rt.ckptState)
 	rt.nextCkpt = rt.round + rt.ckptEvery
 }
@@ -359,7 +483,12 @@ func (rt *Runtime) finishedCtl(req ctlReq) ctlResp {
 		if rt.haveLook {
 			buf = append(buf, rt.look)
 		}
-		return ctlResp{st: CheckpointState{Round: int(rt.mRound.Load()), Pending: p, Flows: buf, Summary: rt.Snapshot()}}
+		return ctlResp{st: CheckpointState{
+			Round: int(rt.mRound.Load()), Pending: p, Flows: buf, Summary: rt.Snapshot(),
+			Policy:  rt.cfg.Policy.Name(),
+			Scratch: rt.collectScratch(nil),
+			Windows: rt.collectWindows(nil),
+		}}
 	default:
 		return ctlResp{st: CheckpointState{Round: int(rt.mRound.Load()), Flows: rt.collectPending(req.dst)}}
 	}

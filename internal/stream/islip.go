@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"fmt"
 	"math/bits"
 
 	"flowsched/internal/switchnet"
@@ -43,12 +44,18 @@ const DefaultISLIPIters = 2
 // the active lists: same stream, same shard count, bit-identical
 // schedules.
 //
-// A round costs O(Iters * active VOQs + scheduled) hot-record reads with
-// all scratch preallocated at Reset, so steady-state rounds allocate
-// nothing. WeightedISLIP is Shardable: each shard matches its own inputs
-// against its carved (then reconciled) output budgets with its own
-// pointer state, which is exactly the per-input decomposition the
-// request/grant/accept structure already has.
+// A round costs O(Iters * active VOQs + scheduled) hot-record reads —
+// the request sweep skips a saturated input in O(1), so a reconcile pass
+// re-sweeps only the capacity that is genuinely left — with all scratch
+// preallocated at Reset, so steady-state rounds allocate nothing.
+// WeightedISLIP is Shardable: each shard matches its own inputs against
+// its carved (then reconciled) output budgets with its own pointer
+// state, which is exactly the per-input decomposition the
+// request/grant/accept structure already has. As an age-aware policy it
+// keeps the shard's incremental age index (see ageIndex) when the
+// runtime is sharded; the index is not consulted by the sweep — it feeds
+// the reconcile pass's oldest-head-first shard ordering and the
+// checkpoint-restore rebuild.
 type WeightedISLIP struct {
 	// Iters caps the request/grant/accept iterations per pick pass;
 	// <= 0 selects DefaultISLIPIters.
@@ -96,6 +103,41 @@ func (p *WeightedISLIP) Reset(sw switchnet.Switch) {
 	p.accRel = make([]int64, p.numIn)
 	p.accIns = make([]int32, 0, p.numIn)
 	p.outFree = make([]int32, p.numOut)
+}
+
+// usesAgeIndex marks the policy as a consumer of the shard's incremental
+// age index; newShard builds one exactly when this is implemented and
+// the runtime is sharded.
+func (*WeightedISLIP) usesAgeIndex() {}
+
+// exportScratch implements scratchPolicy: the grant rotation pointers in
+// output-port order, then the accept pointers in input-port order — the
+// full schedule-affecting state a checkpoint must carry for a restore to
+// be tie-break exact.
+func (p *WeightedISLIP) exportScratch(dst []int64) []int64 {
+	for _, g := range p.grant {
+		dst = append(dst, int64(g))
+	}
+	for _, a := range p.accept {
+		dst = append(dst, int64(a))
+	}
+	return dst
+}
+
+// importScratch implements scratchPolicy; it runs after Reset, against a
+// same-geometry switch (the runtime checks policy name and shard count
+// before offering a snapshot).
+func (p *WeightedISLIP) importScratch(src []int64) error {
+	if len(src) != p.numOut+p.numIn {
+		return fmt.Errorf("WeightedISLIP scratch: got %d values, want %d", len(src), p.numOut+p.numIn)
+	}
+	for j := 0; j < p.numOut; j++ {
+		p.grant[j] = int32(src[j])
+	}
+	for i := 0; i < p.numIn; i++ {
+		p.accept[i] = int32(src[p.numOut+i])
+	}
+	return nil
 }
 
 // newIDs returns a fresh length-n slice of noID.

@@ -16,23 +16,37 @@ import (
 // service order is the total order (release, input, output, admission
 // seq) and the schedule is a pure function of the stream.
 //
-// The round's candidate set is one entry per active VOQ, read from the
-// runtime's per-VOQ head-age records (View.VOQHeadRecord — a dense array
-// sweep in port order, no queue-block chasing). The port-order tie-break
-// is what makes ordering sort-free: sweeping inputs in ascending port
-// order emits candidates already (input, output)-sorted, so one stable
-// counting pass over the release span — head ages are small integers
-// around the current round — yields the exact global order in
-// O(inputs + active VOQs + span): the sweep probes every input port's
-// pending count to visit inputs in ascending order, and nothing pays a
-// comparison sort or a log factor. (A release
-// span degenerately wider than the candidate count — idle-jump shaped
-// streams — falls back to one comparison sort.) The scan then serves
-// candidates in order: an entry whose ports lack capacity is skipped in
-// O(1) array reads, and a served head's successor re-enters through a
-// small auxiliary heap (at most one entry per flow served), keeping the
-// merged order exact. The scan exits as soon as the shard's input
-// capacity is exhausted.
+// A capacity-rich pass (the propose phase) builds the round's candidate
+// set by sweeping the head-age records: inputs in ascending port order,
+// each input's active VOQs in ascending port order off the bitmap words,
+// so candidates are emitted pre-sorted by (input, output) and the record
+// reads are plain sequential array traffic. The port-order tie-break is
+// what makes ordering sort-free: one stable counting pass over the
+// release span — head ages are small integers around the current round —
+// yields the exact global order in O(inputs + active VOQs + span), with
+// no comparison sort and no log factor. (A release span degenerately
+// wider than the candidate count — idle-jump shaped streams — falls back
+// to one comparison sort.) The scan then serves candidates in order: an
+// entry whose ports lack capacity is skipped in O(1) array reads, and a
+// served head's successor re-enters through a small auxiliary heap (at
+// most one entry per flow served), keeping the merged order exact. The
+// scan exits as soon as the shard's input capacity is exhausted.
+//
+// A capacity-poor pass — the reconcile pass at several shards, where the
+// propose phase already saturated most inputs — switches to a sparse
+// gather instead: the still-free inputs' candidates that fit both
+// remaining capacities go straight into the heap (skipping the full
+// sweep and the counting sort), and the heap drains in the same global
+// order with the same at-serve capacity recheck. Capacity only decreases
+// during a pass, so a head not servable at pass start can never serve,
+// and the drain takes exactly the serves the full scan would — same
+// selection, a fraction of the visits. The mode choice compares the free
+// inputs' candidate count against the shard's incremental age index
+// (see ageIndex) scan length; both sides are pure functions of quiescent
+// shard state, so the choice cannot perturb the schedule. The index is
+// built only when the runtime is sharded — the single-shard fused phase
+// is always capacity-rich, and skipping the index there keeps its
+// journal maintenance off the one-shard hot path entirely.
 //
 // Within a VOQ the policy is strict FIFO: a head whose demand does not
 // fit the remaining port capacity blocks its queue for the round (the
@@ -50,8 +64,10 @@ import (
 // only to its high-water mark, so steady-state rounds allocate nothing.
 //
 // OldestFirst is Shardable: each shard serves its own inputs' heads
-// oldest-first. The reconcile pass rebuilds the candidates against the
-// leftover pool; the head-age records there may still carry a
+// oldest-first, and the reconcile pass orders shards oldest-head-first
+// (see Runtime.reconcile, fed by the age index fronts) so service
+// against the shared leftover pool is globally, not per-shard,
+// oldest-first. The head-age records during that pass may still carry a
 // propose-pass pick (they update at retirement), in which case the entry
 // stands for the taken head's oldest untaken successor — deterministic,
 // just ordered and prechecked by the record rather than the successor's
@@ -60,7 +76,7 @@ type OldestFirst struct {
 	ent []ofEntry // sweep scratch: one entry per candidate VOQ
 	ord []ofEntry // the entries in global order
 	cnt []int32   // calendar buckets: per-release counts, then offsets
-	h   []ofEntry // auxiliary min-heap for served heads' successors
+	h   []ofEntry // auxiliary min-heap: successors, sparse-mode candidates
 	// inFree/outFree mirror the ports' remaining capacity during the
 	// scan (seeded from the View, decremented alongside every take), so
 	// a skipped entry costs local array reads, not View calls.
@@ -79,9 +95,10 @@ func (p *OldestFirst) Reset(sw switchnet.Switch) {
 // round's candidate set streams through cache three times — sweep,
 // scatter, scan — so entry size is bandwidth). Entries order by
 // (rel, in, out); at most one candidate per VOQ is live at a time —
-// the sweep emits one entry per queue and a successor enters only after
-// its predecessor was consumed — so the key is unique, the order total,
-// and the scan sequence deterministic.
+// the sweep emits one entry per queue, the sparse gather one per queue,
+// and a successor enters only after its predecessor was consumed — so
+// the key is unique, the order total, and the scan sequence
+// deterministic.
 type ofEntry struct {
 	rel     int64
 	dem     int32
@@ -105,35 +122,60 @@ func (*OldestFirst) Name() string { return "OldestFirst" }
 // fresh instance per shard shares nothing.
 func (*OldestFirst) NewShard() Policy { return &OldestFirst{} }
 
+// usesAgeIndex marks the policy as a consumer of the shard's incremental
+// age index; newShard builds one exactly when this is implemented and
+// the runtime is sharded.
+func (*OldestFirst) usesAgeIndex() {}
+
 // Pick implements Policy.
 //
 //flowsched:hotpath
 func (p *OldestFirst) Pick(v *View) {
 	sw := v.Switch()
 	mIn, mOut := sw.NumIn(), sw.NumOut()
-	p.ent = p.ent[:0]
 	p.h = p.h[:0]
 	for j := 0; j < mOut; j++ {
 		p.outFree[j] = int32(v.OutputFree(j))
 	}
-	sumFree := 0
-	minRel, maxRel := int64(math.MaxInt64), int64(math.MinInt64)
-	// Sweep inputs in ascending port order (cheap pending-count probes;
-	// only the shard's own inputs are ever non-empty) and each input's
-	// active VOQs in ascending port order off the bitmap words, so
-	// candidates are emitted pre-sorted by (input, output) and the
-	// head-age records are read in ascending vi order — plain sequential
-	// array traffic, no per-VOQ calls.
-	for in := 0; in < mIn; in++ {
-		if v.QueueIn(in) == 0 {
-			continue
-		}
+	// Seed the input capacity mirror and count the free inputs'
+	// candidates; every candidate lives on an active input, so the count
+	// is exact for the mode choice below.
+	sumFree, freeCand := 0, 0
+	for a := 0; a < v.NumActiveInputs(); a++ {
+		in := v.ActiveInput(a)
 		free := v.InputFree(in)
 		p.inFree[in] = int32(free)
-		if free <= 0 {
+		if free > 0 {
+			sumFree += free
+			freeCand += v.NumActiveVOQs(in)
+		}
+	}
+	if sumFree == 0 {
+		return
+	}
+	if ai := v.sh.ai; ai != nil {
+		ai.trim()
+		// Sparse mode: when the inputs with capacity left hold far fewer
+		// candidates than the index holds live entries — the reconcile
+		// pass after a near-maximal propose — gathering those candidates
+		// directly beats the full sweep and sort. Both modes take
+		// identical serves, so the choice cannot perturb the schedule.
+		if freeCand*4 < ai.scanLen() {
+			p.pickSparse(v, freeCand)
+			return
+		}
+	}
+	p.ent = p.ent[:0]
+	minRel, maxRel := int64(math.MaxInt64), int64(math.MinInt64)
+	// Sweep inputs in ascending port order and each input's active VOQs
+	// in ascending port order off the bitmap words, so candidates are
+	// emitted pre-sorted by (input, output) and the head-age records are
+	// read in ascending vi order — plain sequential array traffic, no
+	// per-VOQ calls.
+	for in := 0; in < mIn; in++ {
+		if v.QueueIn(in) == 0 || p.inFree[in] <= 0 {
 			continue
 		}
-		sumFree += free
 		row := v.headRow(in)
 		for wi, w := range v.voqWords(in) {
 			for w != 0 {
@@ -167,33 +209,77 @@ func (p *OldestFirst) Pick(v *View) {
 		} else {
 			e = p.pop()
 		}
-		free := p.inFree[e.in]
-		if free <= 0 {
-			continue // the input filled up; its entries are moot
-		}
-		if e.dem > free || p.outFree[e.out] < e.dem {
-			// Blocked head: strict FIFO within the VOQ, so the whole
-			// queue sits out the round. (Two local array reads; the
-			// queue itself is never touched.)
+		d := p.take(v, e)
+		if d == 0 {
 			continue
 		}
-		in := int(e.in)
-		id := v.VOQHead(in, int(e.out))
-		for id != NoID && v.Taken(id) {
-			id = v.VOQNext(id)
-		}
-		if id == NoID {
-			continue
-		}
-		if !v.Take(id) {
-			continue // reconcile-pass successor differs from the record
-		}
-		d := int32(v.Demand(id))
-		p.inFree[e.in] -= d
-		p.outFree[e.out] -= d
 		sumFree -= int(d)
+	}
+}
+
+// pickSparse is the low-capacity mode: gather every candidate of the
+// still-free inputs that fits both remaining capacities into the heap,
+// then drain it in (release, input, output) order with the same at-serve
+// capacity recheck the dense scan applies. cap reserves the heap once
+// for the gather's upper bound.
+func (p *OldestFirst) pickSparse(v *View, freeCand int) {
+	if cap(p.h) < freeCand {
+		p.h = make([]ofEntry, 0, freeCand) //flowsched:allow alloc: heap scratch grows to the free-input candidate high-water mark, then recycles
+	}
+	for a := 0; a < v.NumActiveInputs(); a++ {
+		in := v.ActiveInput(a)
+		free := p.inFree[in]
+		if free <= 0 {
+			continue
+		}
+		for k, n := 0, v.NumActiveVOQs(in); k < n; k++ {
+			out := v.ActiveVOQ(in, k)
+			of := p.outFree[out]
+			if of <= 0 {
+				continue
+			}
+			rel, _, demand := v.VOQHeadRecord(in, out)
+			dem := int32(demand)
+			if dem > free || of < dem {
+				continue
+			}
+			p.heapPush(ofEntry{rel: rel, dem: dem, in: int16(in), out: int16(out)})
+		}
+	}
+	for len(p.h) > 0 {
+		p.take(v, p.pop())
+	}
+}
+
+// take serves entry e if its head still fits both remaining capacities:
+// it walks past already-taken flows to the queue's current head, takes
+// it, updates the capacity mirrors, and offers the served head's
+// successor to the heap. Returns the served demand, 0 when nothing was
+// taken — a blocked head blocks its whole queue for the round (strict
+// FIFO; two local array reads, the queue itself is never touched).
+func (p *OldestFirst) take(v *View, e ofEntry) int32 {
+	free := p.inFree[e.in]
+	if free <= 0 || e.dem > free || p.outFree[e.out] < e.dem {
+		return 0
+	}
+	in := int(e.in)
+	id := v.VOQHead(in, int(e.out))
+	for id != NoID && v.Taken(id) {
+		id = v.VOQNext(id)
+	}
+	if id == NoID || !v.Take(id) {
+		return 0 // reconcile-pass successor differs from the record
+	}
+	d := int32(v.Demand(id))
+	p.inFree[e.in] -= d
+	p.outFree[e.out] -= d
+	if p.inFree[e.in] > 0 {
+		// A successor can only serve while its input has capacity left;
+		// on unit-capacity inputs this never pushes, and the heap costs
+		// nothing.
 		p.push(v, v.VOQNext(id))
 	}
+	return d
 }
 
 // order arranges p.ent into p.ord in global (rel, in, out) order. The
@@ -285,10 +371,15 @@ func (p *OldestFirst) push(v *View, id ID) {
 		return
 	}
 	f := v.Flow(id)
-	p.h = append(p.h, ofEntry{ //flowsched:allow alloc: heap scratch is length-reset per round and grows to the pending high-water mark
+	p.heapPush(ofEntry{
 		rel: v.Release(id), dem: int32(f.Demand),
 		in: int16(f.In), out: int16(f.Out),
 	})
+}
+
+// heapPush sifts e up into the min-heap.
+func (p *OldestFirst) heapPush(e ofEntry) {
+	p.h = append(p.h, e) //flowsched:allow alloc: heap scratch is length-reset per round and grows to the pending high-water mark
 	i := len(p.h) - 1
 	for i > 0 {
 		parent := (i - 1) / 2

@@ -1,9 +1,30 @@
 package stream
 
 import (
+	"fmt"
+
 	"flowsched/internal/sim"
 	"flowsched/internal/switchnet"
 )
+
+// scratchPolicy is implemented by native policies whose schedule depends
+// on per-run scratch state beyond the pending set — rotation pointers
+// that survive between rounds. A checkpoint captures the scratch per
+// shard (exportScratch appends onto dst, reusing its capacity) and a
+// restore replays it after Reset (importScratch, offered only when the
+// restored runtime runs the same policy at the same shard count), which
+// is what makes the stateful policies restore-exact: a kill -9/restore
+// continues the exact schedule the uninterrupted run would have
+// produced. Policies without the interface are memoryless — their
+// schedule is a pure function of the pending set — and need nothing
+// carried. The incremental age index is deliberately not part of the
+// scratch: its candidate order is itself a pure function of the pending
+// set, so restore re-admission rebuilds it (journal cursor included)
+// deterministically through the voqPush journaling hooks.
+type scratchPolicy interface {
+	exportScratch(dst []int64) []int64
+	importScratch(src []int64) error
+}
 
 // FIFO takes pending flows oldest-first (admission order), first-fit. A
 // round costs O(pending) — bounded by Config.MaxPending — so it is the
@@ -58,6 +79,28 @@ func (p *RoundRobin) Reset(sw switchnet.Switch) {
 	for i := range p.rr {
 		p.rr[i] = -1
 	}
+}
+
+// exportScratch implements scratchPolicy: the per-input rotation
+// pointers, in input-port order.
+func (p *RoundRobin) exportScratch(dst []int64) []int64 {
+	for _, r := range p.rr {
+		dst = append(dst, int64(r))
+	}
+	return dst
+}
+
+// importScratch implements scratchPolicy; it runs after Reset, against a
+// same-geometry switch (the runtime checks policy name and shard count
+// before offering a snapshot).
+func (p *RoundRobin) importScratch(src []int64) error {
+	if len(src) != len(p.rr) {
+		return fmt.Errorf("RoundRobin scratch: got %d values, want %d", len(src), len(p.rr))
+	}
+	for i, v := range src {
+		p.rr[i] = int(v)
+	}
+	return nil
 }
 
 // Pick implements Policy.

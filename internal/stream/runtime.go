@@ -369,6 +369,20 @@ type Runtime struct {
 	leftover    []int
 	totalOutCap int
 
+	// Pipelined-reconcile state (nshards > 1): tok[p] hands the pool from
+	// reconcile position p to p+1, reconOrder is the round's shard
+	// visiting order (identity, or oldest-head-first for age-indexed
+	// policies), and reconRel is its per-shard sort key scratch.
+	tok        []chan struct{}
+	reconOrder []int
+	reconRel   []int64
+
+	// Checkpoint-capture scratch for policy scratch state and window
+	// sketches, reused across captures so a warmed checkpoint cadence
+	// allocates nothing (see collectScratch, collectWindows).
+	scratchBufs [][]int64
+	winBufs     []stats.WindowSnapshot
+
 	err     error
 	stalled int
 	started bool
@@ -479,6 +493,15 @@ func New(src Source, cfg Config) (*Runtime, error) {
 		return nil, fmt.Errorf("stream: policy %q cannot run sharded (it does not implement Shardable); set Config.Shards to 1",
 			cfg.Policy.Name())
 	}
+	if _, indexed := cfg.Policy.(ageIndexUser); indexed && cfg.Shards > 1 {
+		// The age index (built only on sharded runtimes) packs a VOQ's
+		// index into aiViBits of its entry key; the largest shard owns
+		// ceil(mIn/K) inputs.
+		if nLoc := (mIn + cfg.Shards - 1) / cfg.Shards; nLoc*mOut > 1<<aiViBits {
+			return nil, fmt.Errorf("stream: policy %q needs %d VOQs per shard, over the age index's %d (use more shards or a smaller switch)",
+				cfg.Policy.Name(), nLoc*mOut, 1<<aiViBits)
+		}
+	}
 	if cfg.CheckpointEveryRounds < 0 {
 		return nil, fmt.Errorf("stream: CheckpointEveryRounds %d is negative", cfg.CheckpointEveryRounds)
 	}
@@ -515,6 +538,12 @@ func New(src Source, cfg Config) (*Runtime, error) {
 		for _, c := range cfg.Switch.OutCaps {
 			rt.totalOutCap += c
 		}
+		rt.tok = make([]chan struct{}, rt.nshards)
+		for i := range rt.tok {
+			rt.tok[i] = make(chan struct{}, 1)
+		}
+		rt.reconOrder = make([]int, rt.nshards)
+		rt.reconRel = make([]int64, rt.nshards)
 	}
 	for s := range rt.shards {
 		pol := cfg.Policy
@@ -558,6 +587,12 @@ func (rt *Runtime) checkFlow(f switchnet.Flow) error {
 		return fmt.Errorf("stream: source yielded release %d after %d (must be non-decreasing)", f.Release, rt.lastRel)
 	}
 	rt.lastRel = f.Release
+	if f.Release >= aiMaxRel && rt.shards[0].ai != nil {
+		// Releases ride in the age index's packed keys, so an indexed
+		// run has a (2^40-round) horizon; plain policies accept any
+		// release (sparse streams jump idle gaps far larger than this).
+		return fmt.Errorf("stream: release %d is at or beyond the age index's %d-round horizon (use a non-indexed policy)", f.Release, int64(aiMaxRel))
+	}
 	if err := rt.sw.ValidateFlow(f); err != nil {
 		return fmt.Errorf("stream: inadmissible flow: %w", err)
 	}
@@ -797,8 +832,19 @@ func (rt *Runtime) applyPending() {
 
 // reconcile redistributes output capacity no shard used in the propose
 // phase: leftover[j] = OutCaps[j] - total phase-1 usage, then each shard
-// gets a second Pick against the shared pool, sequentially in shard order
-// so the outcome is deterministic.
+// gets a second Pick against the shared pool. The second Picks run as a
+// pipelined shard-to-shard token chain (phaseReconcile): the coordinator
+// assigns each shard its position in a deterministic visiting order,
+// dispatches the phase to all workers at once, and each shard picks as
+// soon as its predecessor hands over the token — so the pass overlaps
+// its own dispatch, serve-loop, and cache traffic across workers instead
+// of running coordinator-serial. The order is the shard index order for
+// plain policies (bit-identical to the serial sweep this replaced); for
+// age-indexed policies it is oldest-head-first over the shards' index
+// fronts (ties to the lower shard index), so OldestFirst service against
+// the shared pool is globally, not per-shard, oldest-first. Either order
+// is a pure function of quiescent shard state, so schedules stay
+// deterministic for a fixed K.
 func (rt *Runtime) reconcile() {
 	copy(rt.leftover, rt.sw.OutCaps)
 	used := 0
@@ -809,13 +855,39 @@ func (rt *Runtime) reconcile() {
 		}
 	}
 	if used == rt.totalOutCap {
-		// Saturated round: nothing to redistribute, so skip the serial
-		// reconcile sweeps entirely.
+		// Saturated round: nothing to redistribute, so skip the reconcile
+		// pass entirely.
 		return
 	}
-	for _, sh := range rt.shards {
-		sh.pickShared()
+	order := rt.reconOrder
+	for i := range order {
+		order[i] = i
 	}
+	if rt.shards[0].ai != nil {
+		for i, sh := range rt.shards {
+			rt.reconRel[i] = sh.ai.oldestRel()
+		}
+		// Insertion sort by (oldest head release, shard index): K is
+		// small, the keys are nearly sorted round over round, and the
+		// tie-break keeps the sort stable over the identity order.
+		for i := 1; i < len(order); i++ {
+			for j := i; j > 0; j-- {
+				a, b := order[j], order[j-1]
+				if rt.reconRel[a] > rt.reconRel[b] || (rt.reconRel[a] == rt.reconRel[b] && a > b) {
+					break
+				}
+				order[j], order[j-1] = order[j-1], order[j]
+			}
+		}
+	}
+	for pos, s := range order {
+		rt.shards[s].reconPos = pos
+	}
+	rt.wg.Add(rt.nshards)
+	for _, s := range order {
+		rt.shards[s].work <- phaseReconcile
+	}
+	rt.wg.Wait()
 }
 
 // firstErr surfaces the first error in deterministic order: the runtime's

@@ -19,6 +19,12 @@ const (
 	// coordinator uses it to settle state before a verification-window
 	// flush, an idle jump, or the end of the run.
 	phaseApply
+	// phaseReconcile runs the shard's pickShared leg of the pipelined
+	// reconcile pass: the shard waits on its predecessor's token (per the
+	// coordinator-assigned reconPos order), picks against the shared
+	// leftover pool, and hands the token to its successor — a shard-to-
+	// shard chain instead of a coordinator-serial sweep.
+	phaseReconcile
 )
 
 // View.OutputFree semantics, per pick pass (see shard.do).
@@ -41,8 +47,9 @@ type arrival struct {
 // chains, load tallies, policy instance, metric counters and window
 // sketch, and verification buffer. During the fused round phase shards
 // touch only their own state (plus read-only Runtime config), so the
-// phase runs concurrently without locks; the reconcile pass runs
-// sequentially in shard order on the coordinator goroutine.
+// phase runs concurrently without locks; the reconcile pass runs as a
+// pipelined shard-to-shard token chain in a coordinator-chosen
+// deterministic order (see Runtime.reconcile).
 type shard struct {
 	rt  *Runtime
 	idx int
@@ -84,6 +91,14 @@ type shard struct {
 	pool  blockPool
 	vqs   []voqState
 	heads []voqHead
+
+	// ai is the incremental cross-round candidate index, present exactly
+	// when the shard's policy scans it (implements ageIndexUser); nil
+	// otherwise, and the arena journaling hooks no-op. reconPos is the
+	// shard's position in the current round's reconcile order, assigned
+	// by the coordinator before phaseReconcile is dispatched.
+	ai       *ageIndex
+	reconPos int
 
 	// activeOut[in/nsh] lists the output ports with a non-empty VOQ at
 	// owned input in; activeOutPos is each VOQ's index there (noID if
@@ -181,6 +196,13 @@ func newShard(rt *Runtime, idx int, pol Policy) *shard {
 	for i := range sh.activeInPos {
 		sh.activeInPos[i] = noID
 	}
+	if _, ok := pol.(ageIndexUser); ok && sh.nsh > 1 {
+		// The index pays journal maintenance every round to earn its keep
+		// in the reconcile pass (sparse picks, oldest-head-first shard
+		// ordering); a one-shard runtime has no reconcile pass, so it
+		// skips the index — and its cost — entirely.
+		sh.ai = newAgeIndex(sh)
+	}
 	sh.view.sh = sh
 	return sh
 }
@@ -264,12 +286,27 @@ func (sh *shard) do(ph int) {
 		if sh.rt.deadline > 0 {
 			sh.expire()
 		}
+		if sh.ai != nil {
+			// Every head change of the round (retirement, admission,
+			// expiry) is journaled by now; fold them in so Pick scans a
+			// fully current index.
+			sh.ai.applyJournal()
+		}
 		if sh.count > 0 {
 			sh.phase = pickBudget
 			sh.pol.Pick(&sh.view)
 		}
 	case phaseApply:
 		sh.apply()
+	case phaseReconcile:
+		pos := sh.reconPos
+		if pos > 0 {
+			<-sh.rt.tok[pos-1]
+		}
+		sh.pickShared()
+		if pos+1 < sh.nsh {
+			sh.rt.tok[pos] <- struct{}{}
+		}
 	}
 }
 
@@ -296,7 +333,8 @@ func (sh *shard) expire() {
 }
 
 // pickShared runs the reconcile pass: a second Pick against the global
-// leftover pool. Called sequentially in shard order by the coordinator.
+// leftover pool. Runs at most once per round per shard, serialized by
+// the reconcile token chain (K>1) or called directly (K=1).
 //
 //flowsched:hotpath
 func (sh *shard) pickShared() {
